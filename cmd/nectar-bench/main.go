@@ -1,0 +1,137 @@
+// nectar-bench regenerates every table and figure of the paper's
+// evaluation (§V): Figs. 3-8 plus the topology-cost and
+// Byzantine-resilience tables. Results are printed as ASCII plots/tables
+// and written as CSV files for external plotting.
+//
+// Usage:
+//
+//	nectar-bench [flags] <experiment>...
+//	nectar-bench -quick all
+//
+// Experiments: fig3 fig4 fig5 fig6 fig7 fig8 fig8-n20 fig8-n50
+// topo-cost byz-topo loss all
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"time"
+
+	"github.com/nectar-repro/nectar/internal/report"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "nectar-bench:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("nectar-bench", flag.ContinueOnError)
+	trials := fs.Int("trials", 0, "trial count override (0 = per-experiment defaults)")
+	seed := fs.Int64("seed", 42, "experiment seed")
+	quick := fs.Bool("quick", false, "shrink grids and trial counts for a fast pass")
+	scheme := fs.String("scheme", "hmac", "signature scheme: hmac|ed25519|insecure")
+	out := fs.String("out", "results", "output directory for CSV files")
+	noASCII := fs.Bool("no-ascii", false, "suppress terminal plots")
+	verbose := fs.Bool("v", false, "print per-point progress")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	targets := fs.Args()
+	if len(targets) == 0 {
+		return fmt.Errorf("no experiments given; try: nectar-bench -quick all")
+	}
+	if err := os.MkdirAll(*out, 0o755); err != nil {
+		return err
+	}
+	opts := report.Options{Trials: *trials, Seed: *seed, Quick: *quick, Scheme: *scheme}
+	if *verbose {
+		opts.Progress = func(line string) { fmt.Fprintln(os.Stderr, "  "+line) }
+	}
+
+	all := []string{"fig3", "fig4", "fig5", "fig6", "fig7", "fig8", "topo-cost", "byz-topo", "loss"}
+	var expanded []string
+	for _, tgt := range targets {
+		if tgt == "all" {
+			expanded = append(expanded, all...)
+			continue
+		}
+		expanded = append(expanded, tgt)
+	}
+	for _, tgt := range expanded {
+		start := time.Now()
+		if err := runOne(tgt, opts, *out, !*noASCII); err != nil {
+			return fmt.Errorf("%s: %w", tgt, err)
+		}
+		fmt.Printf("%s done in %v\n\n", tgt, time.Since(start).Round(time.Millisecond))
+	}
+	return nil
+}
+
+func runOne(target string, opts report.Options, outDir string, ascii bool) error {
+	switch target {
+	case "fig3":
+		return emitFigure(report.Fig3, opts, outDir, ascii)
+	case "fig4":
+		return emitFigure(report.Fig4, opts, outDir, ascii)
+	case "fig5":
+		return emitFigure(report.Fig5, opts, outDir, ascii)
+	case "fig6":
+		return emitFigure(report.Fig6, opts, outDir, ascii)
+	case "fig7":
+		return emitFigure(report.Fig7, opts, outDir, ascii)
+	case "fig8":
+		return emitFigure(report.Fig8, opts, outDir, ascii)
+	case "fig8-n20":
+		return emitFigure(func(o report.Options) (*report.Figure, error) {
+			return report.Fig8N(20, o)
+		}, opts, outDir, ascii)
+	case "fig8-n50":
+		return emitFigure(func(o report.Options) (*report.Figure, error) {
+			return report.Fig8N(50, o)
+		}, opts, outDir, ascii)
+	case "topo-cost":
+		return emitTable(report.TopoCost, opts, outDir, ascii)
+	case "byz-topo":
+		return emitTable(report.ByzTopo, opts, outDir, ascii)
+	case "loss":
+		return emitTable(report.LossTable, opts, outDir, ascii)
+	}
+	return fmt.Errorf("unknown experiment %q", target)
+}
+
+func emitFigure(build func(report.Options) (*report.Figure, error), opts report.Options, outDir string, ascii bool) error {
+	fig, err := build(opts)
+	if err != nil {
+		return err
+	}
+	path := filepath.Join(outDir, fig.ID+".csv")
+	if err := os.WriteFile(path, []byte(fig.CSV()), 0o644); err != nil {
+		return err
+	}
+	if ascii {
+		fmt.Println(fig.ASCII(72, 18))
+	}
+	fmt.Printf("wrote %s\n", path)
+	return nil
+}
+
+func emitTable(build func(report.Options) (*report.Table, error), opts report.Options, outDir string, ascii bool) error {
+	tbl, err := build(opts)
+	if err != nil {
+		return err
+	}
+	path := filepath.Join(outDir, tbl.ID+".csv")
+	if err := os.WriteFile(path, []byte(tbl.CSV()), 0o644); err != nil {
+		return err
+	}
+	if ascii {
+		fmt.Println(tbl.ASCII())
+	}
+	fmt.Printf("wrote %s\n", path)
+	return nil
+}

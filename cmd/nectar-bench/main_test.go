@@ -1,0 +1,43 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestRunQuickFigure(t *testing.T) {
+	dir := t.TempDir()
+	args := []string{
+		"-quick", "-trials", "2", "-no-ascii", "-out", dir, "fig8-n20",
+	}
+	if err := run(args); err != nil {
+		t.Fatalf("run(%v): %v", args, err)
+	}
+	data, err := os.ReadFile(filepath.Join(dir, "fig8-n20.csv"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(data) == 0 {
+		t.Error("empty CSV written")
+	}
+}
+
+func TestRunQuickTable(t *testing.T) {
+	dir := t.TempDir()
+	if err := run([]string{"-quick", "-trials", "1", "-no-ascii", "-out", dir, "topo-cost"}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(filepath.Join(dir, "topo-cost.csv")); err != nil {
+		t.Error("topo-cost.csv missing")
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	if err := run([]string{}); err == nil {
+		t.Error("no targets accepted")
+	}
+	if err := run([]string{"-out", t.TempDir(), "nosuch-experiment"}); err == nil {
+		t.Error("unknown experiment accepted")
+	}
+}

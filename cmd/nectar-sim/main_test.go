@@ -1,0 +1,43 @@
+package main
+
+import "testing"
+
+func TestRunBasicTopologies(t *testing.T) {
+	cases := [][]string{
+		{"-topo", "ring", "-n", "8", "-t", "1", "-scheme", "hmac"},
+		{"-topo", "harary", "-k", "4", "-n", "10", "-t", "1", "-scheme", "hmac"},
+		{"-topo", "drone", "-n", "12", "-d", "2", "-radius", "1.5", "-t", "1", "-scheme", "hmac"},
+		{"-topo", "star", "-n", "6", "-t", "1", "-json", "-scheme", "hmac"},
+	}
+	for _, args := range cases {
+		if err := run(args); err != nil {
+			t.Errorf("run(%v): %v", args, err)
+		}
+	}
+}
+
+func TestRunWithByzantine(t *testing.T) {
+	args := []string{
+		"-topo", "star", "-n", "7", "-t", "1", "-scheme", "hmac",
+		"-byz", "0", "-behavior", "splitbrain", "-blocked", "4,5,6",
+	}
+	if err := run(args); err != nil {
+		t.Errorf("run(%v): %v", args, err)
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	cases := [][]string{
+		{"-topo", "nosuch"},
+		{"-topo", "harary", "-k", "10", "-n", "5"},
+		{"-byz", "zzz"},
+		{"-blocked", "1,bad"},
+		{"-topo", "ring", "-n", "6", "-t", "1", "-byz", "1,2"}, // 2 byz > t
+		{"-topo", "ring", "-n", "6", "-scheme", "nosuch"},
+	}
+	for _, args := range cases {
+		if err := run(args); err == nil {
+			t.Errorf("run(%v) should fail", args)
+		}
+	}
+}

@@ -1,0 +1,36 @@
+package main
+
+import "testing"
+
+func TestRunReports(t *testing.T) {
+	cases := [][]string{
+		{"-topo", "ring", "-n", "8"},
+		{"-topo", "gwheel", "-c", "3", "-n", "15", "-t", "5"},
+		{"-topo", "kdiamond", "-k", "4", "-n", "20"},
+		{"-topo", "complete", "-n", "5"}, // no min cut branch
+		{"-topo", "drone", "-n", "10", "-d", "6", "-radius", "1.2"},
+	}
+	for _, args := range cases {
+		if err := run(args); err != nil {
+			t.Errorf("run(%v): %v", args, err)
+		}
+	}
+}
+
+func TestRunOutputs(t *testing.T) {
+	if err := run([]string{"-topo", "ring", "-n", "5", "-dot"}); err != nil {
+		t.Errorf("dot output: %v", err)
+	}
+	if err := run([]string{"-topo", "ring", "-n", "5", "-json"}); err != nil {
+		t.Errorf("json output: %v", err)
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	if err := run([]string{"-topo", "nosuch"}); err == nil {
+		t.Error("unknown topology accepted")
+	}
+	if err := run([]string{"-topo", "mwheel", "-c", "2", "-parts", "5", "-n", "10"}); err == nil {
+		t.Error("invalid mwheel params accepted")
+	}
+}

@@ -1,0 +1,84 @@
+// Consensus guard: use NECTAR as a pre-flight check for BFT protocols.
+//
+//	go run ./examples/consensus-guard
+//
+// Byzantine agreement on partially connected networks requires vertex
+// connectivity κ > 2t (Dolev, FOCS'81). A permissioned-blockchain
+// operator can therefore run NECTAR with threshold t' = 2t before
+// starting consensus: NOT_PARTITIONABLE at 2t certifies that t Byzantine
+// validators can neither partition the overlay nor defeat reliable
+// communication. The demo degrades an overlay link by link until NECTAR
+// withdraws the certificate, then repairs it.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	nectar "github.com/nectar-repro/nectar"
+)
+
+const (
+	validators = 12
+	tByz       = 2 // consensus fault budget
+)
+
+// certified runs NECTAR with the doubled threshold and reports whether
+// consensus is safe to start.
+func certified(g *nectar.Graph, seed int64) bool {
+	res, err := nectar.Simulate(nectar.SimulationConfig{
+		Graph: g,
+		T:     2 * tByz, // κ > 2t certificate (Dolev's bound)
+		Seed:  seed,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	return res.Decision == nectar.NotPartitionable
+}
+
+func main() {
+	// A 6-connected Harary overlay comfortably certifies t=2 consensus.
+	g, err := nectar.Harary(6, validators)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("overlay: %d validators, κ=%d, consensus budget t=%d (needs κ > %d)\n",
+		validators, g.Connectivity(), tByz, 2*tByz)
+	fmt.Printf("initial certificate: safe=%v\n\n", certified(g, 1))
+
+	// Link failures degrade the overlay below the 2t bound.
+	fmt.Println("degrading overlay links around validator 0...")
+	victims := g.Neighbors(0)
+	step := int64(2)
+	for len(victims) > 2 {
+		nb := victims[0]
+		g.RemoveEdge(0, nb)
+		victims = g.Neighbors(0)
+		safe := certified(g, step)
+		fmt.Printf("  removed {0,%v}: κ=%d safe=%v\n", nb, g.Connectivity(), safe)
+		step++
+		if !safe {
+			fmt.Println("\ncertificate withdrawn: consensus must halt (a t-Byzantine")
+			fmt.Println("coalition could now partition the validators).")
+			break
+		}
+	}
+
+	// Repair: reconnect validator 0 across the ring until safe again.
+	fmt.Println("\nrepairing overlay...")
+	for _, v := range []nectar.NodeID{3, 6, 9, 4, 8} {
+		if v == 0 || g.HasEdge(0, v) {
+			continue
+		}
+		g.AddEdge(0, v)
+		safe := certified(g, step)
+		fmt.Printf("  added {0,%v}: κ=%d safe=%v\n", v, g.Connectivity(), safe)
+		step++
+		if safe {
+			fmt.Println("\ncertificate restored: consensus may resume.")
+			return
+		}
+	}
+	fmt.Println("overlay still unsafe; add more links")
+}

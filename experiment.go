@@ -1,0 +1,82 @@
+package nectar
+
+import (
+	"math/rand"
+
+	"github.com/nectar-repro/nectar/internal/harness"
+)
+
+// Experiment harness re-exports: the evaluation machinery of §V (repeated
+// seeded trials, attacks, accuracy / agreement / cost statistics).
+
+type (
+	// ExperimentSpec configures a full experiment.
+	ExperimentSpec = harness.Spec
+	// ExperimentResult aggregates trial statistics.
+	ExperimentResult = harness.Result
+	// ExperimentTrial is one scored run.
+	ExperimentTrial = harness.Trial
+	// Scenario is a generated topology plus Byzantine placement.
+	Scenario = harness.Scenario
+	// ScenarioFn generates a fresh Scenario per trial.
+	ScenarioFn = harness.ScenarioFn
+	// ProtocolKind selects nectar / mtg / mtgv2.
+	ProtocolKind = harness.ProtocolKind
+	// AttackKind selects the Byzantine behaviour.
+	AttackKind = harness.AttackKind
+	// Truth is a scenario's ground truth.
+	Truth = harness.Truth
+)
+
+// Protocols under test.
+const (
+	ProtoNectar = harness.ProtoNectar
+	ProtoMtG    = harness.ProtoMtG
+	ProtoMtGv2  = harness.ProtoMtGv2
+)
+
+// Attacks (see harness documentation for protocol compatibility).
+const (
+	AttackNone       = harness.AttackNone
+	AttackCrash      = harness.AttackCrash
+	AttackSplitBrain = harness.AttackSplitBrain
+	AttackPoison     = harness.AttackPoison
+	AttackFakeEdges  = harness.AttackFakeEdges
+	AttackGarbage    = harness.AttackGarbage
+	AttackStale      = harness.AttackStale
+	AttackEquivocate = harness.AttackEquivocate
+	AttackOmitOwn    = harness.AttackOmitOwn
+)
+
+// RunExperiment executes the spec's trials and aggregates accuracy,
+// agreement and network-cost statistics with 95% confidence intervals.
+func RunExperiment(spec ExperimentSpec) (*ExperimentResult, error) {
+	return harness.Run(spec)
+}
+
+// PlainScenario wraps a topology generator into a Byzantine-free scenario.
+func PlainScenario(gen func(rng *rand.Rand) (*Graph, error)) ScenarioFn {
+	return harness.Plain(gen)
+}
+
+// FixedGraphScenario repeats the same graph every trial.
+func FixedGraphScenario(g *Graph) ScenarioFn { return harness.FixedGraph(g) }
+
+// BridgeScenario builds the paper's Fig. 8 drone bridge attack: a
+// partitioned two-scatter drone graph, t Byzantine nodes split across the
+// parts, and `bridges` Byzantine edges per Byzantine node re-connecting
+// the parts (0 keeps the graph partitioned).
+func BridgeScenario(n, t int, d, radius float64, bridges int) ScenarioFn {
+	return harness.Bridge(n, t, d, radius, bridges)
+}
+
+// CutPlacementScenario places Byzantine nodes on a minimum vertex cut
+// when one of size ≤ t exists, at random otherwise.
+func CutPlacementScenario(gen func(rng *rand.Rand) (*Graph, error), t int) ScenarioFn {
+	return harness.CutPlacement(gen, t)
+}
+
+// RandomPlacementScenario places t Byzantine nodes uniformly at random.
+func RandomPlacementScenario(gen func(rng *rand.Rand) (*Graph, error), t int) ScenarioFn {
+	return harness.RandomPlacement(gen, t)
+}

@@ -1,0 +1,140 @@
+// Package adversary implements the Byzantine behaviours used in the
+// paper's evaluation (§V-D) and in robustness tests.
+//
+// Byzantine nodes may deviate arbitrarily from their protocol — drop,
+// modify or inject messages — but cannot violate network assumptions
+// (enforced by the rounds engine: messages only travel on edges) and
+// cannot forge signatures of correct nodes (enforced by the sig schemes:
+// an adversary holds only its own Signer capability, plus the Signers of
+// fellow Byzantine nodes it colludes with).
+//
+// Every adversary implements rounds.Protocol, so experiment setups freely
+// mix correct and Byzantine nodes in one engine run.
+package adversary
+
+import (
+	"math/rand"
+
+	"github.com/nectar-repro/nectar/internal/bloom"
+	"github.com/nectar-repro/nectar/internal/ids"
+	"github.com/nectar-repro/nectar/internal/rounds"
+)
+
+// Silent is the crash-like adversary: it never sends and ignores
+// everything it receives. (A Byzantine node pretending to have crashed is
+// indistinguishable from a real crash to the rest of the system.)
+type Silent struct{}
+
+var _ rounds.Protocol = Silent{}
+
+// Emit implements rounds.Protocol.
+func (Silent) Emit(int) []rounds.Send { return nil }
+
+// Deliver implements rounds.Protocol.
+func (Silent) Deliver(int, ids.NodeID, []byte) {}
+
+// OutFilter wraps an inner protocol and drops every outgoing message the
+// Keep predicate rejects. Incoming traffic reaches the inner protocol
+// unchanged. It is the building block for "behaves correctly except
+// towards ..." behaviours.
+type OutFilter struct {
+	Inner rounds.Protocol
+	Keep  func(round int, s rounds.Send) bool
+}
+
+var _ rounds.Protocol = (*OutFilter)(nil)
+
+// Emit implements rounds.Protocol.
+func (f *OutFilter) Emit(round int) []rounds.Send {
+	all := f.Inner.Emit(round)
+	kept := all[:0]
+	for _, s := range all {
+		if f.Keep(round, s) {
+			kept = append(kept, s)
+		}
+	}
+	return kept
+}
+
+// Deliver implements rounds.Protocol.
+func (f *OutFilter) Deliver(round int, from ids.NodeID, data []byte) {
+	f.Inner.Deliver(round, from, data)
+}
+
+// SplitBrain is the paper's bridge attack behaviour (§V-D): the Byzantine
+// node runs the protocol correctly towards one side of the network and
+// acts as crashed towards the `blocked` side. Works for any protocol
+// (NECTAR, MtG, MtGv2).
+func SplitBrain(inner rounds.Protocol, blocked ids.Set) rounds.Protocol {
+	return &OutFilter{
+		Inner: inner,
+		Keep:  func(_ int, s rounds.Send) bool { return !blocked.Has(s.To) },
+	}
+}
+
+// BloomPoison is the MtG attack of §V-D: every round the adversary sends
+// an all-ones Bloom filter to every neighbor, making correct nodes believe
+// every process is reachable. Filter geometry must match the deployment's
+// static configuration.
+type BloomPoison struct {
+	neighbors []ids.NodeID
+	payload   []byte
+}
+
+var _ rounds.Protocol = (*BloomPoison)(nil)
+
+// NewBloomPoison builds the poisoning adversary.
+func NewBloomPoison(neighbors []ids.NodeID, filterBits, filterHashes int) *BloomPoison {
+	f := bloom.New(filterBits, filterHashes)
+	f.Fill()
+	return &BloomPoison{
+		neighbors: append([]ids.NodeID(nil), neighbors...),
+		payload:   f.MarshalBinary(),
+	}
+}
+
+// Emit implements rounds.Protocol.
+func (b *BloomPoison) Emit(int) []rounds.Send {
+	out := make([]rounds.Send, 0, len(b.neighbors))
+	for _, to := range b.neighbors {
+		out = append(out, rounds.Send{To: to, Data: b.payload})
+	}
+	return out
+}
+
+// Deliver implements rounds.Protocol.
+func (b *BloomPoison) Deliver(int, ids.NodeID, []byte) {}
+
+// Garbage floods every neighbor with random bytes each round — a
+// robustness probe: correct protocols must discard it all without state
+// damage.
+type Garbage struct {
+	neighbors []ids.NodeID
+	rng       *rand.Rand
+	size      int
+}
+
+var _ rounds.Protocol = (*Garbage)(nil)
+
+// NewGarbage builds a garbage flooder emitting size-byte payloads.
+func NewGarbage(neighbors []ids.NodeID, seed int64, size int) *Garbage {
+	return &Garbage{
+		neighbors: append([]ids.NodeID(nil), neighbors...),
+		rng:       rand.New(rand.NewSource(seed)),
+		size:      size,
+	}
+}
+
+// Emit implements rounds.Protocol.
+func (g *Garbage) Emit(int) []rounds.Send {
+	out := make([]rounds.Send, 0, len(g.neighbors))
+	for _, to := range g.neighbors {
+		data := make([]byte, g.size)
+		g.rng.Read(data)
+		out = append(out, rounds.Send{To: to, Data: data})
+	}
+	return out
+}
+
+// Deliver implements rounds.Protocol.
+func (g *Garbage) Deliver(int, ids.NodeID, []byte) {}

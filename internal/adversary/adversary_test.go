@@ -1,0 +1,230 @@
+package adversary
+
+import (
+	"testing"
+
+	"github.com/nectar-repro/nectar/internal/bloom"
+	"github.com/nectar-repro/nectar/internal/graph"
+	"github.com/nectar-repro/nectar/internal/ids"
+	"github.com/nectar-repro/nectar/internal/mtg"
+	"github.com/nectar-repro/nectar/internal/nectar"
+	"github.com/nectar-repro/nectar/internal/rounds"
+	"github.com/nectar-repro/nectar/internal/sig"
+	"github.com/nectar-repro/nectar/internal/topology"
+)
+
+func TestSilentSendsNothing(t *testing.T) {
+	s := Silent{}
+	if got := s.Emit(1); len(got) != 0 {
+		t.Errorf("Silent emitted %d messages", len(got))
+	}
+	s.Deliver(1, 2, []byte("x")) // must not panic
+}
+
+func TestSplitBrainDropsOnlyBlockedSide(t *testing.T) {
+	g := topology.Complete(5)
+	nodes, err := nectar.BuildNodes(g, 1, sig.NewHMAC(5, 1), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	blocked := ids.NewSet(3, 4)
+	byz := SplitBrain(nodes[0], blocked)
+	for _, s := range byz.Emit(1) {
+		if blocked.Has(s.To) {
+			t.Errorf("split-brain sent to blocked node %v", s.To)
+		}
+	}
+	// Unblocked side still receives the full neighborhood: 4 edges × 2
+	// unblocked destinations.
+	if got := len(byz.Emit(1)); got != 0 {
+		// Second Emit(1) re-announces (round-1 logic is stateless in the
+		// inner node), so just sanity check it stays filtered.
+		for _, s := range byz.Emit(1) {
+			if blocked.Has(s.To) {
+				t.Fatal("filter leaked")
+			}
+		}
+		_ = got
+	}
+}
+
+func TestBloomPoisonPayloadIsAllOnes(t *testing.T) {
+	byz := NewBloomPoison([]ids.NodeID{1, 2}, 256, 3)
+	sends := byz.Emit(1)
+	if len(sends) != 2 {
+		t.Fatalf("poison sent %d messages, want 2", len(sends))
+	}
+	f := bloom.New(256, 3)
+	if err := f.UnmarshalInto(sends[0].Data); err != nil {
+		t.Fatal(err)
+	}
+	if f.PopCount() != 256 {
+		t.Errorf("poison filter has %d/256 bits set", f.PopCount())
+	}
+	byz.Deliver(1, 1, sends[0].Data) // ignored, must not panic
+}
+
+func TestBloomPoisonFlipsMtGDecision(t *testing.T) {
+	// Two disconnected pairs; node 1 (Byzantine) poisons its neighbor 0.
+	g := graph.New(4)
+	g.AddEdge(0, 1)
+	g.AddEdge(2, 3)
+	correct := func(me ids.NodeID) *mtg.Node {
+		nd, err := mtg.NewNode(mtg.Config{
+			N: 4, Me: me,
+			Neighbors: append([]ids.NodeID(nil), g.Neighbors(me)...),
+			Seed:      3,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return nd
+	}
+	n0 := correct(0)
+	protos := []rounds.Protocol{
+		n0,
+		NewBloomPoison(g.Neighbors(1), mtg.DefaultFilterBits, mtg.DefaultFilterHashes),
+		correct(2),
+		correct(3),
+	}
+	if _, err := rounds.Run(rounds.Config{Graph: g, Rounds: 10, Seed: 5}, protos); err != nil {
+		t.Fatal(err)
+	}
+	if out := n0.Decide(); out.Partitioned {
+		t.Error("poisoned MtG node still detected the partition (attack should fool it)")
+	}
+}
+
+func TestGarbageIsHarmlessToNectar(t *testing.T) {
+	// Ring of 6 with node 0 Byzantine flooding garbage: correct nodes must
+	// reject every junk payload and still reach the right decision.
+	g := topology.Ring(6)
+	scheme := sig.NewHMAC(6, 1)
+	nodes, err := nectar.BuildNodes(g, 1, scheme, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	protos := make([]rounds.Protocol, 6)
+	for i, nd := range nodes {
+		protos[i] = nd
+	}
+	protos[0] = NewGarbage(g.Neighbors(0), 11, 200)
+	if _, err := rounds.Run(rounds.Config{Graph: g, Rounds: 5, Seed: 5}, protos); err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i < 6; i++ {
+		st := nodes[i].Stats()
+		if st.Accepted == 0 {
+			t.Errorf("node %d accepted nothing", i)
+		}
+		// Node 0's silence about its own edges must not corrupt views:
+		// every recorded edge must be a real edge of g.
+		for _, e := range nodes[i].View().Edges() {
+			if !g.HasEdge(e.U, e.V) {
+				t.Errorf("node %d recorded fake edge %v", i, e)
+			}
+		}
+	}
+	// Neighbors of the flooder must have rejected its garbage.
+	if nodes[1].Stats().Rejected == 0 || nodes[5].Stats().Rejected == 0 {
+		t.Error("garbage was not rejected by neighbors")
+	}
+}
+
+func TestFakeEdgesAreAcceptedFromColludingPair(t *testing.T) {
+	// Nodes 0 and 2 are Byzantine colluders on a ring; node 0 announces a
+	// fictitious {0,2} chord. Correct nodes accept it (both signatures are
+	// Byzantine-owned) — the paper's "fictitious edges" deviation.
+	g := topology.Ring(6)
+	scheme := sig.NewHMAC(6, 1)
+	nodes, err := nectar.BuildNodes(g, 1, scheme, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	protos := make([]rounds.Protocol, 6)
+	for i, nd := range nodes {
+		protos[i] = nd
+	}
+	protos[0] = NewNectarFakeEdges(
+		nodes[0], scheme.SignerFor(0),
+		[]sig.Signer{scheme.SignerFor(2)},
+		scheme.Verifier().SigSize(), g.Neighbors(0))
+	if _, err := rounds.Run(rounds.Config{Graph: g, Rounds: 5, Seed: 5}, protos); err != nil {
+		t.Fatal(err)
+	}
+	fake := graph.NewEdge(0, 2)
+	for i := 1; i < 6; i++ {
+		if i == 2 {
+			continue
+		}
+		if !nodes[i].View().HasEdge(fake.U, fake.V) {
+			t.Errorf("node %d did not record the forged Byzantine-pair edge", i)
+		}
+	}
+}
+
+func TestStaleReplayIsRejected(t *testing.T) {
+	g := topology.Ring(6)
+	scheme := sig.NewHMAC(6, 1)
+	nodes, err := nectar.BuildNodes(g, 1, scheme, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	protos := make([]rounds.Protocol, 6)
+	for i, nd := range nodes {
+		protos[i] = nd
+	}
+	protos[0] = NewNectarStaleReplay(nodes[0])
+	if _, err := rounds.Run(rounds.Config{Graph: g, Rounds: 5, Seed: 5}, protos); err != nil {
+		t.Fatal(err)
+	}
+	// The laggard's neighbors (1 and 5) must reject its stale chains: in
+	// round 2 they receive length-1 announcements of edges they cannot yet
+	// know through other paths.
+	if nodes[1].Stats().Rejected == 0 || nodes[5].Stats().Rejected == 0 {
+		t.Errorf("stale chains not rejected: rejected[1]=%d rejected[5]=%d",
+			nodes[1].Stats().Rejected, nodes[5].Stats().Rejected)
+	}
+	// Views must still equal the true topology (the ring routes every edge
+	// around the laggard); staleness corrupts nothing.
+	for i := 1; i < 6; i++ {
+		if !nodes[i].View().Equal(g) {
+			t.Errorf("node %d view corrupted by stale chains", i)
+		}
+	}
+}
+
+func TestOmitOwnHidesEdgeFromRound1(t *testing.T) {
+	g := topology.Ring(4)
+	scheme := sig.NewHMAC(4, 1)
+	nodes, err := nectar.BuildNodes(g, 1, scheme, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hidden := graph.NewEdge(0, 1)
+	byz := NectarOmitOwn(nodes[0], scheme.Verifier().SigSize(), map[graph.Edge]bool{hidden: true})
+	for _, s := range byz.Emit(1) {
+		m, err := nectar.DecodeEdgeMsg(s.Data, scheme.Verifier().SigSize(), 4)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if m.Proof.Edge == hidden {
+			t.Error("hidden edge announced")
+		}
+	}
+}
+
+func TestEquivocateTargetsEvenNeighborsOnly(t *testing.T) {
+	g := topology.Star(5) // center 0 with neighbors 1..4
+	scheme := sig.NewHMAC(5, 1)
+	nodes, err := nectar.BuildNodes(g, 1, scheme, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	byz := NectarEquivocate(nodes[0])
+	for _, s := range byz.Emit(1) {
+		if s.To%2 != 0 {
+			t.Errorf("equivocator announced to odd neighbor %v", s.To)
+		}
+	}
+}

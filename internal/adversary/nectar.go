@@ -1,0 +1,128 @@
+package adversary
+
+import (
+	"github.com/nectar-repro/nectar/internal/graph"
+	"github.com/nectar-repro/nectar/internal/ids"
+	"github.com/nectar-repro/nectar/internal/nectar"
+	"github.com/nectar-repro/nectar/internal/rounds"
+	"github.com/nectar-repro/nectar/internal/sig"
+)
+
+// NECTAR-specific Byzantine behaviours (§IV "Impact of Byzantine
+// deviations" and §V-D).
+
+// NectarOmitOwn behaves like a correct NECTAR node but never announces the
+// edges in hide in round 1 (it still relays other nodes' messages
+// faithfully). This is the "Byzantine nodes cannot be compelled to share
+// their own neighborhood" deviation: hidden Byzantine-Byzantine edges may
+// push the perceived connectivity below t, turning NOT_PARTITIONABLE into
+// a (safe) PARTITIONABLE.
+func NectarOmitOwn(inner *nectar.Node, sigSize int, hide map[graph.Edge]bool) rounds.Protocol {
+	return &OutFilter{
+		Inner: inner,
+		Keep: func(round int, s rounds.Send) bool {
+			if round != 1 {
+				return true
+			}
+			m, err := nectar.DecodeEdgeMsg(s.Data, sigSize, int(^uint32(0)>>1))
+			if err != nil {
+				return true
+			}
+			return !hide[m.Proof.Edge]
+		},
+	}
+}
+
+// NectarEquivocate announces each of its own edges to only half of its
+// neighbors (those with even IDs), creating knowledge disparities that the
+// relay phase of correct nodes must iron out.
+func NectarEquivocate(inner *nectar.Node) rounds.Protocol {
+	return &OutFilter{
+		Inner: inner,
+		Keep: func(round int, s rounds.Send) bool {
+			return round != 1 || s.To%2 == 0
+		},
+	}
+}
+
+// NectarFakeEdges wraps a correct NECTAR node and additionally announces
+// fictitious edges between the local node and each colluding partner in
+// round 1. Both endpoints are Byzantine, so the proofs verify (§II allows
+// forging proofs between Byzantine processes); correct nodes accept and
+// propagate these non-existent edges.
+type NectarFakeEdges struct {
+	inner    *nectar.Node
+	self     sig.Signer
+	partners []sig.Signer
+	sigSize  int
+	nbrs     []ids.NodeID
+}
+
+var _ rounds.Protocol = (*NectarFakeEdges)(nil)
+
+// NewNectarFakeEdges builds the colluding announcer. partners are the
+// signing capabilities of fellow Byzantine nodes (collusion); nbrs is the
+// local neighborhood the announcements are sent to.
+func NewNectarFakeEdges(inner *nectar.Node, self sig.Signer, partners []sig.Signer, sigSize int, nbrs []ids.NodeID) *NectarFakeEdges {
+	return &NectarFakeEdges{
+		inner:    inner,
+		self:     self,
+		partners: partners,
+		sigSize:  sigSize,
+		nbrs:     append([]ids.NodeID(nil), nbrs...),
+	}
+}
+
+// Emit implements rounds.Protocol.
+func (a *NectarFakeEdges) Emit(round int) []rounds.Send {
+	out := a.inner.Emit(round)
+	if round != 1 {
+		return out
+	}
+	for _, partner := range a.partners {
+		if partner.ID() == a.self.ID() {
+			continue
+		}
+		msg := nectar.ForgeEdgeMsg(a.self, partner)
+		data := msg.Encode(a.sigSize)
+		for _, to := range a.nbrs {
+			out = append(out, rounds.Send{To: to, Data: data})
+		}
+	}
+	return out
+}
+
+// Deliver implements rounds.Protocol.
+func (a *NectarFakeEdges) Deliver(round int, from ids.NodeID, data []byte) {
+	a.inner.Deliver(round, from, data)
+}
+
+// NectarStaleReplay delays every protocol message by one round, so each
+// chain it sends has length r-1 in round r — violating the
+// lengthSign(msg) = R rule. Correct nodes must reject every such stale
+// message for an edge they do not already know (Alg. 1 l. 14 prevents
+// Byzantine nodes from transmitting late messages); already-known edges
+// are discarded as duplicates.
+type NectarStaleReplay struct {
+	inner *nectar.Node
+	prev  []rounds.Send
+}
+
+var _ rounds.Protocol = (*NectarStaleReplay)(nil)
+
+// NewNectarStaleReplay wraps inner with the delay-by-one-round behaviour.
+func NewNectarStaleReplay(inner *nectar.Node) *NectarStaleReplay {
+	return &NectarStaleReplay{inner: inner}
+}
+
+// Emit implements rounds.Protocol.
+func (a *NectarStaleReplay) Emit(round int) []rounds.Send {
+	out := a.prev
+	a.prev = a.inner.Emit(round)
+	return out
+}
+
+// Deliver implements rounds.Protocol.
+func (a *NectarStaleReplay) Deliver(round int, from ids.NodeID, data []byte) {
+	a.inner.Deliver(round, from, data)
+}

@@ -1,0 +1,72 @@
+package cliutil
+
+import (
+	"flag"
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"github.com/nectar-repro/nectar/internal/ids"
+)
+
+func buildKind(t *testing.T, args ...string) (*TopologyFlags, error) {
+	t.Helper()
+	fs := flag.NewFlagSet("test", flag.ContinueOnError)
+	var tf TopologyFlags
+	tf.Register(fs)
+	if err := fs.Parse(args); err != nil {
+		t.Fatal(err)
+	}
+	_, err := tf.Build(rand.New(rand.NewSource(1)))
+	return &tf, err
+}
+
+func TestBuildAllKinds(t *testing.T) {
+	cases := [][]string{
+		{"-topo", "ring", "-n", "6"},
+		{"-topo", "line", "-n", "6"},
+		{"-topo", "star", "-n", "6"},
+		{"-topo", "complete", "-n", "6"},
+		{"-topo", "er", "-n", "8", "-p", "0.5"},
+		{"-topo", "harary", "-k", "3", "-n", "8"},
+		{"-topo", "randomregular", "-k", "2", "-n", "8"},
+		{"-topo", "kdiamond", "-k", "4", "-n", "12"},
+		{"-topo", "kpasted", "-k", "4", "-n", "12"},
+		{"-topo", "gwheel", "-c", "2", "-n", "10"},
+		{"-topo", "mwheel", "-c", "2", "-parts", "2", "-n", "10"},
+		{"-topo", "drone", "-n", "10", "-d", "1", "-radius", "1.5"},
+	}
+	for _, args := range cases {
+		if _, err := buildKind(t, args...); err != nil {
+			t.Errorf("Build(%v): %v", args, err)
+		}
+	}
+}
+
+func TestBuildErrors(t *testing.T) {
+	if _, err := buildKind(t, "-topo", "nosuch"); err == nil {
+		t.Error("unknown kind accepted")
+	}
+	if _, err := buildKind(t, "-topo", "harary", "-k", "9", "-n", "4"); err == nil {
+		t.Error("invalid harary params accepted")
+	}
+}
+
+func TestParseNodeList(t *testing.T) {
+	got, err := ParseNodeList(" 1, 4,7 ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, []ids.NodeID{1, 4, 7}) {
+		t.Errorf("got %v", got)
+	}
+	if got, err := ParseNodeList(""); err != nil || got != nil {
+		t.Errorf("empty list: %v, %v", got, err)
+	}
+	if _, err := ParseNodeList("1,x"); err == nil {
+		t.Error("garbage accepted")
+	}
+	if _, err := ParseNodeList("-3"); err == nil {
+		t.Error("negative accepted")
+	}
+}

@@ -1,0 +1,85 @@
+package graph
+
+import "github.com/nectar-repro/nectar/internal/ids"
+
+// ArticulationPoints returns the cut vertices of the graph — vertices
+// whose removal increases the number of connected components — in
+// increasing order, via Tarjan's low-link algorithm in O(V+E).
+//
+// Articulation points are exactly the singleton vertex cuts: a connected
+// graph is 1-Byzantine partitionable iff it has one (Cor. 1 with t=1),
+// and each one is a position where a single Byzantine node severs correct
+// nodes (the paper's Fig. 1b star center).
+func (g *Graph) ArticulationPoints() []ids.NodeID {
+	n := g.n
+	disc := make([]int, n) // discovery times, 0 = unvisited
+	low := make([]int, n)  // low-link values
+	isCut := make([]bool, n)
+	timer := 0
+
+	// Iterative DFS to keep large graphs off the call stack.
+	type frame struct {
+		v, parent ids.NodeID
+		nextIdx   int
+		children  int
+	}
+	for start := 0; start < n; start++ {
+		if disc[start] != 0 {
+			continue
+		}
+		timer++
+		disc[start] = timer
+		low[start] = timer
+		stack := []frame{{v: ids.NodeID(start), parent: ids.NodeID(start)}}
+		rootChildren := 0
+		for len(stack) > 0 {
+			f := &stack[len(stack)-1]
+			if f.nextIdx < len(g.nbr[f.v]) {
+				w := g.nbr[f.v][f.nextIdx]
+				f.nextIdx++
+				if disc[w] == 0 {
+					timer++
+					disc[w] = timer
+					low[w] = timer
+					f.children++
+					if int(f.v) == start {
+						rootChildren++
+					}
+					stack = append(stack, frame{v: w, parent: f.v})
+				} else if w != f.parent {
+					if disc[w] < low[f.v] {
+						low[f.v] = disc[w]
+					}
+				}
+				continue
+			}
+			// Post-order: fold low-link into the parent.
+			stack = stack[:len(stack)-1]
+			if len(stack) > 0 {
+				p := &stack[len(stack)-1]
+				if low[f.v] < low[p.v] {
+					low[p.v] = low[f.v]
+				}
+				if int(p.v) != start && low[f.v] >= disc[p.v] {
+					isCut[p.v] = true
+				}
+			}
+		}
+		if rootChildren > 1 {
+			isCut[start] = true
+		}
+	}
+	var out []ids.NodeID
+	for v := 0; v < n; v++ {
+		if isCut[v] {
+			out = append(out, ids.NodeID(v))
+		}
+	}
+	return out
+}
+
+// HasArticulationPoint reports whether any single vertex disconnects the
+// graph (equivalently, for connected graphs with ≥ 3 vertices: κ = 1).
+func (g *Graph) HasArticulationPoint() bool {
+	return len(g.ArticulationPoints()) > 0
+}

@@ -1,0 +1,106 @@
+package graph
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"github.com/nectar-repro/nectar/internal/ids"
+)
+
+// bruteArticulation finds cut vertices by removing each vertex and
+// counting components among the rest.
+func bruteArticulation(g *Graph) []ids.NodeID {
+	var out []ids.NodeID
+	base := len(g.Components())
+	for v := 0; v < g.N(); v++ {
+		id := ids.NodeID(v)
+		h := g.RemoveVertices(ids.NewSet(id))
+		// Removing v leaves it isolated (one extra component); v is a cut
+		// vertex iff the rest splits further.
+		comps := 0
+		for _, c := range h.Components() {
+			if len(c) == 1 && c[0] == id {
+				continue
+			}
+			comps++
+		}
+		wasIsolated := g.Degree(id) == 0
+		if wasIsolated {
+			continue
+		}
+		if comps > base {
+			out = append(out, id)
+		}
+	}
+	return out
+}
+
+func TestArticulationPointsKnown(t *testing.T) {
+	star := New(5)
+	for v := ids.NodeID(1); v < 5; v++ {
+		star.AddEdge(0, v)
+	}
+	tests := []struct {
+		name string
+		g    *Graph
+		want []ids.NodeID
+	}{
+		{"path4", pathGraph(4), []ids.NodeID{1, 2}},
+		{"cycle5", cycleGraph(5), nil},
+		{"star", star, []ids.NodeID{0}},
+		{"complete", completeGraph(5), nil},
+		{"empty", New(4), nil},
+	}
+	for _, tc := range tests {
+		t.Run(tc.name, func(t *testing.T) {
+			got := tc.g.ArticulationPoints()
+			if !reflect.DeepEqual(got, tc.want) {
+				t.Errorf("ArticulationPoints = %v, want %v", got, tc.want)
+			}
+		})
+	}
+}
+
+func TestArticulationPointsMatchBruteForce(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	for trial := 0; trial < 200; trial++ {
+		n := 2 + rng.Intn(10)
+		g := randomGraph(n, 0.1+0.6*rng.Float64(), rng)
+		got := g.ArticulationPoints()
+		want := bruteArticulation(g)
+		if len(got) == 0 && len(want) == 0 {
+			continue
+		}
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("trial %d: ArticulationPoints=%v brute=%v on %v", trial, got, want, g)
+		}
+	}
+}
+
+func TestArticulationAgreesWithConnectivityOne(t *testing.T) {
+	// For connected graphs with ≥ 3 vertices: κ == 1 ⟺ an articulation
+	// point exists.
+	rng := rand.New(rand.NewSource(29))
+	for trial := 0; trial < 150; trial++ {
+		n := 3 + rng.Intn(8)
+		g := randomGraph(n, 0.3+0.4*rng.Float64(), rng)
+		if !g.IsConnected() {
+			continue
+		}
+		hasCutVertex := g.HasArticulationPoint()
+		if (g.Connectivity() == 1) != hasCutVertex {
+			t.Fatalf("trial %d: κ=%d but articulation=%v on %v",
+				trial, g.Connectivity(), hasCutVertex, g)
+		}
+	}
+}
+
+func BenchmarkArticulationPoints(b *testing.B) {
+	rng := rand.New(rand.NewSource(3))
+	g := randomGraph(200, 0.05, rng)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		g.ArticulationPoints()
+	}
+}

@@ -1,0 +1,268 @@
+package graph
+
+import (
+	"fmt"
+
+	"github.com/nectar-repro/nectar/internal/ids"
+)
+
+// This file implements exact vertex connectivity à la Even/Tarjan: κ(s,t)
+// for non-adjacent s,t is computed as a max-flow on the vertex-split
+// digraph (each vertex v becomes v_in → v_out with capacity 1; every
+// undirected edge {u,v} becomes u_out → v_in and v_out → u_in with
+// capacity n), and κ(G) is a minimum over a small set of pairs chosen so
+// that at least one of them realizes a minimum vertex cut.
+//
+// Corollary 1 of the paper states that G is t-Byzantine partitionable iff
+// κ(G) ≤ t, and NECTAR's decision phase needs exactly the predicate
+// κ(G) > t, so ConnectivityAtLeast supports early termination.
+
+// LocalConnectivity returns κ(s, t): the maximum number of internally
+// vertex-disjoint s-t paths, equal by Menger's theorem to the size of a
+// minimum vertex cut separating s from t. It panics if s == t or if s and
+// t are adjacent (no vertex cut can separate adjacent vertices).
+func (g *Graph) LocalConnectivity(s, t ids.NodeID) int {
+	if s == t {
+		panic("graph: LocalConnectivity with s == t")
+	}
+	if g.HasEdge(s, t) {
+		panic(fmt.Sprintf("graph: LocalConnectivity of adjacent pair %v,%v", s, t))
+	}
+	f := newFlowNet(g)
+	return f.maxflow(outNode(s), inNode(t), g.n)
+}
+
+// IsComplete reports whether every pair of distinct vertices is adjacent.
+func (g *Graph) IsComplete() bool {
+	return g.m == g.n*(g.n-1)/2
+}
+
+// Connectivity returns the vertex connectivity κ(G): the size of a
+// smallest vertex subset whose removal disconnects the graph (or leaves a
+// single vertex). By convention κ(K_n) = n-1, κ of a disconnected graph is
+// 0, and κ of graphs with fewer than two vertices is 0.
+func (g *Graph) Connectivity() int {
+	k, _, _ := g.connectivity(g.n)
+	return k
+}
+
+// ConnectivityAtLeast reports whether κ(G) ≥ k. It terminates early and is
+// therefore considerably cheaper than Connectivity for small k; NECTAR
+// nodes use it with k = t+1 (Alg. 1 l. 18).
+func (g *Graph) ConnectivityAtLeast(k int) bool {
+	if k <= 0 {
+		return true
+	}
+	if k > g.n-1 {
+		return false
+	}
+	got, _, _ := g.connectivity(k)
+	return got >= k
+}
+
+// IsTByzPartitionable reports whether G is t-Byzantine partitionable:
+// per Corollary 1, κ(G) ≤ t.
+func (g *Graph) IsTByzPartitionable(t int) bool {
+	return !g.ConnectivityAtLeast(t + 1)
+}
+
+// MinVertexCut returns a minimum vertex cut and true, or (nil, false) for
+// complete graphs and graphs with fewer than two vertices, which have no
+// vertex cut. A disconnected graph yields the empty cut (non-nil, len 0).
+func (g *Graph) MinVertexCut() ([]ids.NodeID, bool) {
+	if g.n < 2 || g.IsComplete() {
+		return nil, false
+	}
+	k, s, t := g.connectivity(g.n)
+	if k == 0 {
+		return []ids.NodeID{}, true
+	}
+	// Recompute the flow for the minimizing pair and extract the cut.
+	f := newFlowNet(g)
+	f.maxflow(outNode(s), inNode(t), g.n)
+	return f.cutVertices(outNode(s), g.n), true
+}
+
+// connectivity computes min(κ(G), limit) plus the non-adjacent pair (s,t)
+// realizing it (meaningful only when the returned value is < n-1 and the
+// graph is connected).
+func (g *Graph) connectivity(limit int) (k int, s, t ids.NodeID) {
+	if g.n < 2 {
+		return 0, 0, 0
+	}
+	if g.IsComplete() {
+		return min(g.n-1, limit), 0, 0
+	}
+	if !g.IsConnected() {
+		return 0, 0, 0
+	}
+	// κ ≤ δ, so the minimum-degree vertex bounds the search; choosing it
+	// as the pivot also keeps the neighbor-pair enumeration small.
+	var v0 ids.NodeID
+	for v := 1; v < g.n; v++ {
+		if g.Degree(ids.NodeID(v)) < g.Degree(v0) {
+			v0 = ids.NodeID(v)
+		}
+	}
+	best := min(g.Degree(v0), limit)
+	bs, bt := v0, v0
+	consider := func(a, b ids.NodeID) {
+		if best == 0 {
+			return
+		}
+		f := newFlowNet(g)
+		if c := f.maxflow(outNode(a), inNode(b), best); c < best {
+			best, bs, bt = c, a, b
+		}
+	}
+	// Any minimum cut either avoids v0 — then it separates v0 from some
+	// non-neighbor — or contains v0 — then it separates two neighbors of
+	// v0 (see DESIGN.md §1/S2 and the package tests for the argument).
+	for v := 0; v < g.n; v++ {
+		w := ids.NodeID(v)
+		if w != v0 && !g.HasEdge(v0, w) {
+			consider(v0, w)
+		}
+	}
+	nbrs := g.Neighbors(v0)
+	for i := 0; i < len(nbrs); i++ {
+		for j := i + 1; j < len(nbrs); j++ {
+			if !g.HasEdge(nbrs[i], nbrs[j]) {
+				consider(nbrs[i], nbrs[j])
+			}
+		}
+	}
+	return best, bs, bt
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+// ---- Dinic max-flow on the vertex-split digraph ----
+
+func inNode(v ids.NodeID) int  { return 2 * int(v) }
+func outNode(v ids.NodeID) int { return 2*int(v) + 1 }
+
+type flowArc struct {
+	to  int
+	rev int // index of the reverse arc in arcs[to]
+	cap int
+}
+
+type flowNet struct {
+	arcs [][]flowArc
+	// scratch buffers for Dinic
+	level []int
+	iter  []int
+}
+
+func newFlowNet(g *Graph) *flowNet {
+	f := &flowNet{
+		arcs:  make([][]flowArc, 2*g.n),
+		level: make([]int, 2*g.n),
+		iter:  make([]int, 2*g.n),
+	}
+	inf := g.n + 1
+	for v := 0; v < g.n; v++ {
+		f.addArc(inNode(ids.NodeID(v)), outNode(ids.NodeID(v)), 1)
+	}
+	for _, e := range g.Edges() {
+		f.addArc(outNode(e.U), inNode(e.V), inf)
+		f.addArc(outNode(e.V), inNode(e.U), inf)
+	}
+	return f
+}
+
+func (f *flowNet) addArc(from, to, cap int) {
+	f.arcs[from] = append(f.arcs[from], flowArc{to: to, rev: len(f.arcs[to]), cap: cap})
+	f.arcs[to] = append(f.arcs[to], flowArc{to: from, rev: len(f.arcs[from]) - 1, cap: 0})
+}
+
+// maxflow returns min(maxflow(s→t), limit).
+func (f *flowNet) maxflow(s, t, limit int) int {
+	flow := 0
+	for flow < limit {
+		if !f.bfs(s, t) {
+			break
+		}
+		for i := range f.iter {
+			f.iter[i] = 0
+		}
+		for flow < limit {
+			pushed := f.dfs(s, t, limit-flow)
+			if pushed == 0 {
+				break
+			}
+			flow += pushed
+		}
+	}
+	return flow
+}
+
+func (f *flowNet) bfs(s, t int) bool {
+	for i := range f.level {
+		f.level[i] = -1
+	}
+	f.level[s] = 0
+	queue := []int{s}
+	for len(queue) > 0 {
+		u := queue[0]
+		queue = queue[1:]
+		for _, a := range f.arcs[u] {
+			if a.cap > 0 && f.level[a.to] < 0 {
+				f.level[a.to] = f.level[u] + 1
+				queue = append(queue, a.to)
+			}
+		}
+	}
+	return f.level[t] >= 0
+}
+
+func (f *flowNet) dfs(u, t, want int) int {
+	if u == t {
+		return want
+	}
+	for ; f.iter[u] < len(f.arcs[u]); f.iter[u]++ {
+		a := &f.arcs[u][f.iter[u]]
+		if a.cap <= 0 || f.level[a.to] != f.level[u]+1 {
+			continue
+		}
+		pushed := f.dfs(a.to, t, min(want, a.cap))
+		if pushed > 0 {
+			a.cap -= pushed
+			f.arcs[a.to][a.rev].cap += pushed
+			return pushed
+		}
+	}
+	return 0
+}
+
+// cutVertices extracts the minimum vertex cut after a completed maxflow:
+// vertices whose in-node is residual-reachable from s but whose out-node
+// is not are exactly the saturated split arcs crossing the cut.
+func (f *flowNet) cutVertices(s, n int) []ids.NodeID {
+	reach := make([]bool, 2*n)
+	reach[s] = true
+	stack := []int{s}
+	for len(stack) > 0 {
+		u := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for _, a := range f.arcs[u] {
+			if a.cap > 0 && !reach[a.to] {
+				reach[a.to] = true
+				stack = append(stack, a.to)
+			}
+		}
+	}
+	var cut []ids.NodeID
+	for v := 0; v < n; v++ {
+		if reach[inNode(ids.NodeID(v))] && !reach[outNode(ids.NodeID(v))] {
+			cut = append(cut, ids.NodeID(v))
+		}
+	}
+	return cut
+}

@@ -1,0 +1,200 @@
+package graph
+
+import (
+	"math/rand"
+	"reflect"
+	"strings"
+	"testing"
+
+	"github.com/nectar-repro/nectar/internal/ids"
+)
+
+func TestNewEdgeNormalizes(t *testing.T) {
+	e := NewEdge(5, 2)
+	if e.U != 2 || e.V != 5 {
+		t.Errorf("NewEdge(5,2) = %v, want {2,5}", e)
+	}
+	if e.Other(2) != 5 || e.Other(5) != 2 {
+		t.Error("Other returned wrong endpoint")
+	}
+}
+
+func TestNewEdgePanicsOnSelfLoop(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("NewEdge(3,3) did not panic")
+		}
+	}()
+	NewEdge(3, 3)
+}
+
+func TestAddRemoveEdge(t *testing.T) {
+	g := New(4)
+	g.AddEdge(0, 1)
+	g.AddEdge(1, 0) // duplicate: no-op
+	g.AddEdge(2, 1)
+	if g.M() != 2 {
+		t.Fatalf("M = %d, want 2", g.M())
+	}
+	if !g.HasEdge(0, 1) || !g.HasEdge(1, 0) || !g.HasEdge(1, 2) {
+		t.Error("HasEdge missing inserted edges")
+	}
+	if g.HasEdge(0, 2) || g.HasEdge(3, 3) {
+		t.Error("HasEdge reports absent edge")
+	}
+	if got := g.Neighbors(1); !reflect.DeepEqual(got, []ids.NodeID{0, 2}) {
+		t.Errorf("Neighbors(1) = %v, want [0 2]", got)
+	}
+	g.RemoveEdge(0, 1)
+	g.RemoveEdge(0, 1) // absent: no-op
+	if g.M() != 1 || g.HasEdge(0, 1) {
+		t.Errorf("after remove: M=%d HasEdge(0,1)=%v", g.M(), g.HasEdge(0, 1))
+	}
+	if g.Degree(0) != 0 || g.Degree(1) != 1 {
+		t.Errorf("degrees wrong after removal: %d, %d", g.Degree(0), g.Degree(1))
+	}
+}
+
+func TestEdgesSortedNormalized(t *testing.T) {
+	g := New(5)
+	g.AddEdge(4, 0)
+	g.AddEdge(2, 1)
+	g.AddEdge(3, 1)
+	want := []Edge{{0, 4}, {1, 2}, {1, 3}}
+	if got := g.Edges(); !reflect.DeepEqual(got, want) {
+		t.Errorf("Edges = %v, want %v", got, want)
+	}
+}
+
+func TestFromEdgesRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for trial := 0; trial < 50; trial++ {
+		n := 2 + rng.Intn(12)
+		g := randomGraph(n, 0.4, rng)
+		h := FromEdges(n, g.Edges())
+		if !g.Equal(h) {
+			t.Fatalf("FromEdges(Edges) differs: %v vs %v", g, h)
+		}
+	}
+}
+
+func TestCloneIndependence(t *testing.T) {
+	g := New(3)
+	g.AddEdge(0, 1)
+	c := g.Clone()
+	c.AddEdge(1, 2)
+	c.RemoveEdge(0, 1)
+	if !g.HasEdge(0, 1) || g.HasEdge(1, 2) {
+		t.Error("Clone shares state with original")
+	}
+}
+
+func TestRemoveVertices(t *testing.T) {
+	// Path 0-1-2-3; dropping vertex 1 isolates it and splits the path.
+	g := New(4)
+	g.AddEdge(0, 1)
+	g.AddEdge(1, 2)
+	g.AddEdge(2, 3)
+	h := g.RemoveVertices(ids.NewSet(1))
+	if h.Degree(1) != 0 {
+		t.Errorf("dropped vertex still has degree %d", h.Degree(1))
+	}
+	if !h.HasEdge(2, 3) {
+		t.Error("unrelated edge removed")
+	}
+	if h.CountReachable(0) != 1 {
+		t.Errorf("reachable from 0 = %d, want 1", h.CountReachable(0))
+	}
+	if g.M() != 3 {
+		t.Error("RemoveVertices mutated the receiver")
+	}
+}
+
+func TestInducedSubgraphConnected(t *testing.T) {
+	// Star with center 0: removing the center partitions the leaves.
+	g := New(5)
+	for v := ids.NodeID(1); v < 5; v++ {
+		g.AddEdge(0, v)
+	}
+	if !g.InducedSubgraphConnected(ids.NewSet()) {
+		t.Error("full star should be connected")
+	}
+	if g.InducedSubgraphConnected(ids.NewSet(0)) {
+		t.Error("star minus center should be disconnected")
+	}
+	if !g.InducedSubgraphConnected(ids.NewSet(1, 2, 3)) {
+		t.Error("star minus leaves should stay connected")
+	}
+	// Dropping all but one vertex is trivially connected.
+	if !g.InducedSubgraphConnected(ids.NewSet(0, 1, 2, 3)) {
+		t.Error("single remaining vertex should count as connected")
+	}
+}
+
+func TestMinDegree(t *testing.T) {
+	g := New(4)
+	if g.MinDegree() != 0 {
+		t.Error("empty graph min degree should be 0")
+	}
+	g.AddEdge(0, 1)
+	g.AddEdge(1, 2)
+	g.AddEdge(2, 3)
+	g.AddEdge(3, 0)
+	if g.MinDegree() != 2 {
+		t.Errorf("ring MinDegree = %d, want 2", g.MinDegree())
+	}
+}
+
+func TestStringAndDOT(t *testing.T) {
+	g := New(3)
+	g.AddEdge(0, 1)
+	if s := g.String(); !strings.Contains(s, "n=3") || !strings.Contains(s, "{p0,p1}") {
+		t.Errorf("String = %q", s)
+	}
+	dot := g.DOT("g")
+	if !strings.Contains(dot, "0 -- 1;") || !strings.HasPrefix(dot, "graph \"g\"") {
+		t.Errorf("DOT = %q", dot)
+	}
+}
+
+// randomGraph returns an Erdős–Rényi style graph for tests.
+func randomGraph(n int, p float64, rng *rand.Rand) *Graph {
+	g := New(n)
+	for u := 0; u < n; u++ {
+		for v := u + 1; v < n; v++ {
+			if rng.Float64() < p {
+				g.AddEdge(ids.NodeID(u), ids.NodeID(v))
+			}
+		}
+	}
+	return g
+}
+
+// pathGraph returns the path 0-1-...-n-1.
+func pathGraph(n int) *Graph {
+	g := New(n)
+	for v := 0; v < n-1; v++ {
+		g.AddEdge(ids.NodeID(v), ids.NodeID(v+1))
+	}
+	return g
+}
+
+// cycleGraph returns the cycle over n vertices.
+func cycleGraph(n int) *Graph {
+	g := pathGraph(n)
+	if n > 2 {
+		g.AddEdge(0, ids.NodeID(n-1))
+	}
+	return g
+}
+
+// completeGraph returns K_n.
+func completeGraph(n int) *Graph {
+	g := New(n)
+	for u := 0; u < n; u++ {
+		for v := u + 1; v < n; v++ {
+			g.AddEdge(ids.NodeID(u), ids.NodeID(v))
+		}
+	}
+	return g
+}

@@ -1,0 +1,295 @@
+package harness
+
+import (
+	"fmt"
+	"math/rand"
+	"runtime"
+	"sync"
+
+	"github.com/nectar-repro/nectar/internal/ids"
+	"github.com/nectar-repro/nectar/internal/rounds"
+	"github.com/nectar-repro/nectar/internal/sig"
+	"github.com/nectar-repro/nectar/internal/stats"
+)
+
+// Spec describes one experiment: a protocol, an attack, a scenario
+// generator, and the trial methodology.
+type Spec struct {
+	// Name labels the experiment in reports.
+	Name string
+	// Protocol selects the protocol under test.
+	Protocol ProtocolKind
+	// Attack selects the Byzantine behaviour (AttackNone for cost runs).
+	Attack AttackKind
+	// Scenario generates the per-trial topology and Byzantine placement.
+	Scenario ScenarioFn
+	// T is the Byzantine bound handed to NECTAR nodes (and typically the
+	// number of Byzantine nodes the scenario places).
+	T int
+	// Trials is the number of repetitions (the paper uses 50).
+	Trials int
+	// Seed derives every trial's randomness; identical Specs reproduce
+	// identical Results.
+	Seed int64
+	// SchemeName selects the signature scheme ("" = "hmac"; use
+	// "ed25519" for real asymmetric crypto — see DESIGN.md §4).
+	SchemeName string
+	// Rounds overrides the protocol horizon (0 = n-1 rounds; the epoch
+	// for the baselines).
+	Rounds int
+	// Fanout is the per-round gossip fanout of the baselines (0 = 1).
+	Fanout int
+	// EngineParallel parallelizes node stepping inside each trial instead
+	// of running trials in parallel. Use for single very large topologies.
+	EngineParallel bool
+	// LossRate injects independent message loss (violating the paper's
+	// reliable-channel assumption) — for baseline robustness studies and
+	// NECTAR degradation analysis. See rounds.Config.LossRate.
+	LossRate float64
+}
+
+// Truth is the scenario's ground truth, computed from the generated graph
+// and Byzantine placement.
+type Truth struct {
+	// GraphPartitioned: G itself is disconnected (Def. 1).
+	GraphPartitioned bool
+	// CorrectPartitioned: the subgraph induced by correct nodes is
+	// disconnected — Byzantine nodes can actually sever correct nodes.
+	CorrectPartitioned bool
+	// TByzPartitionable: κ(G) ≤ T (Corollary 1) — the property NECTAR
+	// detects.
+	TByzPartitionable bool
+	// TwoTConnected: κ(G) ≥ 2T with T ≥ 1 — the hypothesis of the
+	// 2t-Sensitivity property (every correct node must decide
+	// NOT_PARTITIONABLE). Def. 3 requires k₀ > t, so T = 0 (where 2T = 0
+	// degenerates) is excluded.
+	TwoTConnected bool
+	// ByzEnclave: some Byzantine node has no correct neighbor. Together
+	// with CorrectPartitioned this is the exhaustive case split of the
+	// Validity proof (Thm. 2): confirmed=true implies one of the two.
+	ByzEnclave bool
+}
+
+// Trial is the scored outcome of one run.
+type Trial struct {
+	Truth Truth
+	// Accuracy is the fraction of correct nodes whose decision matches
+	// ground truth (the paper's "decision success rate", Fig. 8).
+	Accuracy float64
+	// Agreement reports whether all correct nodes decided identically
+	// (Def. 3 Agreement).
+	Agreement bool
+	// DetectRate is the fraction of correct nodes flagging a partition.
+	DetectRate float64
+	// ConfirmRate is the fraction of correct nodes with confirmed=true
+	// (NECTAR only; 0 for baselines).
+	ConfirmRate float64
+	// MeanBytesPerNode / MaxBytesPerNode meter unicast traffic of correct
+	// nodes (bytes counted once per destination).
+	MeanBytesPerNode float64
+	MaxBytesPerNode  float64
+	// MeanBroadcastBytes counts each distinct payload once per emit — the
+	// salticidae-style multicast accounting of the paper's cost figures.
+	MeanBroadcastBytes float64
+}
+
+// Result aggregates all trials of a Spec.
+type Result struct {
+	Spec   Spec
+	Trials []Trial
+	// Accuracy, Agreement, DetectRate, BytesPerNode and MaxBytes summarize
+	// the per-trial series with 95% confidence intervals.
+	Accuracy       stats.Summary
+	Agreement      stats.Summary
+	DetectRate     stats.Summary
+	BytesPerNode   stats.Summary // unicast bytes
+	MaxBytes       stats.Summary // unicast bytes
+	BroadcastBytes stats.Summary // multicast-accounted bytes
+}
+
+// KBPerNode returns the mean unicast data sent per node in kilobytes.
+func (r *Result) KBPerNode() float64 { return r.BytesPerNode.Mean / 1000 }
+
+// KBPerNodeBroadcast returns the mean multicast-accounted data sent per
+// node in kilobytes — the y-axis of the paper's cost figures (DESIGN.md
+// §5).
+func (r *Result) KBPerNodeBroadcast() float64 { return r.BroadcastBytes.Mean / 1000 }
+
+// Run executes the experiment and aggregates its metrics.
+func Run(spec Spec) (*Result, error) {
+	if spec.Trials <= 0 {
+		return nil, fmt.Errorf("harness: Trials must be positive, got %d", spec.Trials)
+	}
+	if spec.Scenario == nil {
+		return nil, fmt.Errorf("harness: Scenario generator is required")
+	}
+	if spec.SchemeName == "" {
+		spec.SchemeName = "hmac"
+	}
+	if !attackSupported(spec.Protocol, spec.Attack) {
+		return nil, fmt.Errorf("harness: attack %q not defined for protocol %q", spec.Attack, spec.Protocol)
+	}
+	trials := make([]Trial, spec.Trials)
+	errs := make([]error, spec.Trials)
+
+	workers := runtime.GOMAXPROCS(0)
+	if spec.EngineParallel {
+		workers = 1
+	}
+	if workers > spec.Trials {
+		workers = spec.Trials
+	}
+	var wg sync.WaitGroup
+	next := make(chan int)
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for i := range next {
+				trials[i], errs[i] = runTrial(&spec, i)
+			}
+		}()
+	}
+	for i := 0; i < spec.Trials; i++ {
+		next <- i
+	}
+	close(next)
+	wg.Wait()
+
+	for i, err := range errs {
+		if err != nil {
+			return nil, fmt.Errorf("harness: trial %d: %w", i, err)
+		}
+	}
+	return aggregate(spec, trials), nil
+}
+
+// runTrial generates the scenario, wires the protocol stacks, drives the
+// rounds engine, and scores the outcome.
+func runTrial(spec *Spec, trial int) (Trial, error) {
+	trialSeed := spec.Seed + int64(trial)*0x9E3779B9
+	rng := rand.New(rand.NewSource(trialSeed))
+	sc, err := spec.Scenario(rng)
+	if err != nil {
+		return Trial{}, err
+	}
+	n := sc.Graph.N()
+	scheme := sig.ByName(spec.SchemeName, n, trialSeed^0x5F5F5F5F)
+	if scheme == nil {
+		return Trial{}, fmt.Errorf("unknown scheme %q", spec.SchemeName)
+	}
+	protos, finish, err := buildTrial(spec, sc, scheme, trialSeed)
+	if err != nil {
+		return Trial{}, err
+	}
+	r := spec.Rounds
+	if r == 0 {
+		r = n - 1
+	}
+	metrics, err := rounds.Run(rounds.Config{
+		Graph:      sc.Graph,
+		Rounds:     r,
+		Seed:       trialSeed,
+		Sequential: !spec.EngineParallel,
+		LossRate:   spec.LossRate,
+	}, protos)
+	if err != nil {
+		return Trial{}, err
+	}
+	return score(spec, sc, finish(), metrics), nil
+}
+
+// score computes the trial metrics over correct nodes.
+func score(spec *Spec, sc *Scenario, decisions []nodeDecision, m *rounds.Metrics) Trial {
+	truth := Truth{
+		GraphPartitioned:   sc.Graph.IsPartitioned(),
+		CorrectPartitioned: !sc.Graph.InducedSubgraphConnected(sc.Byz),
+		TByzPartitionable:  sc.Graph.IsTByzPartitionable(spec.T),
+		TwoTConnected:      spec.T > 0 && sc.Graph.ConnectivityAtLeast(2*spec.T),
+	}
+	for b := range sc.Byz {
+		enclave := true
+		for _, nb := range sc.Graph.Neighbors(b) {
+			if !sc.Byz.Has(nb) {
+				enclave = false
+				break
+			}
+		}
+		if enclave {
+			truth.ByzEnclave = true
+			break
+		}
+	}
+	expected := truth.CorrectPartitioned
+	if spec.Protocol == ProtoNectar {
+		// NECTAR's specified target is t-Byzantine partitionability.
+		expected = truth.TByzPartitionable
+	}
+
+	t := Trial{Truth: truth, Agreement: true}
+	var correct, detected, confirmed, accurate int
+	var bytesSum, bytesMax, bcastSum int64
+	firstKey := ""
+	for i, d := range decisions {
+		if sc.Byz.Has(ids.NodeID(i)) {
+			continue
+		}
+		correct++
+		if d.detected {
+			detected++
+		}
+		if d.confirmed {
+			confirmed++
+		}
+		if d.detected == expected {
+			accurate++
+		}
+		if firstKey == "" {
+			firstKey = d.key
+		} else if d.key != firstKey {
+			t.Agreement = false
+		}
+		b := m.BytesSent[i]
+		bytesSum += b
+		bcastSum += m.BytesBroadcast[i]
+		if b > bytesMax {
+			bytesMax = b
+		}
+	}
+	if correct > 0 {
+		t.Accuracy = float64(accurate) / float64(correct)
+		t.DetectRate = float64(detected) / float64(correct)
+		t.ConfirmRate = float64(confirmed) / float64(correct)
+		t.MeanBytesPerNode = float64(bytesSum) / float64(correct)
+		t.MeanBroadcastBytes = float64(bcastSum) / float64(correct)
+	}
+	t.MaxBytesPerNode = float64(bytesMax)
+	return t
+}
+
+// aggregate summarizes the per-trial series.
+func aggregate(spec Spec, trials []Trial) *Result {
+	pick := func(f func(Trial) float64) []float64 {
+		xs := make([]float64, len(trials))
+		for i, t := range trials {
+			xs[i] = f(t)
+		}
+		return xs
+	}
+	boolTo01 := func(b bool) float64 {
+		if b {
+			return 1
+		}
+		return 0
+	}
+	return &Result{
+		Spec:           spec,
+		Trials:         trials,
+		Accuracy:       stats.Summarize(pick(func(t Trial) float64 { return t.Accuracy })),
+		Agreement:      stats.Summarize(pick(func(t Trial) float64 { return boolTo01(t.Agreement) })),
+		DetectRate:     stats.Summarize(pick(func(t Trial) float64 { return t.DetectRate })),
+		BytesPerNode:   stats.Summarize(pick(func(t Trial) float64 { return t.MeanBytesPerNode })),
+		MaxBytes:       stats.Summarize(pick(func(t Trial) float64 { return t.MaxBytesPerNode })),
+		BroadcastBytes: stats.Summarize(pick(func(t Trial) float64 { return t.MeanBroadcastBytes })),
+	}
+}

@@ -1,0 +1,74 @@
+// Package ids defines process identifiers shared by every subsystem.
+//
+// The paper's system model (§II) assumes a set Π = {p1, ..., pn} of n
+// processes, each identified by a unique ID known to all participants.
+// We use dense integer IDs in [0, n) so that identifiers double as graph
+// vertex indices and as indexes into key registries.
+package ids
+
+import (
+	"fmt"
+	"sort"
+)
+
+// NodeID identifies a process. IDs are dense: a system of n processes uses
+// IDs 0..n-1. The zero value is a valid ID (node 0).
+type NodeID uint32
+
+// String implements fmt.Stringer ("p12" in paper notation).
+func (id NodeID) String() string { return fmt.Sprintf("p%d", uint32(id)) }
+
+// Set is a set of node IDs. The zero value is an empty, usable set.
+type Set map[NodeID]struct{}
+
+// NewSet builds a Set from the given IDs.
+func NewSet(members ...NodeID) Set {
+	s := make(Set, len(members))
+	for _, id := range members {
+		s.Add(id)
+	}
+	return s
+}
+
+// Add inserts id into the set.
+func (s Set) Add(id NodeID) { s[id] = struct{}{} }
+
+// Remove deletes id from the set. Removing an absent ID is a no-op.
+func (s Set) Remove(id NodeID) { delete(s, id) }
+
+// Has reports whether id belongs to the set.
+func (s Set) Has(id NodeID) bool {
+	_, ok := s[id]
+	return ok
+}
+
+// Len returns the number of members.
+func (s Set) Len() int { return len(s) }
+
+// Sorted returns the members in increasing order.
+func (s Set) Sorted() []NodeID {
+	out := make([]NodeID, 0, len(s))
+	for id := range s {
+		out = append(out, id)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// Clone returns an independent copy of the set.
+func (s Set) Clone() Set {
+	out := make(Set, len(s))
+	for id := range s {
+		out.Add(id)
+	}
+	return out
+}
+
+// Union returns a new set containing the members of both sets.
+func (s Set) Union(other Set) Set {
+	out := s.Clone()
+	for id := range other {
+		out.Add(id)
+	}
+	return out
+}

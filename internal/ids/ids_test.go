@@ -1,0 +1,68 @@
+package ids
+
+import (
+	"reflect"
+	"testing"
+)
+
+func TestNodeIDString(t *testing.T) {
+	if got := NodeID(7).String(); got != "p7" {
+		t.Errorf("NodeID(7).String() = %q, want %q", got, "p7")
+	}
+	if got := NodeID(0).String(); got != "p0" {
+		t.Errorf("NodeID(0).String() = %q, want %q", got, "p0")
+	}
+}
+
+func TestSetBasics(t *testing.T) {
+	s := NewSet(3, 1, 3)
+	if s.Len() != 2 {
+		t.Fatalf("Len = %d, want 2 (duplicates collapse)", s.Len())
+	}
+	if !s.Has(1) || !s.Has(3) || s.Has(2) {
+		t.Errorf("membership wrong: %v", s)
+	}
+	s.Add(2)
+	s.Remove(3)
+	s.Remove(99) // absent: no-op
+	want := []NodeID{1, 2}
+	if got := s.Sorted(); !reflect.DeepEqual(got, want) {
+		t.Errorf("Sorted = %v, want %v", got, want)
+	}
+}
+
+func TestSetZeroValueUsable(t *testing.T) {
+	var s Set
+	if s.Has(0) {
+		t.Error("zero-value set should be empty")
+	}
+	if s.Len() != 0 {
+		t.Errorf("zero-value Len = %d", s.Len())
+	}
+	if got := s.Sorted(); len(got) != 0 {
+		t.Errorf("zero-value Sorted = %v", got)
+	}
+}
+
+func TestSetCloneIndependence(t *testing.T) {
+	a := NewSet(1, 2)
+	b := a.Clone()
+	b.Add(5)
+	b.Remove(1)
+	if a.Has(5) || !a.Has(1) {
+		t.Errorf("clone mutated original: %v", a)
+	}
+}
+
+func TestSetUnion(t *testing.T) {
+	a := NewSet(1, 2)
+	b := NewSet(2, 3)
+	u := a.Union(b)
+	want := []NodeID{1, 2, 3}
+	if got := u.Sorted(); !reflect.DeepEqual(got, want) {
+		t.Errorf("Union = %v, want %v", got, want)
+	}
+	if a.Len() != 2 || b.Len() != 2 {
+		t.Error("Union mutated its operands")
+	}
+}

@@ -1,0 +1,170 @@
+// Package mtg implements the two baselines of the paper's evaluation
+// (§V-A):
+//
+//   - MtG — MindTheGap (Bouget et al. [6]): every node gossips a Bloom
+//     filter of the node IDs it believes reachable; after a fixed epoch a
+//     node flags a partition when some IDs are still missing. Light on
+//     the network, but a single Byzantine node can poison the filters.
+//   - MtGv2 — the strengthened variant the paper introduces: Bloom
+//     filters are replaced by lists of signed process IDs, and a node
+//     sends a given signed ID at most once to each gossip partner per
+//     epoch.
+//
+// Both implement rounds.Protocol and decide after an epoch of E rounds
+// (the harness uses E = n-1, aligning with NECTAR's horizon).
+package mtg
+
+import (
+	"fmt"
+	"math/rand"
+
+	"github.com/nectar-repro/nectar/internal/bloom"
+	"github.com/nectar-repro/nectar/internal/ids"
+	"github.com/nectar-repro/nectar/internal/rounds"
+)
+
+// Default filter geometry: 768 bits / 3 hashes keeps the false-positive
+// rate usable up to the paper's 100-node scale while matching MtG's
+// ~2 KB-per-epoch footprint.
+const (
+	DefaultFilterBits   = 768
+	DefaultFilterHashes = 3
+)
+
+// Outcome is a baseline node's decision: unlike NECTAR, the baselines only
+// distinguish "partitioned" from "connected".
+type Outcome struct {
+	// Partitioned reports whether the node concluded the network is
+	// partitioned (some IDs unreachable).
+	Partitioned bool
+	// Known is the node's reachable-node estimate.
+	Known int
+}
+
+// Config parameterizes an MtG node.
+type Config struct {
+	// N is the total number of processes.
+	N int
+	// Me is the local identity.
+	Me ids.NodeID
+	// Neighbors is the local neighborhood.
+	Neighbors []ids.NodeID
+	// FilterBits and FilterHashes set the Bloom geometry (0 = defaults).
+	// All nodes must agree on the geometry (static configuration).
+	FilterBits   int
+	FilterHashes int
+	// Fanout is the number of gossip partners per round (0 = 1). The
+	// constant per-round fanout is what makes MtG's network cost
+	// independent of topology, d and radius (Fig. 4).
+	Fanout int
+	// Seed drives gossip partner selection.
+	Seed int64
+}
+
+// Node is a correct MindTheGap process.
+type Node struct {
+	cfg    Config
+	filter *bloom.Filter
+	rng    *rand.Rand
+}
+
+var _ rounds.Protocol = (*Node)(nil)
+
+// NewNode validates cfg and builds an MtG node knowing only itself.
+func NewNode(cfg Config) (*Node, error) {
+	if err := validateBase(cfg.N, cfg.Me, cfg.Neighbors); err != nil {
+		return nil, err
+	}
+	if cfg.FilterBits == 0 {
+		cfg.FilterBits = DefaultFilterBits
+	}
+	if cfg.FilterHashes == 0 {
+		cfg.FilterHashes = DefaultFilterHashes
+	}
+	if cfg.Fanout == 0 {
+		cfg.Fanout = 1
+	}
+	if cfg.Fanout < 0 {
+		return nil, fmt.Errorf("mtg: negative fanout %d", cfg.Fanout)
+	}
+	n := &Node{
+		cfg:    cfg,
+		filter: bloom.New(cfg.FilterBits, cfg.FilterHashes),
+		rng:    rand.New(rand.NewSource(cfg.Seed ^ int64(cfg.Me)<<32)),
+	}
+	n.filter.Add(cfg.Me)
+	return n, nil
+}
+
+// Emit implements rounds.Protocol: each round the node sends its current
+// filter to Fanout randomly chosen neighbors.
+func (n *Node) Emit(round int) []rounds.Send {
+	targets := pickTargets(n.rng, n.cfg.Neighbors, n.cfg.Fanout)
+	if len(targets) == 0 {
+		return nil
+	}
+	data := n.filter.MarshalBinary()
+	out := make([]rounds.Send, 0, len(targets))
+	for _, to := range targets {
+		out = append(out, rounds.Send{To: to, Data: data})
+	}
+	return out
+}
+
+// Deliver implements rounds.Protocol: merge the received filter. Malformed
+// payloads are ignored.
+func (n *Node) Deliver(round int, from ids.NodeID, data []byte) {
+	in := bloom.New(n.cfg.FilterBits, n.cfg.FilterHashes)
+	if err := in.UnmarshalInto(data); err != nil {
+		return
+	}
+	// Union never fails here: geometries match by construction.
+	_ = n.filter.Union(in)
+}
+
+// Decide returns the node's epoch-end conclusion: partitioned iff its
+// reachable estimate misses some IDs. Bloom false positives can only
+// overcount, i.e. push MtG toward missing partitions — an inherent
+// weakness the evaluation measures.
+func (n *Node) Decide() Outcome {
+	known := n.filter.CountOf(n.cfg.N)
+	return Outcome{Partitioned: known < n.cfg.N, Known: known}
+}
+
+// Filter exposes a copy of the node's filter (tests, examples).
+func (n *Node) Filter() *bloom.Filter { return n.filter.Clone() }
+
+// validateBase checks the fields shared by both baselines.
+func validateBase(n int, me ids.NodeID, neighbors []ids.NodeID) error {
+	if n <= 0 {
+		return fmt.Errorf("mtg: N must be positive, got %d", n)
+	}
+	if int(me) >= n {
+		return fmt.Errorf("mtg: Me=%v out of range [0,%d)", me, n)
+	}
+	seen := make(ids.Set, len(neighbors))
+	for _, nb := range neighbors {
+		if nb == me || int(nb) >= n {
+			return fmt.Errorf("mtg: invalid neighbor %v", nb)
+		}
+		if seen.Has(nb) {
+			return fmt.Errorf("mtg: duplicate neighbor %v", nb)
+		}
+		seen.Add(nb)
+	}
+	return nil
+}
+
+// pickTargets selects min(fanout, len(neighbors)) distinct random
+// neighbors.
+func pickTargets(rng *rand.Rand, neighbors []ids.NodeID, fanout int) []ids.NodeID {
+	if fanout >= len(neighbors) {
+		return neighbors
+	}
+	perm := rng.Perm(len(neighbors))
+	out := make([]ids.NodeID, fanout)
+	for i := 0; i < fanout; i++ {
+		out[i] = neighbors[perm[i]]
+	}
+	return out
+}

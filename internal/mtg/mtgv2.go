@@ -1,0 +1,201 @@
+package mtg
+
+import (
+	"fmt"
+	"math/rand"
+
+	"github.com/nectar-repro/nectar/internal/ids"
+	"github.com/nectar-repro/nectar/internal/rounds"
+	"github.com/nectar-repro/nectar/internal/sig"
+	"github.com/nectar-repro/nectar/internal/wire"
+)
+
+// MtGv2: MtG hardened with signatures. Nodes flood signed process IDs
+// instead of Bloom filters, so Byzantine nodes can no longer claim
+// reachability of nodes they never heard from; they can still withhold
+// relays (the §V-D split-brain attack measures exactly that).
+
+// idStatement is the canonical statement a node signs to prove liveness.
+func idStatement(id ids.NodeID) []byte {
+	w := wire.NewWriter(16)
+	w.Raw([]byte("mtg-id-v1"))
+	w.NodeID(id)
+	return w.Bytes()
+}
+
+// SignID returns the signer's signed-ID credential.
+func SignID(s sig.Signer) []byte { return s.Sign(idStatement(s.ID())) }
+
+// VerifyID reports whether sg is id's valid signed-ID credential.
+func VerifyID(v sig.Verifier, id ids.NodeID, sg []byte) bool {
+	return v.Verify(id, idStatement(id), sg)
+}
+
+// SignedID is one flooded credential.
+type SignedID struct {
+	ID  ids.NodeID
+	Sig []byte
+}
+
+// EncodeBatch serializes a batch of signed IDs: u16 count, then fixed
+// (id, signature) entries.
+func EncodeBatch(batch []SignedID, sigSize int) []byte {
+	w := wire.NewWriter(2 + len(batch)*(4+sigSize))
+	w.U16(uint16(len(batch)))
+	for _, e := range batch {
+		w.NodeID(e.ID)
+		if len(e.Sig) != sigSize {
+			fixed := make([]byte, sigSize)
+			copy(fixed, e.Sig)
+			w.Raw(fixed)
+			continue
+		}
+		w.Raw(e.Sig)
+	}
+	return w.Bytes()
+}
+
+// DecodeBatch parses an EncodeBatch payload.
+func DecodeBatch(data []byte, sigSize int) ([]SignedID, error) {
+	r := wire.NewReader(data)
+	count := int(r.U16())
+	if r.Err() != nil {
+		return nil, r.Err()
+	}
+	if count*(4+sigSize) > r.Remaining() {
+		return nil, wire.ErrTruncated
+	}
+	out := make([]SignedID, 0, count)
+	for i := 0; i < count; i++ {
+		e := SignedID{ID: r.NodeID()}
+		raw := r.Raw(sigSize)
+		if r.Err() != nil {
+			return nil, r.Err()
+		}
+		e.Sig = append([]byte(nil), raw...)
+		out = append(out, e)
+	}
+	if err := r.Close(); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// BatchWireSize returns the encoded size of a batch with the given number
+// of entries.
+func BatchWireSize(entries, sigSize int) int { return 2 + entries*(4+sigSize) }
+
+// ConfigV2 parameterizes an MtGv2 node.
+type ConfigV2 struct {
+	// N is the total number of processes.
+	N int
+	// Me is the local identity.
+	Me ids.NodeID
+	// Neighbors is the local neighborhood.
+	Neighbors []ids.NodeID
+	// Signer signs the local ID credential.
+	Signer sig.Signer
+	// Verifier validates received credentials.
+	Verifier sig.Verifier
+	// Fanout is the number of gossip partners per round (0 = 1).
+	Fanout int
+	// Seed drives gossip partner selection.
+	Seed int64
+}
+
+// NodeV2 is a correct MtGv2 process.
+type NodeV2 struct {
+	cfg   ConfigV2
+	known map[ids.NodeID][]byte // valid credentials, own included
+	order []ids.NodeID          // discovery order, for deterministic batches
+	sent  map[ids.NodeID]int    // per-neighbor high-water mark into order
+	rng   *rand.Rand
+}
+
+var _ rounds.Protocol = (*NodeV2)(nil)
+
+// NewNodeV2 validates cfg and builds an MtGv2 node knowing only its own
+// credential.
+func NewNodeV2(cfg ConfigV2) (*NodeV2, error) {
+	if err := validateBase(cfg.N, cfg.Me, cfg.Neighbors); err != nil {
+		return nil, err
+	}
+	if cfg.Signer == nil || cfg.Verifier == nil {
+		return nil, fmt.Errorf("mtg: Signer and Verifier are required for MtGv2")
+	}
+	if cfg.Signer.ID() != cfg.Me {
+		return nil, fmt.Errorf("mtg: signer bound to %v, node is %v", cfg.Signer.ID(), cfg.Me)
+	}
+	if cfg.Fanout == 0 {
+		cfg.Fanout = 1
+	}
+	if cfg.Fanout < 0 {
+		return nil, fmt.Errorf("mtg: negative fanout %d", cfg.Fanout)
+	}
+	n := &NodeV2{
+		cfg:   cfg,
+		known: map[ids.NodeID][]byte{cfg.Me: SignID(cfg.Signer)},
+		order: []ids.NodeID{cfg.Me},
+		sent:  make(map[ids.NodeID]int, len(cfg.Neighbors)),
+		rng:   rand.New(rand.NewSource(cfg.Seed ^ int64(cfg.Me)<<32)),
+	}
+	return n, nil
+}
+
+// Emit implements rounds.Protocol: send to each gossip partner every
+// credential not yet sent to it (at most once per neighbor per epoch —
+// the paper's cost containment for MtGv2).
+func (n *NodeV2) Emit(round int) []rounds.Send {
+	var out []rounds.Send
+	for _, to := range pickTargets(n.rng, n.cfg.Neighbors, n.cfg.Fanout) {
+		from := n.sent[to]
+		if from >= len(n.order) {
+			continue
+		}
+		batch := make([]SignedID, 0, len(n.order)-from)
+		for _, id := range n.order[from:] {
+			batch = append(batch, SignedID{ID: id, Sig: n.known[id]})
+		}
+		n.sent[to] = len(n.order)
+		out = append(out, rounds.Send{To: to, Data: EncodeBatch(batch, n.cfg.Verifier.SigSize())})
+	}
+	return out
+}
+
+// Deliver implements rounds.Protocol: record every new, valid credential.
+// Invalid entries are ignored individually (one bad entry does not poison
+// the batch).
+func (n *NodeV2) Deliver(round int, from ids.NodeID, data []byte) {
+	batch, err := DecodeBatch(data, n.cfg.Verifier.SigSize())
+	if err != nil {
+		return
+	}
+	for _, e := range batch {
+		if int(e.ID) >= n.cfg.N {
+			continue
+		}
+		if _, ok := n.known[e.ID]; ok {
+			continue
+		}
+		if !VerifyID(n.cfg.Verifier, e.ID, e.Sig) {
+			continue
+		}
+		n.known[e.ID] = e.Sig
+		n.order = append(n.order, e.ID)
+	}
+}
+
+// Decide returns the epoch-end conclusion: partitioned iff some node's
+// credential never arrived.
+func (n *NodeV2) Decide() Outcome {
+	return Outcome{Partitioned: len(n.known) < n.cfg.N, Known: len(n.known)}
+}
+
+// Known returns the set of IDs whose credentials the node holds.
+func (n *NodeV2) Known() ids.Set {
+	out := make(ids.Set, len(n.known))
+	for id := range n.known {
+		out.Add(id)
+	}
+	return out
+}

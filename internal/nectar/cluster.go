@@ -1,0 +1,56 @@
+package nectar
+
+import (
+	"fmt"
+
+	"github.com/nectar-repro/nectar/internal/graph"
+	"github.com/nectar-repro/nectar/internal/ids"
+	"github.com/nectar-repro/nectar/internal/sig"
+)
+
+// BuildOption customizes the per-node Config produced by BuildNodes.
+type BuildOption func(*Config)
+
+// WithParanoidVerify enables the literal Alg.-1 check order (signature
+// verification before the duplicate check) on every node — an ablation
+// knob, see Config.ParanoidVerify.
+func WithParanoidVerify() BuildOption {
+	return func(c *Config) { c.ParanoidVerify = true }
+}
+
+// BuildNodes constructs one correct NECTAR node per vertex of g, with
+// setup-time proofs of neighborhood built under scheme. t is the assumed
+// Byzantine bound handed to every node; roundsOverride (0 = default n-1)
+// is forwarded to each node's Config.
+//
+// Simulation setup only: real deployments construct Nodes individually
+// from their local Config (see cmd/nectar-node).
+func BuildNodes(g *graph.Graph, t int, scheme sig.Scheme, roundsOverride int, opts ...BuildOption) ([]*Node, error) {
+	if scheme.N() < g.N() {
+		return nil, fmt.Errorf("nectar: scheme for %d nodes, graph has %d", scheme.N(), g.N())
+	}
+	proofs := BuildProofs(scheme, g)
+	nodes := make([]*Node, g.N())
+	for i := range nodes {
+		me := ids.NodeID(i)
+		cfg := Config{
+			N:         g.N(),
+			T:         t,
+			Me:        me,
+			Neighbors: append([]ids.NodeID(nil), g.Neighbors(me)...),
+			Proofs:    NeighborProofs(proofs, g, me),
+			Signer:    scheme.SignerFor(me),
+			Verifier:  scheme.Verifier(),
+			Rounds:    roundsOverride,
+		}
+		for _, opt := range opts {
+			opt(&cfg)
+		}
+		nd, err := NewNode(cfg)
+		if err != nil {
+			return nil, fmt.Errorf("nectar: node %v: %w", me, err)
+		}
+		nodes[i] = nd
+	}
+	return nodes, nil
+}

@@ -1,0 +1,48 @@
+package nectar
+
+import (
+	"testing"
+
+	"github.com/nectar-repro/nectar/internal/sig"
+	"github.com/nectar-repro/nectar/internal/topology"
+)
+
+// FuzzDecodeEdgeMsg feeds arbitrary bytes into the message decoder and —
+// when decoding succeeds — into the full acceptance pipeline of a live
+// node. Nothing may panic, and no fuzz-crafted message may ever insert an
+// unverified edge into the view.
+func FuzzDecodeEdgeMsg(f *testing.F) {
+	scheme := sig.NewHMAC(6, 1)
+	v := scheme.Verifier()
+	// Seed with a valid message and a few structured mutations.
+	valid := chainMsg(scheme, 0, 1, 2).Encode(v.SigSize())
+	f.Add(valid)
+	f.Add(valid[:len(valid)-3])
+	f.Add(append([]byte(nil), valid[4:]...))
+	f.Add([]byte{})
+	f.Add([]byte{0, 0, 0, 1, 0, 0, 0, 0})
+
+	g := topology.Ring(6)
+	f.Fuzz(func(t *testing.T, data []byte) {
+		if _, err := DecodeEdgeMsg(data, v.SigSize(), 6); err != nil {
+			return // malformed input must simply error, never panic
+		}
+		// Decoded fine: run it through a node's Deliver across rounds.
+		nodes, err := BuildNodes(g, 1, scheme, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		nd := nodes[2] // neighbors 1 and 3
+		for round := 1; round <= 3; round++ {
+			nd.Deliver(round, 1, data)
+		}
+		// The only way fuzz input may add an edge beyond node 2's own
+		// neighborhood is by forging valid HMAC chains — a cryptographic
+		// finding; flag it.
+		for _, e := range nd.View().Edges() {
+			if e.U != 2 && e.V != 2 {
+				t.Fatalf("fuzz input inserted edge %v into the view", e)
+			}
+		}
+	})
+}

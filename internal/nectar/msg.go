@@ -1,0 +1,110 @@
+package nectar
+
+import (
+	"errors"
+	"fmt"
+
+	"github.com/nectar-repro/nectar/internal/ids"
+	"github.com/nectar-repro/nectar/internal/sig"
+	"github.com/nectar-repro/nectar/internal/wire"
+)
+
+// EdgeMsg is the protocol message: a proof of neighborhood wrapped in a
+// signature chain σ_k(...σ_x(proof_{u,v})). The chain grows by exactly one
+// hop per relay round, so lengthSign(msg) — len(Chain) — must equal the
+// round number in which the message is received (Alg. 1 l. 14).
+type EdgeMsg struct {
+	Proof Proof
+	Chain []sig.Hop
+}
+
+// Encode serializes the message with fixed-width signatures.
+func (m EdgeMsg) Encode(sigSize int) []byte {
+	w := wire.NewWriter(proofWireSize(sigSize) + 2 + len(m.Chain)*sig.HopWireSize(sigSize))
+	m.Proof.encode(w, sigSize)
+	sig.EncodeHops(w, m.Chain, sigSize)
+	return w.Bytes()
+}
+
+// MsgWireSize returns the encoded size of an EdgeMsg whose chain has the
+// given number of hops — the per-message cost model of §IV-E.
+func MsgWireSize(sigSize, hops int) int {
+	return proofWireSize(sigSize) + 2 + hops*sig.HopWireSize(sigSize)
+}
+
+// DecodeEdgeMsg parses an EdgeMsg, validating structure only (framing,
+// endpoint ranges, full consumption). Signature validity, chain length and
+// signer policy are checked separately by Node.acceptable.
+func DecodeEdgeMsg(data []byte, sigSize, n int) (EdgeMsg, error) {
+	r := wire.NewReader(data)
+	p, err := decodeProof(r, sigSize, n)
+	if err != nil {
+		return EdgeMsg{}, err
+	}
+	chain := sig.DecodeHops(r, sigSize)
+	if err := r.Close(); err != nil {
+		return EdgeMsg{}, err
+	}
+	return EdgeMsg{Proof: p, Chain: chain}, nil
+}
+
+// ForgeEdgeMsg builds a round-1 announcement of the edge between the two
+// signers, initiated (first chain hop) by initiator. Setup code uses it
+// indirectly through Node; Byzantine pairs use it directly to announce
+// fictitious edges between themselves — which the model permits, since
+// both endpoint signatures are theirs to give (§II).
+func ForgeEdgeMsg(initiator, other sig.Signer) EdgeMsg {
+	p := MakeProof(initiator, other)
+	return EdgeMsg{
+		Proof: p,
+		Chain: sig.AppendHop(initiator, proofStatement(p.Edge), nil),
+	}
+}
+
+// Chain policy errors, surfaced by acceptability checks and useful to
+// tests and robustness metrics.
+var (
+	errChainLength    = errors.New("nectar: chain length differs from round")
+	errChainSigners   = errors.New("nectar: duplicate signer in chain")
+	errChainInitiator = errors.New("nectar: chain initiator is not a proof endpoint")
+	errChainSender    = errors.New("nectar: outermost signer is not the delivering neighbor")
+	errChainSig       = errors.New("nectar: invalid signature in chain")
+	errProofSig       = errors.New("nectar: invalid proof of neighborhood")
+)
+
+// checkMsg applies the full acceptance policy of Alg. 1 for a message
+// delivered by neighbor `from` in round `round`:
+//
+//  1. lengthSign(msg) = round — late or replayed chains are discarded;
+//  2. pairwise-distinct signers (Dolev–Strong requirement of Lemma 2);
+//  3. the innermost signer is an endpoint of the carried proof (a node
+//     only initiates dissemination of its own edges, Alg. 1 ll. 6-8);
+//  4. the outermost signer is the delivering neighbor ("when msg =
+//     σ_k(...) from k", Alg. 1 l. 13);
+//  5. the proof carries both endpoint signatures;
+//  6. every chain hop signature verifies.
+//
+// Cheap structural checks run first so that the expensive signature
+// verifications only happen for plausible messages.
+func checkMsg(v sig.Verifier, m EdgeMsg, from ids.NodeID, round int) error {
+	if len(m.Chain) != round {
+		return fmt.Errorf("%w: %d hops in round %d", errChainLength, len(m.Chain), round)
+	}
+	if !sig.DistinctSigners(m.Chain) {
+		return errChainSigners
+	}
+	init := m.Chain[0].Signer
+	if init != m.Proof.Edge.U && init != m.Proof.Edge.V {
+		return fmt.Errorf("%w: %v for edge %v", errChainInitiator, init, m.Proof.Edge)
+	}
+	if last := m.Chain[len(m.Chain)-1].Signer; last != from {
+		return fmt.Errorf("%w: signed %v, delivered by %v", errChainSender, last, from)
+	}
+	if !m.Proof.Verify(v) {
+		return errProofSig
+	}
+	if !sig.VerifyChain(v, proofStatement(m.Proof.Edge), m.Chain) {
+		return errChainSig
+	}
+	return nil
+}

@@ -1,0 +1,162 @@
+package nectar
+
+import (
+	"errors"
+	"testing"
+
+	"github.com/nectar-repro/nectar/internal/ids"
+	"github.com/nectar-repro/nectar/internal/sig"
+)
+
+// chainMsg builds an EdgeMsg for the edge between a and b, initiated by a
+// and relayed by each subsequent signer in order.
+func chainMsg(scheme sig.Scheme, a, b ids.NodeID, relayers ...ids.NodeID) EdgeMsg {
+	p := MakeProof(scheme.SignerFor(a), scheme.SignerFor(b))
+	stmt := proofStatement(p.Edge)
+	chain := sig.AppendHop(scheme.SignerFor(a), stmt, nil)
+	for _, r := range relayers {
+		chain = sig.AppendHop(scheme.SignerFor(r), stmt, chain)
+	}
+	return EdgeMsg{Proof: p, Chain: chain}
+}
+
+func TestEdgeMsgEncodeDecodeRoundTrip(t *testing.T) {
+	scheme := sig.NewHMAC(8, 1)
+	v := scheme.Verifier()
+	m := chainMsg(scheme, 0, 1, 2, 3)
+	data := m.Encode(v.SigSize())
+	if len(data) != MsgWireSize(v.SigSize(), 3) {
+		t.Errorf("encoded %d bytes, want %d", len(data), MsgWireSize(v.SigSize(), 3))
+	}
+	got, err := DecodeEdgeMsg(data, v.SigSize(), 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Proof.Edge != m.Proof.Edge || len(got.Chain) != 3 {
+		t.Fatalf("decoded %v with %d hops", got.Proof.Edge, len(got.Chain))
+	}
+	if err := checkMsg(v, got, 3, 3); err != nil {
+		t.Errorf("round-tripped message rejected: %v", err)
+	}
+}
+
+func TestDecodeEdgeMsgRejectsTrailing(t *testing.T) {
+	scheme := sig.NewHMAC(4, 1)
+	v := scheme.Verifier()
+	data := chainMsg(scheme, 0, 1).Encode(v.SigSize())
+	data = append(data, 0xFF)
+	if _, err := DecodeEdgeMsg(data, v.SigSize(), 4); err == nil {
+		t.Error("trailing bytes accepted")
+	}
+}
+
+func TestCheckMsgPolicy(t *testing.T) {
+	scheme := sig.NewEd25519(8, 1)
+	v := scheme.Verifier()
+
+	tests := []struct {
+		name    string
+		msg     func() EdgeMsg
+		from    ids.NodeID
+		round   int
+		wantErr error
+	}{
+		{
+			name: "valid round-1 from initiator",
+			msg:  func() EdgeMsg { return chainMsg(scheme, 0, 1) },
+			from: 0, round: 1,
+		},
+		{
+			name: "valid relayed chain",
+			msg:  func() EdgeMsg { return chainMsg(scheme, 0, 1, 2, 5) },
+			from: 5, round: 3,
+		},
+		{
+			name: "late chain (replay in a later round)",
+			msg:  func() EdgeMsg { return chainMsg(scheme, 0, 1) },
+			from: 0, round: 2,
+			wantErr: errChainLength,
+		},
+		{
+			name: "early chain (over-long for the round)",
+			msg:  func() EdgeMsg { return chainMsg(scheme, 0, 1, 2) },
+			from: 2, round: 1,
+			wantErr: errChainLength,
+		},
+		{
+			name: "duplicate signer inflating length",
+			msg: func() EdgeMsg {
+				// A single Byzantine node cannot stretch chains by
+				// self-signing repeatedly (Dolev-Strong needs distinct
+				// signers).
+				return chainMsg(scheme, 0, 1, 0)
+			},
+			from: 0, round: 2,
+			wantErr: errChainSigners,
+		},
+		{
+			name: "initiator not an endpoint",
+			msg: func() EdgeMsg {
+				p := MakeProof(scheme.SignerFor(0), scheme.SignerFor(1))
+				stmt := proofStatement(p.Edge)
+				chain := sig.AppendHop(scheme.SignerFor(3), stmt, nil)
+				return EdgeMsg{Proof: p, Chain: chain}
+			},
+			from: 3, round: 1,
+			wantErr: errChainInitiator,
+		},
+		{
+			name: "outermost signer is not the delivering neighbor",
+			msg:  func() EdgeMsg { return chainMsg(scheme, 0, 1, 2) },
+			from: 4, round: 2,
+			wantErr: errChainSender,
+		},
+		{
+			name: "forged proof",
+			msg: func() EdgeMsg {
+				p := MakeProof(scheme.SignerFor(0), scheme.SignerFor(1))
+				p.SigV = make([]byte, len(p.SigV)) // zap p1's signature
+				stmt := proofStatement(p.Edge)
+				return EdgeMsg{Proof: p, Chain: sig.AppendHop(scheme.SignerFor(0), stmt, nil)}
+			},
+			from: 0, round: 1,
+			wantErr: errProofSig,
+		},
+		{
+			name: "broken chain signature",
+			msg: func() EdgeMsg {
+				m := chainMsg(scheme, 0, 1, 2)
+				bad := append([]byte(nil), m.Chain[1].Sig...)
+				bad[0] ^= 1
+				m.Chain[1].Sig = bad
+				return m
+			},
+			from: 2, round: 2,
+			wantErr: errChainSig,
+		},
+	}
+	for _, tc := range tests {
+		t.Run(tc.name, func(t *testing.T) {
+			err := checkMsg(v, tc.msg(), tc.from, tc.round)
+			if tc.wantErr == nil {
+				if err != nil {
+					t.Errorf("unexpected error: %v", err)
+				}
+				return
+			}
+			if !errors.Is(err, tc.wantErr) {
+				t.Errorf("err = %v, want %v", err, tc.wantErr)
+			}
+		})
+	}
+}
+
+func TestMsgWireSizeGrowsLinearlyWithHops(t *testing.T) {
+	// §IV-E: a message relayed r times carries r hops; its size must grow
+	// by exactly one hop per round.
+	s := 64
+	d := MsgWireSize(s, 2) - MsgWireSize(s, 1)
+	if d != sig.HopWireSize(s) {
+		t.Errorf("per-hop growth %d, want %d", d, sig.HopWireSize(s))
+	}
+}

@@ -1,0 +1,269 @@
+package nectar
+
+import (
+	"fmt"
+
+	"github.com/nectar-repro/nectar/internal/graph"
+	"github.com/nectar-repro/nectar/internal/ids"
+	"github.com/nectar-repro/nectar/internal/rounds"
+	"github.com/nectar-repro/nectar/internal/sig"
+)
+
+// Decision is NECTAR's output (§III-D).
+type Decision int
+
+const (
+	// Undecided means the decision phase has not run yet.
+	Undecided Decision = iota
+	// NotPartitionable: no placement of t Byzantine nodes can disconnect
+	// the correct nodes.
+	NotPartitionable
+	// Partitionable: Byzantine nodes might be able to disconnect correct
+	// nodes (not necessarily certain).
+	Partitionable
+)
+
+// String implements fmt.Stringer.
+func (d Decision) String() string {
+	switch d {
+	case Undecided:
+		return "UNDECIDED"
+	case NotPartitionable:
+		return "NOT_PARTITIONABLE"
+	case Partitionable:
+		return "PARTITIONABLE"
+	}
+	return fmt.Sprintf("Decision(%d)", int(d))
+}
+
+// Outcome is the result of the decision phase: the decision plus the
+// indicative `confirmed` output (true means an actual partition was
+// detected — some nodes are unreachable — which by the Validity property
+// implies the Byzantine nodes form a vertex cut of G).
+type Outcome struct {
+	Decision  Decision
+	Confirmed bool
+	// Reachable is r = DetectReachableNode(Gi): how many of the n nodes
+	// the local node discovered as reachable (itself included).
+	Reachable int
+	// ConnectivityOverT reports whether κ(Gi) > t held in the decision.
+	ConnectivityOverT bool
+}
+
+// Config carries NECTAR's inputs (Alg. 1): n, t, the local neighborhood
+// Γ(i), and a proof of neighborhood for each neighbor — plus the local
+// signing capability and the shared verifier.
+type Config struct {
+	// N is the total number of processes in the system (card(Π) = n).
+	N int
+	// T is the assumed maximum number of Byzantine processes.
+	T int
+	// Me is the local node's identity.
+	Me ids.NodeID
+	// Neighbors is Γ(Me).
+	Neighbors []ids.NodeID
+	// Proofs maps each neighbor to the proof of the shared edge.
+	Proofs map[ids.NodeID]Proof
+	// Signer is the local signing capability.
+	Signer sig.Signer
+	// Verifier checks signatures of all processes.
+	Verifier sig.Verifier
+	// Rounds overrides the number of edge-propagation rounds; 0 means the
+	// default n-1 (the safe lower bound when the topology is unknown,
+	// §IV-B). Values below the correct-subgraph diameter lose liveness.
+	Rounds int
+	// ParanoidVerify verifies signatures even for already-known edges,
+	// matching the literal check order of Alg. 1 l. 14. The default
+	// (false) discards duplicates before any signature work — safe, since
+	// duplicates cause no state change — cutting verification cost from
+	// O(m·deg) to O(m) chains per node (DESIGN.md §2). Exposed as an
+	// ablation knob; decisions are identical either way.
+	ParanoidVerify bool
+}
+
+// Stats counts a node's message-handling outcomes; useful to tests and
+// robustness experiments.
+type Stats struct {
+	// Accepted counts first-reception edges stored and scheduled for relay.
+	Accepted int
+	// Duplicates counts messages discarded because the edge was already
+	// known (no verification spent, see DESIGN.md §2).
+	Duplicates int
+	// Rejected counts structurally invalid or signature-failing messages.
+	Rejected int
+}
+
+// relayItem is a first-received edge message queued for relay in the next
+// round, remembering the neighbor it came from (Alg. 1 l. 11: relay to
+// Γ(i) \ {k}).
+type relayItem struct {
+	msg  EdgeMsg
+	from ids.NodeID
+}
+
+// Node is a correct NECTAR process. It implements rounds.Protocol: drive
+// it with the rounds engine for Rounds() rounds, then call Decide.
+//
+// Node is not safe for concurrent use; the engine calls it from one
+// goroutine at a time.
+type Node struct {
+	cfg     Config
+	nRounds int
+	view    *graph.Graph // Gi: the discovered adjacency
+	queue   []relayItem  // filled in Deliver(r), drained by Emit(r+1)
+	stats   Stats
+}
+
+var _ rounds.Protocol = (*Node)(nil)
+
+// NewNode validates cfg and initializes Gi with the local neighborhood
+// (Alg. 1 ll. 1-4).
+func NewNode(cfg Config) (*Node, error) {
+	if cfg.N <= 0 {
+		return nil, fmt.Errorf("nectar: N must be positive, got %d", cfg.N)
+	}
+	if cfg.T < 0 {
+		return nil, fmt.Errorf("nectar: negative T %d", cfg.T)
+	}
+	if int(cfg.Me) >= cfg.N {
+		return nil, fmt.Errorf("nectar: Me=%v out of range [0,%d)", cfg.Me, cfg.N)
+	}
+	if cfg.Signer == nil || cfg.Verifier == nil {
+		return nil, fmt.Errorf("nectar: Signer and Verifier are required")
+	}
+	if cfg.Signer.ID() != cfg.Me {
+		return nil, fmt.Errorf("nectar: signer bound to %v, node is %v", cfg.Signer.ID(), cfg.Me)
+	}
+	if cfg.Rounds < 0 {
+		return nil, fmt.Errorf("nectar: negative Rounds %d", cfg.Rounds)
+	}
+	nd := &Node{cfg: cfg, nRounds: cfg.Rounds, view: graph.New(cfg.N)}
+	if nd.nRounds == 0 {
+		nd.nRounds = cfg.N - 1
+	}
+	seen := make(ids.Set, len(cfg.Neighbors))
+	for _, nb := range cfg.Neighbors {
+		if nb == cfg.Me || int(nb) >= cfg.N {
+			return nil, fmt.Errorf("nectar: invalid neighbor %v", nb)
+		}
+		if seen.Has(nb) {
+			return nil, fmt.Errorf("nectar: duplicate neighbor %v", nb)
+		}
+		seen.Add(nb)
+		p, ok := cfg.Proofs[nb]
+		if !ok {
+			return nil, fmt.Errorf("nectar: missing proof for neighbor %v", nb)
+		}
+		if p.Edge != graph.NewEdge(cfg.Me, nb) {
+			return nil, fmt.Errorf("nectar: proof for %v has edge %v", nb, p.Edge)
+		}
+		if !p.Verify(cfg.Verifier) {
+			return nil, fmt.Errorf("nectar: proof for neighbor %v does not verify", nb)
+		}
+		nd.view.AddEdge(cfg.Me, nb)
+	}
+	return nd, nil
+}
+
+// Rounds returns the number of edge-propagation rounds this node runs
+// (n-1 unless overridden).
+func (nd *Node) Rounds() int { return nd.nRounds }
+
+// Emit implements rounds.Protocol. In round 1 the node sends its signed
+// neighborhood to every neighbor (Alg. 1 ll. 6-8); in later rounds it
+// relays — with its own signature appended — every edge first received in
+// the previous round, to all neighbors except the one it came from
+// (ll. 9-12).
+func (nd *Node) Emit(round int) []rounds.Send {
+	if round == 1 {
+		out := make([]rounds.Send, 0, len(nd.cfg.Neighbors)*len(nd.cfg.Neighbors))
+		for _, j := range nd.cfg.Neighbors {
+			p := nd.cfg.Proofs[j]
+			msg := EdgeMsg{
+				Proof: p,
+				Chain: sig.AppendHop(nd.cfg.Signer, proofStatement(p.Edge), nil),
+			}
+			data := msg.Encode(nd.cfg.Verifier.SigSize())
+			for _, dest := range nd.cfg.Neighbors {
+				out = append(out, rounds.Send{To: dest, Data: data})
+			}
+		}
+		return out
+	}
+	var out []rounds.Send
+	for _, item := range nd.queue {
+		relay := EdgeMsg{
+			Proof: item.msg.Proof,
+			Chain: sig.AppendHop(nd.cfg.Signer, proofStatement(item.msg.Proof.Edge), item.msg.Chain),
+		}
+		data := relay.Encode(nd.cfg.Verifier.SigSize())
+		for _, dest := range nd.cfg.Neighbors {
+			if dest != item.from {
+				out = append(out, rounds.Send{To: dest, Data: data})
+			}
+		}
+	}
+	nd.queue = nd.queue[:0]
+	return out
+}
+
+// Deliver implements rounds.Protocol (Alg. 1 ll. 13-15). Invalid messages
+// are ignored; an edge already in Gi is discarded before any signature
+// work; a first-seen valid edge is recorded and queued for relay in the
+// next round.
+func (nd *Node) Deliver(round int, from ids.NodeID, data []byte) {
+	m, err := DecodeEdgeMsg(data, nd.cfg.Verifier.SigSize(), nd.cfg.N)
+	if err != nil {
+		nd.stats.Rejected++
+		return
+	}
+	if nd.cfg.ParanoidVerify {
+		if err := checkMsg(nd.cfg.Verifier, m, from, round); err != nil {
+			nd.stats.Rejected++
+			return
+		}
+		if nd.view.HasEdge(m.Proof.Edge.U, m.Proof.Edge.V) {
+			nd.stats.Duplicates++
+			return
+		}
+	} else {
+		if nd.view.HasEdge(m.Proof.Edge.U, m.Proof.Edge.V) {
+			nd.stats.Duplicates++
+			return
+		}
+		if err := checkMsg(nd.cfg.Verifier, m, from, round); err != nil {
+			nd.stats.Rejected++
+			return
+		}
+	}
+	nd.view.AddEdge(m.Proof.Edge.U, m.Proof.Edge.V)
+	nd.queue = append(nd.queue, relayItem{msg: m, from: from})
+	nd.stats.Accepted++
+}
+
+// Decide runs the decision phase (Alg. 1 ll. 16-24) on the discovered
+// graph: NOT_PARTITIONABLE iff κ(Gi) > t and all n nodes are reachable;
+// otherwise PARTITIONABLE, with confirmed = true exactly when some node
+// is unreachable.
+func (nd *Node) Decide() Outcome {
+	r := nd.view.CountReachable(nd.cfg.Me)
+	kOverT := nd.view.ConnectivityAtLeast(nd.cfg.T + 1)
+	out := Outcome{Reachable: r, ConnectivityOverT: kOverT}
+	if kOverT && r == nd.cfg.N {
+		out.Decision = NotPartitionable
+		out.Confirmed = false
+		return out
+	}
+	out.Decision = Partitionable
+	out.Confirmed = r != nd.cfg.N
+	return out
+}
+
+// View returns a copy of Gi, the node's discovered graph.
+func (nd *Node) View() *graph.Graph { return nd.view.Clone() }
+
+// Stats returns the node's message-handling counters.
+func (nd *Node) Stats() Stats { return nd.stats }
+
+// ID returns the node's identity.
+func (nd *Node) ID() ids.NodeID { return nd.cfg.Me }

@@ -1,0 +1,283 @@
+// Package rounds implements the synchronous communication model of §II:
+// computation proceeds in rounds, messages sent in round r over an edge of
+// the communication graph are delivered within round r (the ΔT bound), and
+// local processing time is negligible.
+//
+// The engine is a lockstep scheduler over per-node Protocol state
+// machines. It enforces the *network* assumptions that even Byzantine
+// nodes cannot violate (§II): messages travel only on edges of G, and a
+// node cannot send to itself. Everything above that — message content,
+// timing of protocol steps, selective silence — is up to each Protocol
+// implementation, which is where Byzantine behaviours plug in.
+//
+// Per-sender byte and message counts are metered exactly (payload bytes
+// plus a fixed per-message overhead), producing the "data sent per node"
+// measurements of the paper's evaluation.
+package rounds
+
+import (
+	"fmt"
+	"math/rand"
+	"runtime"
+	"sync"
+
+	"github.com/nectar-repro/nectar/internal/graph"
+	"github.com/nectar-repro/nectar/internal/ids"
+)
+
+// Send is a message a node hands to the engine for delivery in the current
+// round.
+type Send struct {
+	To   ids.NodeID
+	Data []byte
+}
+
+// Protocol is the per-node state machine driven by the engine. For every
+// round r = 1..R the engine first calls Emit(r) on every node, then
+// delivers each emitted message to its recipient via Deliver(r, ...).
+// Implementations need not be safe for concurrent use; the engine never
+// calls a single node concurrently.
+type Protocol interface {
+	// Emit returns the messages the node sends in round r.
+	Emit(round int) []Send
+	// Deliver hands the node one message received in round r.
+	Deliver(round int, from ids.NodeID, data []byte)
+}
+
+// DefaultMsgOverhead is the per-message byte overhead added to the sender's
+// byte count: a 4-byte sender ID and a 4-byte length prefix, matching the
+// TCP framing in internal/tcpnet.
+const DefaultMsgOverhead = 8
+
+// Config parameterizes a run.
+type Config struct {
+	// Graph is the communication network; messages travel only on its
+	// edges. Required.
+	Graph *graph.Graph
+	// Rounds is the number of synchronous rounds R. Required (>= 0).
+	Rounds int
+	// Seed drives the per-recipient delivery-order shuffle, making runs
+	// reproducible while avoiding sender-ID-ordered delivery artifacts.
+	Seed int64
+	// MsgOverhead is the per-message accounting overhead in bytes; 0
+	// means DefaultMsgOverhead.
+	MsgOverhead int
+	// Sequential disables per-node parallelism. Results are identical
+	// either way; sequential mode is mainly for debugging.
+	Sequential bool
+	// LossRate drops each routed message independently with the given
+	// probability (0 = reliable channels, the paper's model). Message
+	// loss violates NECTAR's channel assumption and exists to reproduce
+	// the baselines' robustness claims (MindTheGap tolerates 40% loss,
+	// §VI-A1) and to study NECTAR's degradation. Lost messages are still
+	// metered as sent.
+	LossRate float64
+}
+
+// Metrics records per-node traffic for one run.
+type Metrics struct {
+	// BytesSent[i] is the total bytes sent by node i (payload + overhead),
+	// counted once per destination (true unicast bytes on the wire).
+	BytesSent []int64
+	// BytesBroadcast[i] counts each distinct payload a node emits in a
+	// round once, regardless of how many neighbors receive it — the
+	// multicast accounting of the paper's salticidae-based prototype,
+	// which its "data sent per node" figures reflect (see DESIGN.md §5).
+	BytesBroadcast []int64
+	// MsgsSent[i] is the number of messages sent by node i.
+	MsgsSent []int64
+	// MsgsDelivered[i] is the number of messages delivered to node i.
+	MsgsDelivered []int64
+	// DroppedNonEdge counts sends discarded because no channel exists
+	// (self-sends or non-neighbor destinations) — only Byzantine nodes
+	// can attempt these.
+	DroppedNonEdge int64
+	// DroppedLoss counts messages lost to Config.LossRate.
+	DroppedLoss int64
+	// BytesByRound[r-1] is the total bytes sent by all nodes in round r —
+	// the §IV-E effect of nodes going silent once every edge is known
+	// shows up as trailing zeros.
+	BytesByRound []int64
+	// Rounds is the number of rounds executed.
+	Rounds int
+}
+
+// TotalBytes returns the sum of bytes sent by all nodes.
+func (m *Metrics) TotalBytes() int64 {
+	var sum int64
+	for _, b := range m.BytesSent {
+		sum += b
+	}
+	return sum
+}
+
+// MeanBytesPerNode returns the average bytes sent per node.
+func (m *Metrics) MeanBytesPerNode() float64 {
+	if len(m.BytesSent) == 0 {
+		return 0
+	}
+	return float64(m.TotalBytes()) / float64(len(m.BytesSent))
+}
+
+// MaxBytesPerNode returns the largest per-node byte count.
+func (m *Metrics) MaxBytesPerNode() int64 {
+	var max int64
+	for _, b := range m.BytesSent {
+		if b > max {
+			max = b
+		}
+	}
+	return max
+}
+
+// delivery is a queued message awaiting Deliver.
+type delivery struct {
+	from ids.NodeID
+	data []byte
+}
+
+// Run drives nodes through cfg.Rounds synchronous rounds and returns the
+// traffic metrics. nodes[i] is the protocol state machine of node i; its
+// length must equal cfg.Graph.N().
+func Run(cfg Config, nodes []Protocol) (*Metrics, error) {
+	g := cfg.Graph
+	if g == nil {
+		return nil, fmt.Errorf("rounds: Config.Graph is required")
+	}
+	if len(nodes) != g.N() {
+		return nil, fmt.Errorf("rounds: %d nodes for a %d-vertex graph", len(nodes), g.N())
+	}
+	if cfg.Rounds < 0 {
+		return nil, fmt.Errorf("rounds: negative round count %d", cfg.Rounds)
+	}
+	overhead := cfg.MsgOverhead
+	if overhead == 0 {
+		overhead = DefaultMsgOverhead
+	}
+	if cfg.LossRate < 0 || cfg.LossRate >= 1 {
+		if cfg.LossRate != 0 {
+			return nil, fmt.Errorf("rounds: LossRate must be in [0,1), got %v", cfg.LossRate)
+		}
+	}
+	n := g.N()
+	m := &Metrics{
+		BytesSent:      make([]int64, n),
+		BytesBroadcast: make([]int64, n),
+		MsgsSent:       make([]int64, n),
+		MsgsDelivered:  make([]int64, n),
+		BytesByRound:   make([]int64, cfg.Rounds),
+		Rounds:         cfg.Rounds,
+	}
+	var lossRng *rand.Rand
+	if cfg.LossRate > 0 {
+		lossRng = rand.New(rand.NewSource(cfg.Seed ^ 0x10551055))
+	}
+	workers := runtime.GOMAXPROCS(0)
+	if cfg.Sequential {
+		workers = 1
+	}
+
+	outboxes := make([][]Send, n)
+	inboxes := make([][]delivery, n)
+	for r := 1; r <= cfg.Rounds; r++ {
+		// Phase 1: every node emits its round-r messages (in parallel —
+		// nodes are independent state machines).
+		parallelFor(n, workers, func(i int) {
+			outboxes[i] = nodes[i].Emit(r)
+		})
+
+		// Phase 2: route. Sender-major order keeps routing deterministic;
+		// metrics are updated here, single-threaded.
+		seen := make(map[uint64]bool)
+		for i := 0; i < n; i++ {
+			from := ids.NodeID(i)
+			clear(seen)
+			for _, s := range outboxes[i] {
+				if s.To == from || int(s.To) >= n || !g.HasEdge(from, s.To) {
+					m.DroppedNonEdge++
+					continue
+				}
+				m.BytesSent[i] += int64(len(s.Data) + overhead)
+				m.BytesByRound[r-1] += int64(len(s.Data) + overhead)
+				m.MsgsSent[i]++
+				if h := fnv64(s.Data); !seen[h] {
+					seen[h] = true
+					m.BytesBroadcast[i] += int64(len(s.Data) + overhead)
+				}
+				if lossRng != nil && lossRng.Float64() < cfg.LossRate {
+					m.DroppedLoss++
+					continue
+				}
+				inboxes[s.To] = append(inboxes[s.To], delivery{from: from, data: s.Data})
+			}
+			outboxes[i] = nil
+		}
+
+		// Phase 3: deliver. Per-recipient order is shuffled with a
+		// round/recipient-specific seed so protocols cannot accidentally
+		// rely on sender-ordered delivery, yet runs stay reproducible.
+		parallelFor(n, workers, func(i int) {
+			inbox := inboxes[i]
+			if len(inbox) == 0 {
+				return
+			}
+			rng := rand.New(rand.NewSource(cfg.Seed ^ int64(r)<<20 ^ int64(i)))
+			rng.Shuffle(len(inbox), func(a, b int) {
+				inbox[a], inbox[b] = inbox[b], inbox[a]
+			})
+			for _, d := range inbox {
+				m.MsgsDelivered[i]++
+				nodes[i].Deliver(r, d.from, d.data)
+			}
+			inboxes[i] = inboxes[i][:0]
+		})
+	}
+	return m, nil
+}
+
+// fnv64 hashes a payload (FNV-1a) for per-round broadcast deduplication.
+// A 64-bit hash collision would merely undercount BytesBroadcast by one
+// message — negligible for metering purposes.
+func fnv64(data []byte) uint64 {
+	const (
+		offset = 14695981039346656037
+		prime  = 1099511628211
+	)
+	h := uint64(offset)
+	for _, b := range data {
+		h ^= uint64(b)
+		h *= prime
+	}
+	return h
+}
+
+// parallelFor runs fn(0..n-1) across the given number of workers,
+// preserving nothing about ordering within a phase (callers must not
+// depend on it).
+func parallelFor(n, workers int, fn func(i int)) {
+	if workers <= 1 || n <= 1 {
+		for i := 0; i < n; i++ {
+			fn(i)
+		}
+		return
+	}
+	if workers > n {
+		workers = n
+	}
+	var wg sync.WaitGroup
+	next := make(chan int)
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for i := range next {
+				fn(i)
+			}
+		}()
+	}
+	for i := 0; i < n; i++ {
+		next <- i
+	}
+	close(next)
+	wg.Wait()
+}

@@ -1,0 +1,257 @@
+// Package sig provides the digital-signature substrate of the system
+// model (§II): every node can sign messages, every node can verify every
+// other node's signatures, and Byzantine nodes cannot forge the signatures
+// of correct nodes.
+//
+// Two schemes are provided:
+//
+//   - Ed25519 (stdlib crypto/ed25519) — a real asymmetric scheme,
+//     substituting for the paper's ECDSA (same 64-byte signature order of
+//     magnitude, see DESIGN.md §4). Used by default in tests, examples and
+//     the TCP deployment.
+//   - HMAC — a keyed simulation scheme with identical signature sizes,
+//     ~50× faster, used for the large benchmark sweeps. Unforgeability
+//     holds *within the simulation* by capability discipline: protocol
+//     code (including adversaries) signs only through the Signer handle
+//     bound to its own identity.
+//
+// Signers are distributed as capabilities: a node — correct or Byzantine —
+// receives only SignerFor(its own ID) plus the shared Verifier, which
+// cannot produce signatures on behalf of others (for Ed25519,
+// cryptographically; for HMAC, by interface discipline).
+package sig
+
+import (
+	"crypto/ed25519"
+	"crypto/hmac"
+	"crypto/sha256"
+	"encoding/binary"
+
+	"github.com/nectar-repro/nectar/internal/ids"
+)
+
+// Signer signs messages on behalf of a single node.
+type Signer interface {
+	// ID returns the node identity this signer is bound to.
+	ID() ids.NodeID
+	// Sign returns a signature over msg by ID().
+	Sign(msg []byte) []byte
+}
+
+// Verifier checks signatures of any node in the system.
+type Verifier interface {
+	// Verify reports whether sg is a valid signature over msg by signer.
+	Verify(signer ids.NodeID, msg, sg []byte) bool
+	// SigSize returns the fixed signature length in bytes.
+	SigSize() int
+}
+
+// Scheme is a signature scheme instantiated for a fixed population of n
+// nodes with pre-distributed keys (the PKI-at-setup assumption of §II).
+type Scheme interface {
+	// Name identifies the scheme ("ed25519", "hmac", "insecure").
+	Name() string
+	// N returns the population size the scheme was built for.
+	N() int
+	// SignerFor returns the signing capability of the given node.
+	SignerFor(id ids.NodeID) Signer
+	// Verifier returns the shared verification capability.
+	Verifier() Verifier
+}
+
+// funcSigner adapts a closure to Signer.
+type funcSigner struct {
+	id   ids.NodeID
+	sign func(msg []byte) []byte
+}
+
+func (s funcSigner) ID() ids.NodeID         { return s.id }
+func (s funcSigner) Sign(msg []byte) []byte { return s.sign(msg) }
+
+// deriveSeed expands (seed, id, domain) into 32 deterministic bytes, used
+// to generate per-node key material reproducibly.
+func deriveSeed(seed int64, id uint32, domain string) [32]byte {
+	h := sha256.New()
+	var b [12]byte
+	binary.BigEndian.PutUint64(b[:8], uint64(seed))
+	binary.BigEndian.PutUint32(b[8:], id)
+	h.Write(b[:])
+	h.Write([]byte(domain))
+	var out [32]byte
+	copy(out[:], h.Sum(nil))
+	return out
+}
+
+// ---- Ed25519 ----
+
+// Ed25519SigSize is the length of Ed25519 signatures.
+const Ed25519SigSize = ed25519.SignatureSize
+
+// Ed25519 is a Scheme backed by stdlib crypto/ed25519 with keys derived
+// deterministically from a seed.
+type Ed25519 struct {
+	priv []ed25519.PrivateKey
+	pub  []ed25519.PublicKey
+}
+
+var _ Scheme = (*Ed25519)(nil)
+
+// NewEd25519 generates deterministic keypairs for n nodes from seed.
+func NewEd25519(n int, seed int64) *Ed25519 {
+	s := &Ed25519{
+		priv: make([]ed25519.PrivateKey, n),
+		pub:  make([]ed25519.PublicKey, n),
+	}
+	for i := 0; i < n; i++ {
+		ks := deriveSeed(seed, uint32(i), "ed25519-key")
+		s.priv[i] = ed25519.NewKeyFromSeed(ks[:])
+		s.pub[i] = s.priv[i].Public().(ed25519.PublicKey)
+	}
+	return s
+}
+
+// Name implements Scheme.
+func (s *Ed25519) Name() string { return "ed25519" }
+
+// N implements Scheme.
+func (s *Ed25519) N() int { return len(s.priv) }
+
+// SignerFor implements Scheme.
+func (s *Ed25519) SignerFor(id ids.NodeID) Signer {
+	priv := s.priv[id]
+	return funcSigner{id: id, sign: func(msg []byte) []byte {
+		return ed25519.Sign(priv, msg)
+	}}
+}
+
+// Verifier implements Scheme.
+func (s *Ed25519) Verifier() Verifier { return ed25519Verifier{s} }
+
+type ed25519Verifier struct{ s *Ed25519 }
+
+func (v ed25519Verifier) Verify(signer ids.NodeID, msg, sg []byte) bool {
+	if int(signer) >= len(v.s.pub) || len(sg) != ed25519.SignatureSize {
+		return false
+	}
+	return ed25519.Verify(v.s.pub[signer], msg, sg)
+}
+
+func (v ed25519Verifier) SigSize() int { return Ed25519SigSize }
+
+// ---- HMAC simulation scheme ----
+
+// HMAC is the fast simulation Scheme: signatures are 64-byte HMAC-SHA256
+// tags (two domain-separated 32-byte halves) under per-node keys derived
+// from a master seed. Same wire size as Ed25519, so cost measurements are
+// unchanged.
+type HMAC struct {
+	keys [][32]byte
+}
+
+var _ Scheme = (*HMAC)(nil)
+
+// NewHMAC builds the HMAC scheme for n nodes from seed.
+func NewHMAC(n int, seed int64) *HMAC {
+	s := &HMAC{keys: make([][32]byte, n)}
+	for i := 0; i < n; i++ {
+		s.keys[i] = deriveSeed(seed, uint32(i), "hmac-key")
+	}
+	return s
+}
+
+// Name implements Scheme.
+func (s *HMAC) Name() string { return "hmac" }
+
+// N implements Scheme.
+func (s *HMAC) N() int { return len(s.keys) }
+
+func (s *HMAC) tag(id ids.NodeID, msg []byte) []byte {
+	out := make([]byte, 0, 64)
+	for _, domain := range []byte{0x01, 0x02} {
+		mac := hmac.New(sha256.New, s.keys[id][:])
+		mac.Write([]byte{domain})
+		mac.Write(msg)
+		out = mac.Sum(out)
+	}
+	return out
+}
+
+// SignerFor implements Scheme.
+func (s *HMAC) SignerFor(id ids.NodeID) Signer {
+	return funcSigner{id: id, sign: func(msg []byte) []byte {
+		return s.tag(id, msg)
+	}}
+}
+
+// Verifier implements Scheme.
+func (s *HMAC) Verifier() Verifier { return hmacVerifier{s} }
+
+type hmacVerifier struct{ s *HMAC }
+
+func (v hmacVerifier) Verify(signer ids.NodeID, msg, sg []byte) bool {
+	if int(signer) >= len(v.s.keys) || len(sg) != 64 {
+		return false
+	}
+	return hmac.Equal(sg, v.s.tag(signer, msg))
+}
+
+func (v hmacVerifier) SigSize() int { return 64 }
+
+// ---- Insecure ablation scheme ----
+
+// Insecure is a no-crypto Scheme for cost-only ablations: signatures are
+// constant-content byte strings of the configured size and verification
+// only checks size and signer range. Never use where Byzantine behaviour
+// matters.
+type Insecure struct {
+	n       int
+	sigSize int
+}
+
+var _ Scheme = (*Insecure)(nil)
+
+// NewInsecure builds the ablation scheme for n nodes with sigSize-byte
+// pseudo-signatures.
+func NewInsecure(n, sigSize int) *Insecure {
+	return &Insecure{n: n, sigSize: sigSize}
+}
+
+// Name implements Scheme.
+func (s *Insecure) Name() string { return "insecure" }
+
+// N implements Scheme.
+func (s *Insecure) N() int { return s.n }
+
+// SignerFor implements Scheme.
+func (s *Insecure) SignerFor(id ids.NodeID) Signer {
+	tag := make([]byte, s.sigSize)
+	binary.BigEndian.PutUint32(tag, uint32(id))
+	return funcSigner{id: id, sign: func([]byte) []byte {
+		return append([]byte(nil), tag...)
+	}}
+}
+
+// Verifier implements Scheme.
+func (s *Insecure) Verifier() Verifier { return insecureVerifier{s} }
+
+type insecureVerifier struct{ s *Insecure }
+
+func (v insecureVerifier) Verify(signer ids.NodeID, _ []byte, sg []byte) bool {
+	return int(signer) < v.s.n && len(sg) == v.s.sigSize
+}
+
+func (v insecureVerifier) SigSize() int { return v.s.sigSize }
+
+// ByName constructs a scheme by name: "ed25519", "hmac" or "insecure".
+// Unknown names return nil.
+func ByName(name string, n int, seed int64) Scheme {
+	switch name {
+	case "ed25519":
+		return NewEd25519(n, seed)
+	case "hmac":
+		return NewHMAC(n, seed)
+	case "insecure":
+		return NewInsecure(n, Ed25519SigSize)
+	}
+	return nil
+}

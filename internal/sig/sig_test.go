@@ -1,0 +1,152 @@
+package sig
+
+import (
+	"testing"
+
+	"github.com/nectar-repro/nectar/internal/ids"
+)
+
+func schemes(t *testing.T, n int) []Scheme {
+	t.Helper()
+	return []Scheme{NewEd25519(n, 1), NewHMAC(n, 1), NewInsecure(n, 64)}
+}
+
+func TestSignVerifyRoundTrip(t *testing.T) {
+	for _, s := range schemes(t, 4) {
+		t.Run(s.Name(), func(t *testing.T) {
+			v := s.Verifier()
+			msg := []byte("the message")
+			for id := ids.NodeID(0); id < 4; id++ {
+				sg := s.SignerFor(id).Sign(msg)
+				if len(sg) != v.SigSize() {
+					t.Fatalf("signature size %d, want %d", len(sg), v.SigSize())
+				}
+				if !v.Verify(id, msg, sg) {
+					t.Errorf("valid signature by %v rejected", id)
+				}
+			}
+		})
+	}
+}
+
+func TestVerifyRejectsWrongSigner(t *testing.T) {
+	// Insecure intentionally accepts everything; skip it.
+	for _, s := range []Scheme{NewEd25519(4, 1), NewHMAC(4, 1)} {
+		t.Run(s.Name(), func(t *testing.T) {
+			v := s.Verifier()
+			msg := []byte("msg")
+			sg := s.SignerFor(1).Sign(msg)
+			if v.Verify(2, msg, sg) {
+				t.Error("signature by p1 accepted as p2's")
+			}
+		})
+	}
+}
+
+func TestVerifyRejectsTamperedMessage(t *testing.T) {
+	for _, s := range []Scheme{NewEd25519(4, 1), NewHMAC(4, 1)} {
+		t.Run(s.Name(), func(t *testing.T) {
+			v := s.Verifier()
+			sg := s.SignerFor(0).Sign([]byte("original"))
+			if v.Verify(0, []byte("tampered"), sg) {
+				t.Error("tampered message accepted")
+			}
+		})
+	}
+}
+
+func TestVerifyRejectsMalformedInputs(t *testing.T) {
+	for _, s := range schemes(t, 3) {
+		t.Run(s.Name(), func(t *testing.T) {
+			v := s.Verifier()
+			if v.Verify(99, []byte("m"), make([]byte, v.SigSize())) {
+				t.Error("out-of-range signer accepted")
+			}
+			if v.Verify(0, []byte("m"), []byte("short")) {
+				t.Error("wrong-size signature accepted")
+			}
+		})
+	}
+}
+
+func TestDeterministicKeyDerivation(t *testing.T) {
+	// Two scheme instances with the same seed must interoperate (this is
+	// how separate TCP processes agree on keys); different seeds must not.
+	a := NewEd25519(3, 7)
+	b := NewEd25519(3, 7)
+	c := NewEd25519(3, 8)
+	msg := []byte("interop")
+	sg := a.SignerFor(1).Sign(msg)
+	if !b.Verifier().Verify(1, msg, sg) {
+		t.Error("same-seed instance rejected signature")
+	}
+	if c.Verifier().Verify(1, msg, sg) {
+		t.Error("different-seed instance accepted signature")
+	}
+}
+
+func TestSignerIsBoundToID(t *testing.T) {
+	s := NewHMAC(4, 1)
+	signer := s.SignerFor(3)
+	if signer.ID() != 3 {
+		t.Errorf("signer.ID() = %v, want p3", signer.ID())
+	}
+}
+
+func TestByName(t *testing.T) {
+	for _, name := range []string{"ed25519", "hmac", "insecure"} {
+		s := ByName(name, 3, 1)
+		if s == nil || s.Name() != name || s.N() != 3 {
+			t.Errorf("ByName(%q) = %v", name, s)
+		}
+	}
+	if ByName("rsa", 3, 1) != nil {
+		t.Error("unknown scheme should return nil")
+	}
+}
+
+func BenchmarkSignEd25519(b *testing.B) {
+	s := NewEd25519(1, 1)
+	signer := s.SignerFor(0)
+	msg := make([]byte, 256)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		signer.Sign(msg)
+	}
+}
+
+func BenchmarkVerifyEd25519(b *testing.B) {
+	s := NewEd25519(1, 1)
+	v := s.Verifier()
+	msg := make([]byte, 256)
+	sg := s.SignerFor(0).Sign(msg)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if !v.Verify(0, msg, sg) {
+			b.Fatal("verify failed")
+		}
+	}
+}
+
+func BenchmarkSignHMAC(b *testing.B) {
+	s := NewHMAC(1, 1)
+	signer := s.SignerFor(0)
+	msg := make([]byte, 256)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		signer.Sign(msg)
+	}
+}
+
+func BenchmarkVerifyHMAC(b *testing.B) {
+	s := NewHMAC(1, 1)
+	v := s.Verifier()
+	msg := make([]byte, 256)
+	sg := s.SignerFor(0).Sign(msg)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if !v.Verify(0, msg, sg) {
+			b.Fatal("verify failed")
+		}
+	}
+}

@@ -1,0 +1,84 @@
+// Package stats provides the summary statistics used by the evaluation:
+// sample mean, standard deviation, and 95% confidence intervals (Student
+// t), matching the paper's "error intervals correspond to a confidence
+// interval of 95%" methodology over 50-trial runs.
+package stats
+
+import "math"
+
+// Summary describes a sample.
+type Summary struct {
+	// N is the sample size.
+	N int
+	// Mean is the sample mean (0 for empty samples).
+	Mean float64
+	// Std is the sample standard deviation (n-1 denominator; 0 for
+	// samples smaller than 2).
+	Std float64
+	// CI95 is the half-width of the 95% confidence interval of the mean
+	// under the Student t distribution.
+	CI95 float64
+}
+
+// Mean returns the arithmetic mean of xs (0 for empty input).
+func Mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	sum := 0.0
+	for _, x := range xs {
+		sum += x
+	}
+	return sum / float64(len(xs))
+}
+
+// StdDev returns the sample standard deviation of xs (0 for fewer than two
+// samples).
+func StdDev(xs []float64) float64 {
+	if len(xs) < 2 {
+		return 0
+	}
+	m := Mean(xs)
+	var ss float64
+	for _, x := range xs {
+		d := x - m
+		ss += d * d
+	}
+	return math.Sqrt(ss / float64(len(xs)-1))
+}
+
+// Summarize computes the full Summary of xs.
+func Summarize(xs []float64) Summary {
+	s := Summary{N: len(xs), Mean: Mean(xs), Std: StdDev(xs)}
+	if s.N >= 2 {
+		s.CI95 = tCritical95(s.N-1) * s.Std / math.Sqrt(float64(s.N))
+	}
+	return s
+}
+
+// tCritical95 returns the two-sided 95% critical value of the Student t
+// distribution with df degrees of freedom.
+func tCritical95(df int) float64 {
+	// Table for small df; larger df interpolate toward the normal 1.96.
+	table := []float64{
+		0,                                                             // df = 0 unused
+		12.706,                                                        // 1
+		4.303, 3.182, 2.776, 2.571, 2.447, 2.365, 2.306, 2.262, 2.228, // 2..10
+		2.201, 2.179, 2.160, 2.145, 2.131, 2.120, 2.110, 2.101, 2.093, 2.086, // 11..20
+		2.080, 2.074, 2.069, 2.064, 2.060, 2.056, 2.052, 2.048, 2.045, 2.042, // 21..30
+	}
+	switch {
+	case df <= 0:
+		return 0
+	case df < len(table):
+		return table[df]
+	case df <= 40:
+		return 2.021
+	case df <= 60:
+		return 2.000
+	case df <= 120:
+		return 1.980
+	default:
+		return 1.960
+	}
+}

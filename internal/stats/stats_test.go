@@ -1,0 +1,112 @@
+package stats
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func almost(a, b, eps float64) bool { return math.Abs(a-b) <= eps }
+
+func TestMean(t *testing.T) {
+	tests := []struct {
+		name string
+		xs   []float64
+		want float64
+	}{
+		{"empty", nil, 0},
+		{"single", []float64{3}, 3},
+		{"pair", []float64{1, 3}, 2},
+		{"negatives", []float64{-2, 2, 6}, 2},
+	}
+	for _, tc := range tests {
+		t.Run(tc.name, func(t *testing.T) {
+			if got := Mean(tc.xs); !almost(got, tc.want, 1e-12) {
+				t.Errorf("Mean = %v, want %v", got, tc.want)
+			}
+		})
+	}
+}
+
+func TestStdDev(t *testing.T) {
+	if got := StdDev([]float64{5}); got != 0 {
+		t.Errorf("StdDev of singleton = %v", got)
+	}
+	// Known sample: {2,4,4,4,5,5,7,9} has sample std ≈ 2.138.
+	xs := []float64{2, 4, 4, 4, 5, 5, 7, 9}
+	if got := StdDev(xs); !almost(got, 2.13809, 1e-4) {
+		t.Errorf("StdDev = %v, want ≈2.138", got)
+	}
+}
+
+func TestSummarizeConstantSample(t *testing.T) {
+	s := Summarize([]float64{4, 4, 4, 4})
+	if s.Mean != 4 || s.Std != 0 || s.CI95 != 0 || s.N != 4 {
+		t.Errorf("constant sample summary = %+v", s)
+	}
+}
+
+func TestSummarizeKnownCI(t *testing.T) {
+	// n=5, std=1 → CI half-width = t(4) / sqrt(5) = 2.776/2.236 ≈ 1.2414.
+	xs := []float64{-1, -0.5, 0, 0.5, 1}
+	s := Summarize(xs)
+	wantStd := StdDev(xs)
+	want := 2.776 * wantStd / math.Sqrt(5)
+	if !almost(s.CI95, want, 1e-9) {
+		t.Errorf("CI95 = %v, want %v", s.CI95, want)
+	}
+}
+
+func TestTCriticalMonotoneTo196(t *testing.T) {
+	prev := math.Inf(1)
+	for df := 1; df <= 300; df++ {
+		c := tCritical95(df)
+		if c > prev+1e-9 {
+			t.Fatalf("tCritical95 not non-increasing at df=%d: %v > %v", df, c, prev)
+		}
+		prev = c
+	}
+	if got := tCritical95(10000); got != 1.96 {
+		t.Errorf("large-df critical = %v, want 1.96", got)
+	}
+	if got := tCritical95(0); got != 0 {
+		t.Errorf("df=0 critical = %v, want 0", got)
+	}
+}
+
+func TestCIShrinksWithSampleSize(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	sample := func(n int) []float64 {
+		xs := make([]float64, n)
+		for i := range xs {
+			xs[i] = rng.NormFloat64()
+		}
+		return xs
+	}
+	small := Summarize(sample(10))
+	large := Summarize(sample(1000))
+	if large.CI95 >= small.CI95 {
+		t.Errorf("CI did not shrink: n=10 → %v, n=1000 → %v", small.CI95, large.CI95)
+	}
+}
+
+func TestCICoverage(t *testing.T) {
+	// Statistical sanity check: with normal data, the 95% CI should cover
+	// the true mean in roughly 95% of repetitions. Tolerate 88-100%.
+	rng := rand.New(rand.NewSource(7))
+	covered := 0
+	const reps = 400
+	for r := 0; r < reps; r++ {
+		xs := make([]float64, 12)
+		for i := range xs {
+			xs[i] = 5 + 2*rng.NormFloat64()
+		}
+		s := Summarize(xs)
+		if math.Abs(s.Mean-5) <= s.CI95 {
+			covered++
+		}
+	}
+	if covered < int(0.88*reps) {
+		t.Errorf("CI covered true mean in only %d/%d repetitions", covered, reps)
+	}
+}

@@ -1,0 +1,337 @@
+// Package tcpnet runs rounds.Protocol state machines over real TCP
+// sockets, mirroring the paper's prototype, which executed on a real
+// network stack (salticidae) rather than in a simulator.
+//
+// The synchronous model of §II is realized with wall-clock rounds: all
+// processes agree on a start instant and a round duration ΔT chosen so
+// that messages sent at the beginning of a round are delivered before it
+// ends. One TCP connection exists per communication-graph edge; the
+// lower-ID endpoint listens, the higher-ID endpoint dials, and a 4-byte ID
+// handshake authenticates the connection's edge. Frames are
+// length-prefixed, matching the byte accounting of the in-memory engine
+// (rounds.DefaultMsgOverhead).
+package tcpnet
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+	"time"
+
+	"github.com/nectar-repro/nectar/internal/ids"
+	"github.com/nectar-repro/nectar/internal/rounds"
+)
+
+// maxFrame bounds incoming frame sizes (1 MiB is far above any NECTAR
+// message at the paper's scales).
+const maxFrame = 1 << 20
+
+// Config describes one process of a TCP deployment.
+type Config struct {
+	// Me is the local node's identity.
+	Me ids.NodeID
+	// Addrs maps every node ID to its "host:port" listen address. Only
+	// neighbors are contacted.
+	Addrs map[ids.NodeID]string
+	// Neighbors is the local neighborhood Γ(Me).
+	Neighbors []ids.NodeID
+	// Listener optionally supplies a pre-bound listener for Addrs[Me]
+	// (tests use this to allocate ephemeral ports race-free).
+	Listener net.Listener
+	// StartAt is the agreed instant of round 1's beginning. All processes
+	// must use the same value; it must be far enough in the future for
+	// connection establishment to finish.
+	StartAt time.Time
+	// RoundDuration is ΔT. It must comfortably exceed the network round
+	// trip; 200ms is generous on localhost.
+	RoundDuration time.Duration
+	// Rounds is the number of synchronous rounds to execute.
+	Rounds int
+	// DialRetry is the backoff between connection attempts (default
+	// 50ms).
+	DialRetry time.Duration
+	// Logf, when non-nil, receives progress lines.
+	Logf func(format string, args ...any)
+}
+
+// Stats meters the local node's traffic.
+type Stats struct {
+	BytesSent     int64
+	MsgsSent      int64
+	MsgsDelivered int64
+	// LateMsgs counts frames that arrived after their round window closed
+	// and were delivered in a later round (the protocol layer discards
+	// them if stale).
+	LateMsgs int64
+}
+
+// frame is one received message.
+type frame struct {
+	from ids.NodeID
+	data []byte
+}
+
+// Run executes proto over TCP for cfg.Rounds wall-clock rounds and
+// returns the traffic stats. It blocks until the run completes.
+func Run(cfg Config, proto rounds.Protocol) (*Stats, error) {
+	if err := validate(&cfg); err != nil {
+		return nil, err
+	}
+	conns, ln, err := connect(cfg)
+	if ln != nil {
+		defer ln.Close()
+	}
+	if err != nil {
+		closeAll(conns)
+		return nil, err
+	}
+	defer closeAll(conns)
+
+	incoming := make(chan frame, 1024)
+	var readers sync.WaitGroup
+	for id, c := range conns {
+		readers.Add(1)
+		go func(id ids.NodeID, c net.Conn) {
+			defer readers.Done()
+			readLoop(id, c, incoming)
+		}(id, c)
+	}
+
+	stats := &Stats{}
+	err = runRounds(cfg, proto, conns, incoming, stats)
+
+	// Unblock readers and wait for them before returning.
+	closeAll(conns)
+	readers.Wait()
+	return stats, err
+}
+
+func validate(cfg *Config) error {
+	if cfg.Rounds <= 0 {
+		return fmt.Errorf("tcpnet: Rounds must be positive, got %d", cfg.Rounds)
+	}
+	if cfg.RoundDuration <= 0 {
+		return fmt.Errorf("tcpnet: RoundDuration must be positive")
+	}
+	if cfg.DialRetry <= 0 {
+		cfg.DialRetry = 50 * time.Millisecond
+	}
+	if cfg.Logf == nil {
+		cfg.Logf = func(string, ...any) {}
+	}
+	for _, nb := range cfg.Neighbors {
+		if nb == cfg.Me {
+			return fmt.Errorf("tcpnet: node %v lists itself as neighbor", cfg.Me)
+		}
+		if _, ok := cfg.Addrs[nb]; !ok {
+			return fmt.Errorf("tcpnet: no address for neighbor %v", nb)
+		}
+	}
+	return nil
+}
+
+// connect establishes one connection per incident edge: dial neighbors
+// with smaller IDs, accept from neighbors with larger IDs.
+func connect(cfg Config) (map[ids.NodeID]net.Conn, net.Listener, error) {
+	conns := make(map[ids.NodeID]net.Conn, len(cfg.Neighbors))
+	expectAccept := 0
+	for _, nb := range cfg.Neighbors {
+		if nb > cfg.Me {
+			expectAccept++
+		}
+	}
+	ln := cfg.Listener
+	if ln == nil && expectAccept > 0 {
+		addr, ok := cfg.Addrs[cfg.Me]
+		if !ok {
+			return nil, nil, fmt.Errorf("tcpnet: no listen address for %v", cfg.Me)
+		}
+		var err error
+		ln, err = net.Listen("tcp", addr)
+		if err != nil {
+			return nil, nil, fmt.Errorf("tcpnet: listen %s: %w", addr, err)
+		}
+	}
+
+	deadline := cfg.StartAt
+	var mu sync.Mutex
+	var firstErr error
+	var wg sync.WaitGroup
+
+	// Accept loop for higher-ID neighbors.
+	if expectAccept > 0 {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			accepted := 0
+			for accepted < expectAccept {
+				if d, ok := ln.(interface{ SetDeadline(time.Time) error }); ok {
+					_ = d.SetDeadline(deadline)
+				}
+				c, err := ln.Accept()
+				if err != nil {
+					mu.Lock()
+					if firstErr == nil {
+						firstErr = fmt.Errorf("tcpnet: accept: %w", err)
+					}
+					mu.Unlock()
+					return
+				}
+				var hello [4]byte
+				if _, err := io.ReadFull(c, hello[:]); err != nil {
+					c.Close()
+					continue
+				}
+				peer := ids.NodeID(binary.BigEndian.Uint32(hello[:]))
+				if !isNeighbor(cfg.Neighbors, peer) || peer <= cfg.Me {
+					cfg.Logf("rejecting connection claiming to be %v", peer)
+					c.Close()
+					continue
+				}
+				mu.Lock()
+				if _, dup := conns[peer]; dup {
+					mu.Unlock()
+					c.Close()
+					continue
+				}
+				conns[peer] = c
+				mu.Unlock()
+				accepted++
+			}
+		}()
+	}
+
+	// Dial lower-ID neighbors, retrying until the start instant.
+	for _, nb := range cfg.Neighbors {
+		if nb >= cfg.Me {
+			continue
+		}
+		wg.Add(1)
+		go func(nb ids.NodeID) {
+			defer wg.Done()
+			addr := cfg.Addrs[nb]
+			for {
+				c, err := net.DialTimeout("tcp", addr, cfg.DialRetry*4)
+				if err == nil {
+					var hello [4]byte
+					binary.BigEndian.PutUint32(hello[:], uint32(cfg.Me))
+					if _, err := c.Write(hello[:]); err == nil {
+						mu.Lock()
+						conns[nb] = c
+						mu.Unlock()
+						return
+					}
+					c.Close()
+				}
+				if time.Now().After(deadline) {
+					mu.Lock()
+					if firstErr == nil {
+						firstErr = fmt.Errorf("tcpnet: dialing %v at %s: %w", nb, addr, err)
+					}
+					mu.Unlock()
+					return
+				}
+				time.Sleep(cfg.DialRetry)
+			}
+		}(nb)
+	}
+	wg.Wait()
+	if firstErr != nil {
+		return conns, ln, firstErr
+	}
+	if len(conns) != len(cfg.Neighbors) {
+		return conns, ln, fmt.Errorf("tcpnet: %d of %d neighbor connections established",
+			len(conns), len(cfg.Neighbors))
+	}
+	cfg.Logf("node %v connected to %d neighbors", cfg.Me, len(conns))
+	return conns, ln, nil
+}
+
+// runRounds drives the wall-clock round loop.
+func runRounds(cfg Config, proto rounds.Protocol, conns map[ids.NodeID]net.Conn, incoming <-chan frame, stats *Stats) error {
+	// Wait for the agreed start instant.
+	if d := time.Until(cfg.StartAt); d > 0 {
+		time.Sleep(d)
+	}
+	for r := 1; r <= cfg.Rounds; r++ {
+		roundEnd := cfg.StartAt.Add(time.Duration(r) * cfg.RoundDuration)
+		for _, s := range proto.Emit(r) {
+			c, ok := conns[s.To]
+			if !ok {
+				continue // no channel: the engine-equivalent drop
+			}
+			if err := writeFrame(c, cfg.Me, s.Data); err != nil {
+				return fmt.Errorf("tcpnet: round %d send to %v: %w", r, s.To, err)
+			}
+			stats.BytesSent += int64(len(s.Data) + rounds.DefaultMsgOverhead)
+			stats.MsgsSent++
+		}
+		// Deliver everything that arrives within the round window.
+		timer := time.NewTimer(time.Until(roundEnd))
+	drain:
+		for {
+			select {
+			case f := <-incoming:
+				stats.MsgsDelivered++
+				proto.Deliver(r, f.from, f.data)
+			case <-timer.C:
+				break drain
+			}
+		}
+		timer.Stop()
+		cfg.Logf("node %v finished round %d/%d", cfg.Me, r, cfg.Rounds)
+	}
+	return nil
+}
+
+// writeFrame sends [from:4][len:4][payload].
+func writeFrame(c net.Conn, from ids.NodeID, data []byte) error {
+	hdr := make([]byte, 8, 8+len(data))
+	binary.BigEndian.PutUint32(hdr[:4], uint32(from))
+	binary.BigEndian.PutUint32(hdr[4:8], uint32(len(data)))
+	_, err := c.Write(append(hdr, data...))
+	return err
+}
+
+// readLoop parses frames from one connection into the shared channel. The
+// sender ID in the frame header is ignored in favor of the authenticated
+// connection identity: a Byzantine neighbor cannot spoof a third party.
+func readLoop(peer ids.NodeID, c net.Conn, out chan<- frame) {
+	for {
+		var hdr [8]byte
+		if _, err := io.ReadFull(c, hdr[:]); err != nil {
+			return
+		}
+		size := binary.BigEndian.Uint32(hdr[4:8])
+		if size > maxFrame {
+			return // protocol violation: drop the connection
+		}
+		data := make([]byte, size)
+		if _, err := io.ReadFull(c, data); err != nil {
+			return
+		}
+		out <- frame{from: peer, data: data}
+	}
+}
+
+func isNeighbor(neighbors []ids.NodeID, id ids.NodeID) bool {
+	for _, nb := range neighbors {
+		if nb == id {
+			return true
+		}
+	}
+	return false
+}
+
+func closeAll(conns map[ids.NodeID]net.Conn) {
+	for _, c := range conns {
+		c.Close()
+	}
+}
+
+// ErrTooFewRounds is returned by helpers when a deployment would run fewer
+// rounds than NECTAR needs (n-1).
+var ErrTooFewRounds = errors.New("tcpnet: rounds below the protocol horizon")

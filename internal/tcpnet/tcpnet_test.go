@@ -1,0 +1,207 @@
+package tcpnet
+
+import (
+	"net"
+	"sync"
+	"testing"
+	"time"
+
+	"github.com/nectar-repro/nectar/internal/graph"
+	"github.com/nectar-repro/nectar/internal/ids"
+	"github.com/nectar-repro/nectar/internal/nectar"
+	"github.com/nectar-repro/nectar/internal/rounds"
+	"github.com/nectar-repro/nectar/internal/sig"
+	"github.com/nectar-repro/nectar/internal/topology"
+)
+
+// launchCluster runs one NECTAR node per vertex of g over localhost TCP
+// and returns their outcomes.
+func launchCluster(t *testing.T, g *graph.Graph, tByz int, roundDur time.Duration) []nectar.Outcome {
+	t.Helper()
+	n := g.N()
+	scheme := sig.NewEd25519(n, 99)
+	nodes, err := nectar.BuildNodes(g, tByz, scheme, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Pre-bind ephemeral listeners so every process knows every address.
+	listeners := make([]net.Listener, n)
+	addrs := make(map[ids.NodeID]string, n)
+	for i := 0; i < n; i++ {
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		listeners[i] = ln
+		addrs[ids.NodeID(i)] = ln.Addr().String()
+	}
+	start := time.Now().Add(300 * time.Millisecond)
+	outcomes := make([]nectar.Outcome, n)
+	errs := make([]error, n)
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			me := ids.NodeID(i)
+			_, err := Run(Config{
+				Me:            me,
+				Addrs:         addrs,
+				Neighbors:     g.Neighbors(me),
+				Listener:      listeners[i],
+				StartAt:       start,
+				RoundDuration: roundDur,
+				Rounds:        n - 1,
+			}, nodes[i])
+			if err != nil {
+				errs[i] = err
+				return
+			}
+			outcomes[i] = nodes[i].Decide()
+		}(i)
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			t.Fatalf("node %d: %v", i, err)
+		}
+	}
+	return outcomes
+}
+
+func TestNectarOverRealTCP(t *testing.T) {
+	if testing.Short() {
+		t.Skip("wall-clock TCP run skipped in -short mode")
+	}
+	// Ring of 6, t=1: κ=2 > 1, so every node must decide
+	// NOT_PARTITIONABLE — over real sockets with Ed25519 signatures.
+	g := topology.Ring(6)
+	outs := launchCluster(t, g, 1, 150*time.Millisecond)
+	for i, o := range outs {
+		if o.Decision != nectar.NotPartitionable {
+			t.Errorf("node %d decided %v over TCP", i, o.Decision)
+		}
+		if o.Reachable != 6 {
+			t.Errorf("node %d reached %d/6", i, o.Reachable)
+		}
+	}
+}
+
+func TestNectarOverTCPDetectsLowConnectivity(t *testing.T) {
+	if testing.Short() {
+		t.Skip("wall-clock TCP run skipped in -short mode")
+	}
+	// Star of 5, t=1: κ=1 ≤ t — PARTITIONABLE everywhere.
+	g := topology.Star(5)
+	outs := launchCluster(t, g, 1, 150*time.Millisecond)
+	for i, o := range outs {
+		if o.Decision != nectar.Partitionable {
+			t.Errorf("node %d decided %v over TCP, want PARTITIONABLE", i, o.Decision)
+		}
+	}
+}
+
+func TestValidation(t *testing.T) {
+	base := Config{
+		Me:            0,
+		Addrs:         map[ids.NodeID]string{1: "127.0.0.1:1"},
+		Neighbors:     []ids.NodeID{1},
+		RoundDuration: time.Millisecond,
+		Rounds:        1,
+	}
+	bad := base
+	bad.Rounds = 0
+	if err := validate(&bad); err == nil {
+		t.Error("zero rounds accepted")
+	}
+	bad = base
+	bad.RoundDuration = 0
+	if err := validate(&bad); err == nil {
+		t.Error("zero round duration accepted")
+	}
+	bad = base
+	bad.Neighbors = []ids.NodeID{0}
+	if err := validate(&bad); err == nil {
+		t.Error("self neighbor accepted")
+	}
+	bad = base
+	bad.Neighbors = []ids.NodeID{2}
+	if err := validate(&bad); err == nil {
+		t.Error("address-less neighbor accepted")
+	}
+}
+
+func TestDialFailureSurfacesError(t *testing.T) {
+	// Neighbor 0 does not exist: the dial must give up at StartAt and
+	// return an error rather than hang.
+	cfg := Config{
+		Me:            1,
+		Addrs:         map[ids.NodeID]string{0: "127.0.0.1:1", 1: "127.0.0.1:0"},
+		Neighbors:     []ids.NodeID{0},
+		StartAt:       time.Now().Add(200 * time.Millisecond),
+		RoundDuration: 50 * time.Millisecond,
+		Rounds:        1,
+		DialRetry:     20 * time.Millisecond,
+	}
+	done := make(chan error, 1)
+	go func() {
+		_, err := Run(cfg, silent{})
+		done <- err
+	}()
+	select {
+	case err := <-done:
+		if err == nil {
+			t.Error("expected a connection error")
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("Run hung on unreachable neighbor")
+	}
+}
+
+type silent struct{}
+
+func (silent) Emit(int) []rounds.Send          { return nil }
+func (silent) Deliver(int, ids.NodeID, []byte) {}
+
+func TestFrameRoundTrip(t *testing.T) {
+	a, b := net.Pipe()
+	defer a.Close()
+	defer b.Close()
+	out := make(chan frame, 1)
+	go readLoop(7, b, out)
+	if err := writeFrame(a, 3, []byte("payload")); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case f := <-out:
+		// The connection identity (7), not the header claim (3), is
+		// authoritative.
+		if f.from != 7 || string(f.data) != "payload" {
+			t.Errorf("frame = %v %q", f.from, f.data)
+		}
+	case <-time.After(time.Second):
+		t.Fatal("frame not delivered")
+	}
+}
+
+func TestReadLoopDropsOversizedFrames(t *testing.T) {
+	a, b := net.Pipe()
+	defer a.Close()
+	defer b.Close()
+	out := make(chan frame, 1)
+	done := make(chan struct{})
+	go func() {
+		readLoop(1, b, out)
+		close(done)
+	}()
+	hdr := make([]byte, 8)
+	hdr[4] = 0xFF // 4 GB-ish claimed size
+	if _, err := a.Write(hdr); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case <-done:
+	case <-time.After(time.Second):
+		t.Fatal("readLoop did not drop the connection")
+	}
+}

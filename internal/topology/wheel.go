@@ -1,0 +1,73 @@
+package topology
+
+import (
+	"fmt"
+
+	"github.com/nectar-repro/nectar/internal/graph"
+	"github.com/nectar-repro/nectar/internal/ids"
+)
+
+// Wheel families (Bonomi et al. [23]): the Byzantine worst-case
+// topologies, where Byzantine nodes may occupy a central hub while only
+// one (generalized wheel) or a few (multipartite wheel) external paths
+// link the correct nodes.
+
+// GeneralizedWheel returns the generalized wheel GW(c, n): a hub clique of
+// c vertices (IDs 0..c-1), an external cycle over the remaining n-c
+// vertices, and spokes from every external vertex to every hub vertex.
+// Its vertex connectivity is c+2 (removing the hub plus two cycle
+// vertices is a minimum cut). Requires n-c ≥ 3 and c ≥ 0; c = 0 is the
+// plain cycle.
+func GeneralizedWheel(c, n int) (*graph.Graph, error) {
+	if c < 0 || n-c < 3 {
+		return nil, fmt.Errorf("topology: GeneralizedWheel requires c >= 0 and n-c >= 3, got c=%d n=%d", c, n)
+	}
+	g := graph.New(n)
+	// Hub clique.
+	for u := 0; u < c; u++ {
+		for v := u + 1; v < c; v++ {
+			g.AddEdge(ids.NodeID(u), ids.NodeID(v))
+		}
+	}
+	addCycleAndSpokes(g, c, n)
+	return g, nil
+}
+
+// MultipartiteWheel returns MW(c, parts, n): like the generalized wheel,
+// but the c hub vertices form a complete multipartite graph with `parts`
+// parts (intra-part pairs are NOT adjacent) instead of a clique, giving
+// the "few paths" variant of the Byzantine worst case. Requires
+// 1 ≤ parts ≤ c (parts == c degenerates to the clique hub) and n-c ≥ 3.
+func MultipartiteWheel(c, parts, n int) (*graph.Graph, error) {
+	if c < 1 || parts < 1 || parts > c || n-c < 3 {
+		return nil, fmt.Errorf("topology: MultipartiteWheel requires 1 <= parts <= c and n-c >= 3, got c=%d parts=%d n=%d", c, parts, n)
+	}
+	g := graph.New(n)
+	// Complete multipartite hub: vertex v belongs to part v mod parts.
+	for u := 0; u < c; u++ {
+		for v := u + 1; v < c; v++ {
+			if u%parts != v%parts {
+				g.AddEdge(ids.NodeID(u), ids.NodeID(v))
+			}
+		}
+	}
+	addCycleAndSpokes(g, c, n)
+	return g, nil
+}
+
+// addCycleAndSpokes adds the external cycle over vertices c..n-1 and
+// spokes from each external vertex to every hub vertex 0..c-1.
+func addCycleAndSpokes(g *graph.Graph, c, n int) {
+	for v := c; v < n; v++ {
+		next := v + 1
+		if next == n {
+			next = c
+		}
+		if next != v {
+			g.AddEdge(ids.NodeID(v), ids.NodeID(next))
+		}
+		for h := 0; h < c; h++ {
+			g.AddEdge(ids.NodeID(v), ids.NodeID(h))
+		}
+	}
+}

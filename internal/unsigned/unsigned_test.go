@@ -1,0 +1,317 @@
+package unsigned
+
+import (
+	"math/rand"
+	"testing"
+
+	"github.com/nectar-repro/nectar/internal/adversary"
+	"github.com/nectar-repro/nectar/internal/graph"
+	"github.com/nectar-repro/nectar/internal/ids"
+	"github.com/nectar-repro/nectar/internal/nectar"
+	"github.com/nectar-repro/nectar/internal/rounds"
+	"github.com/nectar-repro/nectar/internal/sig"
+	"github.com/nectar-repro/nectar/internal/topology"
+)
+
+// runUnsigned drives an all-correct (or partially wrapped) execution.
+func runUnsigned(t *testing.T, g *graph.Graph, tByz int, wrap map[ids.NodeID]rounds.Protocol) ([]*Node, *rounds.Metrics) {
+	t.Helper()
+	nodes, err := BuildNodes(g, tByz, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	protos := make([]rounds.Protocol, g.N())
+	for i, nd := range nodes {
+		protos[i] = nd
+	}
+	for id, p := range wrap {
+		protos[id] = p
+	}
+	m, err := rounds.Run(rounds.Config{Graph: g, Rounds: nodes[0].Rounds(), Seed: 5}, protos)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return nodes, m
+}
+
+func TestUnsignedDiscoversFullGraphFaultFree(t *testing.T) {
+	for _, tc := range []struct {
+		name string
+		g    *graph.Graph
+		t    int
+	}{
+		{"ring t=1 needs kappa>=3? ring has 2", topology.Ring(7), 1},
+		{"complete", topology.Complete(6), 1},
+		{"harary k=5", mustHarary(t, 5, 12), 2},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			nodes, _ := runUnsigned(t, tc.g, tc.t, nil)
+			// Liveness needs κ ≥ t+1 correct paths even fault-free (the
+			// t+1 disjoint evidence rule); check only when it holds.
+			if tc.g.Connectivity() < tc.t+1 {
+				t.Skip("below liveness threshold")
+			}
+			for i, nd := range nodes {
+				if !nd.View().Equal(tc.g) {
+					t.Errorf("node %d view %v != %v", i, nd.View(), tc.g)
+				}
+			}
+		})
+	}
+}
+
+func mustHarary(t *testing.T, k, n int) *graph.Graph {
+	t.Helper()
+	g, err := topology.Harary(k, n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+func TestUnsignedMatchesSignedDecisionOn2T1Connected(t *testing.T) {
+	// On κ ≥ 2t+1 graphs the unsigned variant must reach the same
+	// decision as signed NECTAR (here: NOT_PARTITIONABLE).
+	g := mustHarary(t, 5, 14) // κ=5 ≥ 2·2+1
+	nodes, _ := runUnsigned(t, g, 2, nil)
+	for i, nd := range nodes {
+		o := nd.Decide()
+		if o.Decision != nectar.NotPartitionable {
+			t.Errorf("node %d decided %v", i, o.Decision)
+		}
+		if o.Reachable != g.N() {
+			t.Errorf("node %d reached %d/%d", i, o.Reachable, g.N())
+		}
+	}
+}
+
+func TestUnsignedDetectsPartition(t *testing.T) {
+	g := graph.New(8)
+	for i := 0; i < 4; i++ {
+		g.AddEdge(ids.NodeID(i), ids.NodeID((i+1)%4))
+		g.AddEdge(ids.NodeID(4+i), ids.NodeID(4+(i+1)%4))
+	}
+	nodes, _ := runUnsigned(t, g, 1, nil)
+	for i, nd := range nodes {
+		o := nd.Decide()
+		if o.Decision != nectar.Partitionable || !o.Confirmed {
+			t.Errorf("node %d: %v confirmed=%v", i, o.Decision, o.Confirmed)
+		}
+	}
+}
+
+func TestUnsignedByzantineCannotForgeEdgeToCorrectNode(t *testing.T) {
+	// Byzantine node 0 injects a fabricated claim "7 says {0,7}" (7 is
+	// correct and NOT its neighbor). No correct node may ever record the
+	// edge {0,7}: every lying path passes through node 0, so t+1 = 2
+	// disjoint paths cannot exist.
+	g := mustHarary(t, 4, 10) // 0's neighbors: 1,2,8,9 — 7 is not one
+	if g.HasEdge(0, 7) {
+		t.Fatal("test premise broken: {0,7} exists")
+	}
+	fake := graph.NewEdge(0, 7)
+	forger := &claimForger{
+		inner: mustNode(t, g, 0, 1),
+		inject: func(round int) []rounds.Send {
+			if round < 2 {
+				return nil
+			}
+			// A forged copy pretending node 7 asserted the edge and the
+			// path went 7 -> 0 (us). Path length must equal the round, so
+			// pad with more fake hops as rounds advance — all containing
+			// us, which honest verification doesn't require, so craft
+			// paths [7, 3, 4, ..., 0] ending at us.
+			path := []ids.NodeID{7}
+			pad := []ids.NodeID{3, 4, 5, 6}
+			for len(path) < round-1 {
+				path = append(path, pad[(len(path)-1)%len(pad)])
+			}
+			path = append(path, 0)
+			data := encodeMsg(claimKey{asserter: 7, edge: fake}, path)
+			var out []rounds.Send
+			for _, nb := range g.Neighbors(0) {
+				out = append(out, rounds.Send{To: nb, Data: data})
+			}
+			return out
+		},
+	}
+	nodes, _ := runUnsigned(t, g, 1, map[ids.NodeID]rounds.Protocol{0: forger})
+	for i := 1; i < g.N(); i++ {
+		if nodes[i].View().HasEdge(0, 7) {
+			t.Errorf("node %d recorded the forged edge {0,7}", i)
+		}
+	}
+}
+
+// claimForger behaves correctly but injects extra fabricated messages.
+type claimForger struct {
+	inner  *Node
+	inject func(round int) []rounds.Send
+}
+
+func (f *claimForger) Emit(round int) []rounds.Send {
+	return append(f.inner.Emit(round), f.inject(round)...)
+}
+
+func (f *claimForger) Deliver(round int, from ids.NodeID, data []byte) {
+	f.inner.Deliver(round, from, data)
+}
+
+func mustNode(t *testing.T, g *graph.Graph, me ids.NodeID, tByz int) *Node {
+	t.Helper()
+	nd, err := NewNode(Config{
+		N: g.N(), T: tByz, Me: me,
+		Neighbors: append([]ids.NodeID(nil), g.Neighbors(me)...),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return nd
+}
+
+func TestUnsignedSafetyUnderCrashByzantine(t *testing.T) {
+	// κ = 5 ≥ 2t+1 with t = 2 crashed Byzantine nodes: all correct nodes
+	// still discover every correct-incident edge and decide correctly.
+	g := mustHarary(t, 5, 12)
+	byz := ids.NewSet(3, 8)
+	wrap := map[ids.NodeID]rounds.Protocol{
+		3: adversary.Silent{},
+		8: adversary.Silent{},
+	}
+	nodes, _ := runUnsigned(t, g, 2, wrap)
+	for i, nd := range nodes {
+		if byz.Has(ids.NodeID(i)) {
+			continue
+		}
+		o := nd.Decide()
+		// Crashed nodes never assert their own edges, so views miss
+		// byz-byz edges at most; κ(view) ≥ κ(G) - missing byz edges.
+		// With κ=5 and t=2 the view stays above t even so — but silent
+		// nodes' edges ARE asserted by their correct endpoints... only
+		// one endpoint asserts, which is not enough (both halves
+		// needed). The decision must still be safe: never a wrong
+		// NOT_PARTITIONABLE claim when someone is cut off.
+		if o.Reachable != g.N() && o.Decision == nectar.NotPartitionable {
+			t.Errorf("node %d: NOT_PARTITIONABLE with %d/%d reachable", i, o.Reachable, g.N())
+		}
+	}
+}
+
+func TestUnsignedRandomizedAgreementFaultFree(t *testing.T) {
+	// Fault-free agreement across random κ ≥ t+1 topologies.
+	rng := rand.New(rand.NewSource(9))
+	for trial := 0; trial < 10; trial++ {
+		n := 8 + rng.Intn(5)
+		g, err := topology.RandomRegularConnected(4, n+n%2, rng)
+		if err != nil {
+			t.Fatal(err)
+		}
+		nodes, _ := runUnsigned(t, g, 1, nil)
+		first := nodes[0].Decide().Decision
+		for i, nd := range nodes {
+			if got := nd.Decide().Decision; got != first {
+				t.Fatalf("trial %d: node %d decided %v, node 0 %v", trial, i, got, first)
+			}
+		}
+	}
+}
+
+func TestUnsignedMsgValidation(t *testing.T) {
+	g := topology.Ring(6)
+	nd := mustNode(t, g, 0, 1)
+	key := claimKey{asserter: 2, edge: graph.NewEdge(2, 3)}
+
+	valid := encodeMsg(key, []ids.NodeID{2, 1})
+	nd.Deliver(2, 1, valid)
+	if nd.Stats().Rejected != 0 {
+		t.Fatalf("valid message rejected")
+	}
+	cases := []struct {
+		name  string
+		data  []byte
+		round int
+		from  ids.NodeID
+	}{
+		{"wrong length for round", encodeMsg(key, []ids.NodeID{2, 1}), 3, 1},
+		{"path does not start at asserter", encodeMsg(key, []ids.NodeID{4, 1}), 2, 1},
+		{"path does not end at sender", encodeMsg(key, []ids.NodeID{2, 5}), 2, 1},
+		{"we are on the path", encodeMsg(key, []ids.NodeID{2, 0, 1}), 3, 1},
+		{"duplicate on path", encodeMsg(key, []ids.NodeID{2, 2}), 2, 2},
+		{"asserter not an endpoint", encodeMsg(claimKey{asserter: 4, edge: graph.NewEdge(2, 3)}, []ids.NodeID{4, 1}), 2, 1},
+		{"garbage", []byte("junk"), 1, 1},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			before := nd.Stats().Rejected
+			nd.Deliver(tc.round, tc.from, tc.data)
+			if nd.Stats().Rejected != before+1 {
+				t.Errorf("message not rejected")
+			}
+		})
+	}
+}
+
+func TestDisjointSubset(t *testing.T) {
+	p := func(vs ...ids.NodeID) []ids.NodeID { return vs }
+	tests := []struct {
+		name  string
+		paths [][]ids.NodeID
+		need  int
+		want  bool
+	}{
+		{"empty need 0", nil, 0, true},
+		{"empty need 1", nil, 1, false},
+		{"two disjoint", [][]ids.NodeID{p(1, 2), p(3, 4)}, 2, true},
+		{"overlap", [][]ids.NodeID{p(1, 2), p(2, 3)}, 2, false},
+		{"pick around overlap", [][]ids.NodeID{p(1, 2), p(2, 3), p(4)}, 2, true},
+		{"needs backtracking", [][]ids.NodeID{p(1), p(1, 2), p(2)}, 2, true},
+		{"three of four", [][]ids.NodeID{p(1), p(2), p(1, 3), p(4)}, 3, true},
+		{"empty path counts", [][]ids.NodeID{{}, p(1)}, 2, true},
+	}
+	for _, tc := range tests {
+		t.Run(tc.name, func(t *testing.T) {
+			if got := disjointSubset(tc.paths, tc.need); got != tc.want {
+				t.Errorf("disjointSubset = %v, want %v", got, tc.want)
+			}
+		})
+	}
+}
+
+func TestUnsignedValidationErrors(t *testing.T) {
+	if _, err := NewNode(Config{N: 0}); err == nil {
+		t.Error("N=0 accepted")
+	}
+	if _, err := NewNode(Config{N: 4, T: -1}); err == nil {
+		t.Error("negative T accepted")
+	}
+	if _, err := NewNode(Config{N: 4, Me: 9}); err == nil {
+		t.Error("Me out of range accepted")
+	}
+	if _, err := NewNode(Config{N: 4, Me: 0, Neighbors: []ids.NodeID{0}}); err == nil {
+		t.Error("self neighbor accepted")
+	}
+}
+
+func TestUnsignedCostExceedsSigned(t *testing.T) {
+	// The §VII conjecture's "significant cost": on the same topology the
+	// unsigned variant must move (far) more messages than signed NECTAR.
+	g := mustHarary(t, 5, 12)
+	_, mUnsigned := runUnsigned(t, g, 2, nil)
+
+	signed, err := nectar.BuildNodes(g, 2, sig.NewInsecure(g.N(), 64), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	protos := make([]rounds.Protocol, g.N())
+	for i, nd := range signed {
+		protos[i] = nd
+	}
+	mSigned, err := rounds.Run(rounds.Config{Graph: g, Rounds: g.N() - 1, Seed: 5}, protos)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mUnsigned.MsgsSent[0] <= 2*mSigned.MsgsSent[0] {
+		t.Errorf("unsigned %d msgs vs signed %d: expected a significant blow-up",
+			mUnsigned.MsgsSent[0], mSigned.MsgsSent[0])
+	}
+}

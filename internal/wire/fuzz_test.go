@@ -1,0 +1,48 @@
+package wire
+
+import "testing"
+
+// FuzzReader drives the reader through a scripted access pattern over
+// arbitrary input: it must never panic, never return more bytes than the
+// input holds, and stay sticky after the first error.
+func FuzzReader(f *testing.F) {
+	f.Add([]byte{}, []byte{0})
+	f.Add([]byte{1, 2, 3, 4, 5, 6, 7, 8}, []byte{1, 2, 3})
+	f.Add([]byte{0, 0, 0, 200}, []byte{3, 3})
+	f.Fuzz(func(t *testing.T, data, script []byte) {
+		r := NewReader(data)
+		consumed := 0
+		for _, op := range script {
+			if r.Err() != nil {
+				break
+			}
+			before := r.Remaining()
+			switch op % 6 {
+			case 0:
+				r.U8()
+			case 1:
+				r.U16()
+			case 2:
+				r.U32()
+			case 3:
+				r.U64()
+			case 4:
+				r.LenBytes()
+			case 5:
+				r.Raw(int(op) % 9)
+			}
+			if r.Err() == nil {
+				consumed += before - r.Remaining()
+			}
+		}
+		if consumed > len(data) {
+			t.Fatalf("reader consumed %d of %d bytes", consumed, len(data))
+		}
+		if r.Err() != nil {
+			// Sticky: all further reads yield zero values.
+			if got := r.U64(); got != 0 {
+				t.Fatalf("post-error read returned %d", got)
+			}
+		}
+	})
+}

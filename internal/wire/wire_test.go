@@ -1,0 +1,148 @@
+package wire
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"github.com/nectar-repro/nectar/internal/ids"
+)
+
+func TestWriterReaderRoundTrip(t *testing.T) {
+	w := NewWriter(64)
+	w.U8(0xAB)
+	w.U16(0x1234)
+	w.U32(0xDEADBEEF)
+	w.U64(0x0102030405060708)
+	w.NodeID(42)
+	w.Raw([]byte{9, 9, 9})
+	w.LenBytes([]byte("hello"))
+	w.LenBytes(nil)
+
+	r := NewReader(w.Bytes())
+	if got := r.U8(); got != 0xAB {
+		t.Errorf("U8 = %#x", got)
+	}
+	if got := r.U16(); got != 0x1234 {
+		t.Errorf("U16 = %#x", got)
+	}
+	if got := r.U32(); got != 0xDEADBEEF {
+		t.Errorf("U32 = %#x", got)
+	}
+	if got := r.U64(); got != 0x0102030405060708 {
+		t.Errorf("U64 = %#x", got)
+	}
+	if got := r.NodeID(); got != ids.NodeID(42) {
+		t.Errorf("NodeID = %v", got)
+	}
+	if got := r.Raw(3); !bytes.Equal(got, []byte{9, 9, 9}) {
+		t.Errorf("Raw = %v", got)
+	}
+	if got := r.LenBytes(); string(got) != "hello" {
+		t.Errorf("LenBytes = %q", got)
+	}
+	if got := r.LenBytes(); len(got) != 0 {
+		t.Errorf("empty LenBytes = %v", got)
+	}
+	if err := r.Close(); err != nil {
+		t.Errorf("Close: %v", err)
+	}
+}
+
+func TestReaderTruncation(t *testing.T) {
+	w := NewWriter(8)
+	w.U32(7)
+	r := NewReader(w.Bytes())
+	r.U64() // needs 8 bytes, only 4 available
+	if r.Err() != ErrTruncated {
+		t.Errorf("Err = %v, want ErrTruncated", r.Err())
+	}
+	// Sticky: further reads keep failing and return zero values.
+	if got := r.U8(); got != 0 {
+		t.Errorf("post-error U8 = %d, want 0", got)
+	}
+	if r.Close() != ErrTruncated {
+		t.Errorf("Close = %v, want ErrTruncated", r.Close())
+	}
+}
+
+func TestReaderTrailing(t *testing.T) {
+	r := NewReader([]byte{1, 2, 3})
+	r.U8()
+	if err := r.Close(); err != ErrTrailing {
+		t.Errorf("Close = %v, want ErrTrailing", err)
+	}
+}
+
+func TestReaderFailSticky(t *testing.T) {
+	r := NewReader([]byte{1, 2, 3, 4})
+	r.Fail(ErrTrailing)
+	r.Fail(ErrTruncated) // first error wins
+	if r.Err() != ErrTrailing {
+		t.Errorf("Err = %v, want first failure", r.Err())
+	}
+	if got := r.U32(); got != 0 {
+		t.Errorf("U32 after Fail = %d", got)
+	}
+}
+
+func TestLenBytesRejectsHugeLength(t *testing.T) {
+	w := NewWriter(8)
+	w.U32(1 << 30) // absurd length prefix
+	r := NewReader(w.Bytes())
+	if got := r.LenBytes(); got != nil || r.Err() == nil {
+		t.Errorf("huge LenBytes accepted: %v, err=%v", got, r.Err())
+	}
+}
+
+func TestQuickRoundTripU64(t *testing.T) {
+	f := func(v uint64) bool {
+		w := NewWriter(8)
+		w.U64(v)
+		r := NewReader(w.Bytes())
+		return r.U64() == v && r.Close() == nil
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickRoundTripLenBytes(t *testing.T) {
+	f := func(a, b []byte) bool {
+		w := NewWriter(len(a) + len(b) + 8)
+		w.LenBytes(a)
+		w.LenBytes(b)
+		r := NewReader(w.Bytes())
+		ga := append([]byte(nil), r.LenBytes()...)
+		gb := append([]byte(nil), r.LenBytes()...)
+		return bytes.Equal(ga, a) && bytes.Equal(gb, b) && r.Close() == nil
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickDecodeNeverPanics(t *testing.T) {
+	// Arbitrary byte soup must never panic the reader, only error.
+	rng := rand.New(rand.NewSource(3))
+	for trial := 0; trial < 500; trial++ {
+		buf := make([]byte, rng.Intn(64))
+		rng.Read(buf)
+		r := NewReader(buf)
+		for r.Err() == nil && r.Remaining() > 0 {
+			switch rng.Intn(5) {
+			case 0:
+				r.U8()
+			case 1:
+				r.U16()
+			case 2:
+				r.U32()
+			case 3:
+				r.LenBytes()
+			default:
+				r.Raw(rng.Intn(16))
+			}
+		}
+	}
+}

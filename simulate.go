@@ -1,0 +1,202 @@
+package nectar
+
+import (
+	"fmt"
+
+	"github.com/nectar-repro/nectar/internal/adversary"
+	"github.com/nectar-repro/nectar/internal/graph"
+	"github.com/nectar-repro/nectar/internal/ids"
+	"github.com/nectar-repro/nectar/internal/rounds"
+	"github.com/nectar-repro/nectar/internal/sig"
+)
+
+// Behavior selects how a Byzantine node deviates in Simulate.
+type Behavior string
+
+// Supported Byzantine behaviours (§IV "Impact of Byzantine deviations",
+// §V-D attacks, plus robustness probes).
+const (
+	// BehaviorCrash: stays silent.
+	BehaviorCrash Behavior = "crash"
+	// BehaviorSplitBrain: correct towards one side, crashed towards the
+	// nodes listed in SimulationConfig.Blocked.
+	BehaviorSplitBrain Behavior = "splitbrain"
+	// BehaviorFakeEdges: announces fictitious edges to all other
+	// Byzantine nodes (colluding pairs forge joint proofs).
+	BehaviorFakeEdges Behavior = "fakeedges"
+	// BehaviorGarbage: floods neighbors with random bytes.
+	BehaviorGarbage Behavior = "garbage"
+	// BehaviorStale: delays every message one round (stale chains).
+	BehaviorStale Behavior = "stale"
+	// BehaviorEquivocate: announces its neighborhood only to even-ID
+	// neighbors.
+	BehaviorEquivocate Behavior = "equivocate"
+	// BehaviorOmitOwn: hides its edges to other Byzantine nodes.
+	BehaviorOmitOwn Behavior = "omitown"
+)
+
+// SimulationConfig drives one in-memory NECTAR execution.
+type SimulationConfig struct {
+	// Graph is the communication network. Required.
+	Graph *Graph
+	// T is the assumed Byzantine bound handed to every node.
+	T int
+	// Seed makes the run reproducible.
+	Seed int64
+	// SchemeName selects signatures: "" = "ed25519" (Simulate favors
+	// fidelity; use "hmac" for speed on large graphs).
+	SchemeName string
+	// Rounds overrides the n-1 round horizon (0 = default).
+	Rounds int
+	// Byzantine assigns behaviours to Byzantine nodes (may be empty).
+	Byzantine map[NodeID]Behavior
+	// Blocked lists, per split-brain Byzantine node, the destinations it
+	// stonewalls.
+	Blocked map[NodeID][]NodeID
+}
+
+// SimulationResult reports the decisions and traffic of one execution.
+type SimulationResult struct {
+	// Outcomes holds each correct node's decision (Byzantine nodes have
+	// no entry).
+	Outcomes map[NodeID]Outcome
+	// Agreement reports whether all correct nodes decided identically.
+	Agreement bool
+	// Decision is the (agreed) decision of correct nodes; if Agreement is
+	// false it is the decision of the lowest-ID correct node.
+	Decision Decision
+	// Confirmed reports whether any correct node confirmed an actual
+	// partition (unreachable nodes).
+	Confirmed bool
+	// BytesSent / BytesBroadcast meter every node's traffic (unicast and
+	// multicast-accounted, see DESIGN.md §5).
+	BytesSent      []int64
+	BytesBroadcast []int64
+	// Rounds is the number of synchronous rounds executed.
+	Rounds int
+}
+
+// Simulate runs NECTAR on cfg.Graph with goroutine-per-core lockstep
+// rounds and returns all correct nodes' outcomes.
+func Simulate(cfg SimulationConfig) (*SimulationResult, error) {
+	if cfg.Graph == nil {
+		return nil, fmt.Errorf("nectar: SimulationConfig.Graph is required")
+	}
+	n := cfg.Graph.N()
+	if n == 0 {
+		return nil, fmt.Errorf("nectar: empty graph")
+	}
+	schemeName := cfg.SchemeName
+	if schemeName == "" {
+		schemeName = "ed25519"
+	}
+	scheme := sig.ByName(schemeName, n, cfg.Seed)
+	if scheme == nil {
+		return nil, fmt.Errorf("nectar: unknown scheme %q", schemeName)
+	}
+	byz := ids.NewSet()
+	for b := range cfg.Byzantine {
+		if int(b) >= n {
+			return nil, fmt.Errorf("nectar: Byzantine node %v out of range", b)
+		}
+		byz.Add(b)
+	}
+	if byz.Len() > cfg.T {
+		return nil, fmt.Errorf("nectar: %d Byzantine nodes exceed T=%d", byz.Len(), cfg.T)
+	}
+
+	nodes, err := BuildNodes(cfg.Graph, cfg.T, scheme, cfg.Rounds)
+	if err != nil {
+		return nil, err
+	}
+	protos := make([]rounds.Protocol, n)
+	for i, nd := range nodes {
+		protos[i] = nd
+	}
+	for _, b := range byz.Sorted() {
+		p, err := wrapByzantine(cfg, scheme, nodes[b], b, byz)
+		if err != nil {
+			return nil, err
+		}
+		protos[b] = p
+	}
+
+	r := cfg.Rounds
+	if r == 0 {
+		r = n - 1
+	}
+	metrics, err := rounds.Run(rounds.Config{
+		Graph:  cfg.Graph,
+		Rounds: r,
+		Seed:   cfg.Seed,
+	}, protos)
+	if err != nil {
+		return nil, err
+	}
+
+	res := &SimulationResult{
+		Outcomes:       make(map[NodeID]Outcome, n-byz.Len()),
+		Agreement:      true,
+		BytesSent:      metrics.BytesSent,
+		BytesBroadcast: metrics.BytesBroadcast,
+		Rounds:         r,
+	}
+	first := true
+	for i, nd := range nodes {
+		id := NodeID(i)
+		if byz.Has(id) {
+			continue
+		}
+		o := nd.Decide()
+		res.Outcomes[id] = o
+		if o.Confirmed {
+			res.Confirmed = true
+		}
+		if first {
+			res.Decision = o.Decision
+			first = false
+		} else if o.Decision != res.Decision {
+			res.Agreement = false
+		}
+	}
+	return res, nil
+}
+
+// wrapByzantine builds the adversary wrapper for node b.
+func wrapByzantine(cfg SimulationConfig, scheme Scheme, inner *Node, b NodeID, byz ids.Set) (rounds.Protocol, error) {
+	nbrs := cfg.Graph.Neighbors(b)
+	switch cfg.Byzantine[b] {
+	case BehaviorCrash:
+		return adversary.Silent{}, nil
+	case BehaviorSplitBrain:
+		blocked := ids.NewSet(cfg.Blocked[b]...)
+		if blocked.Len() == 0 {
+			return nil, fmt.Errorf("nectar: split-brain node %v has no Blocked set", b)
+		}
+		return adversary.SplitBrain(inner, blocked), nil
+	case BehaviorFakeEdges:
+		var partners []Signer
+		for _, other := range byz.Sorted() {
+			if other != b {
+				partners = append(partners, scheme.SignerFor(other))
+			}
+		}
+		return adversary.NewNectarFakeEdges(inner, scheme.SignerFor(b), partners,
+			scheme.Verifier().SigSize(), nbrs), nil
+	case BehaviorGarbage:
+		return adversary.NewGarbage(nbrs, cfg.Seed^int64(b), 200), nil
+	case BehaviorStale:
+		return adversary.NewNectarStaleReplay(inner), nil
+	case BehaviorEquivocate:
+		return adversary.NectarEquivocate(inner), nil
+	case BehaviorOmitOwn:
+		hide := make(map[graph.Edge]bool)
+		for _, other := range byz.Sorted() {
+			if other != b && cfg.Graph.HasEdge(b, other) {
+				hide[graph.NewEdge(b, other)] = true
+			}
+		}
+		return adversary.NectarOmitOwn(inner, scheme.Verifier().SigSize(), hide), nil
+	}
+	return nil, fmt.Errorf("nectar: unknown behavior %q for node %v", cfg.Byzantine[b], b)
+}

@@ -1,0 +1,28 @@
+package nectar
+
+import (
+	"github.com/nectar-repro/nectar/internal/rounds"
+	"github.com/nectar-repro/nectar/internal/tcpnet"
+)
+
+// Real-network deployment re-exports (§V "real code on a real network
+// stack"; see cmd/nectar-node for a ready-made process binary).
+
+type (
+	// TCPConfig describes one process of a TCP deployment: identity,
+	// peer addresses, neighborhood, agreed start instant, and the
+	// synchronous round duration ΔT.
+	TCPConfig = tcpnet.Config
+	// TCPStats meters a TCP node's traffic.
+	TCPStats = tcpnet.Stats
+	// RoundProtocol is the per-node state machine interface shared by
+	// the in-memory engine and the TCP runner; *Node implements it.
+	RoundProtocol = rounds.Protocol
+)
+
+// RunTCP executes a protocol state machine (typically a *Node) over real
+// TCP sockets with wall-clock synchronous rounds. It blocks until the
+// configured number of rounds has elapsed.
+func RunTCP(cfg TCPConfig, proto RoundProtocol) (*TCPStats, error) {
+	return tcpnet.Run(cfg, proto)
+}

@@ -1,0 +1,31 @@
+package nectar
+
+import (
+	"github.com/nectar-repro/nectar/internal/unsigned"
+)
+
+// Signature-free variant (the paper's §VII conjecture): Dolev-style
+// path-vouched dissemination replaces signature chains. See the
+// internal/unsigned package documentation for the exact guarantees and
+// their limits; BenchmarkUnsignedVsSigned quantifies the conjectured
+// "significant cost".
+
+type (
+	// UnsignedNode is a correct process of the signature-free variant.
+	UnsignedNode = unsigned.Node
+	// UnsignedConfig parameterizes an UnsignedNode.
+	UnsignedConfig = unsigned.Config
+	// UnsignedStats counts an UnsignedNode's message outcomes.
+	UnsignedStats = unsigned.Stats
+)
+
+// NewUnsignedNode validates cfg and returns a signature-free node.
+func NewUnsignedNode(cfg UnsignedConfig) (*UnsignedNode, error) {
+	return unsigned.NewNode(cfg)
+}
+
+// BuildUnsignedNodes constructs one signature-free node per vertex
+// (simulation setup).
+func BuildUnsignedNodes(g *Graph, t int, roundsOverride int) ([]*UnsignedNode, error) {
+	return unsigned.BuildNodes(g, t, roundsOverride)
+}
