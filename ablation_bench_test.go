@@ -20,6 +20,10 @@ import (
 // runCluster drives an all-correct cluster and returns total unicast
 // bytes.
 func runClusterBench(b *testing.B, g *Graph, scheme Scheme, roundsN int, opts ...BuildOption) int64 {
+	return runClusterBenchHorizon(b, g, scheme, roundsN, false, opts...)
+}
+
+func runClusterBenchHorizon(b *testing.B, g *Graph, scheme Scheme, roundsN int, fullHorizon bool, opts ...BuildOption) int64 {
 	b.Helper()
 	nodes, err := BuildNodes(g, 1, scheme, roundsN, opts...)
 	if err != nil {
@@ -29,7 +33,9 @@ func runClusterBench(b *testing.B, g *Graph, scheme Scheme, roundsN int, opts ..
 	for i, nd := range nodes {
 		protos[i] = nd
 	}
-	m, err := rounds.Run(rounds.Config{Graph: g, Rounds: nodes[0].Rounds(), Seed: 1}, protos)
+	m, err := rounds.Run(rounds.Config{
+		Graph: g, Rounds: nodes[0].Rounds(), Seed: 1, FullHorizon: fullHorizon,
+	}, protos)
 	if err != nil {
 		b.Fatal(err)
 	}
@@ -63,9 +69,12 @@ func BenchmarkAblationDuplicateDiscard(b *testing.B) {
 	})
 }
 
-// BenchmarkAblationRoundHorizon compares the default R = n-1 horizon with
-// an R = diameter+1 override. Traffic must be identical (silence after
-// discovery); the benchmark asserts it and measures the time difference.
+// BenchmarkAblationRoundHorizon compares three ways of spending the round
+// budget: the default R = n-1 horizon with engine v2's quiescence early
+// exit, the same horizon forced to execute fully (the v1 engine's cost),
+// and an R = diameter+1 override. Traffic must be identical in all three
+// (silence after discovery); the benchmark asserts it and measures the
+// time differences.
 func BenchmarkAblationRoundHorizon(b *testing.B) {
 	g, err := Harary(4, 40)
 	if err != nil {
@@ -76,14 +85,20 @@ func BenchmarkAblationRoundHorizon(b *testing.B) {
 		b.Fatal("disconnected")
 	}
 	scheme := NewHMACScheme(40, 1)
-	full := runClusterBench(b, g, scheme, 0)
+	full := runClusterBenchHorizon(b, g, scheme, 0, true)
+	early := runClusterBench(b, g, scheme, 0)
 	short := runClusterBench(b, g, scheme, diam+1)
-	if full != short {
-		b.Fatalf("traffic differs across horizons: %d vs %d bytes", full, short)
+	if full != short || full != early {
+		b.Fatalf("traffic differs across horizons: full=%d early=%d short=%d bytes", full, early, short)
 	}
 	b.Run("rounds=n-1", func(b *testing.B) {
 		for i := 0; i < b.N; i++ {
 			runClusterBench(b, g, scheme, 0)
+		}
+	})
+	b.Run("rounds=n-1/full-horizon", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			runClusterBenchHorizon(b, g, scheme, 0, true)
 		}
 	})
 	b.Run("rounds=diam+1", func(b *testing.B) {

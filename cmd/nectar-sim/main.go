@@ -56,6 +56,12 @@ func run(args []string) error {
 	if err != nil {
 		return err
 	}
+	if len(blocked) > 0 && nectar.Behavior(*behavior) != nectar.BehaviorSplitBrain {
+		return fmt.Errorf("-blocked only applies to -behavior %s (got %q)", nectar.BehaviorSplitBrain, *behavior)
+	}
+	if len(blocked) > 0 && len(byz) == 0 {
+		return fmt.Errorf("-blocked requires -byz to name the split-brain node(s)")
+	}
 	cfg := nectar.SimulationConfig{
 		Graph:      g,
 		T:          *t,
@@ -65,10 +71,16 @@ func run(args []string) error {
 	}
 	if len(byz) > 0 {
 		cfg.Byzantine = make(map[nectar.NodeID]nectar.Behavior, len(byz))
-		cfg.Blocked = make(map[nectar.NodeID][]nectar.NodeID, len(byz))
 		for _, b := range byz {
 			cfg.Byzantine[b] = nectar.Behavior(*behavior)
-			cfg.Blocked[b] = blocked
+		}
+		// Blocked only applies to split-brain nodes; Simulate rejects
+		// entries for any other behaviour.
+		if nectar.Behavior(*behavior) == nectar.BehaviorSplitBrain {
+			cfg.Blocked = make(map[nectar.NodeID][]nectar.NodeID, len(byz))
+			for _, b := range byz {
+				cfg.Blocked[b] = blocked
+			}
 		}
 	}
 	res, err := nectar.Simulate(cfg)
@@ -78,21 +90,22 @@ func run(args []string) error {
 
 	if *asJSON {
 		return json.NewEncoder(os.Stdout).Encode(map[string]any{
-			"topology":   topo.Kind,
-			"n":          g.N(),
-			"edges":      g.M(),
-			"t":          *t,
-			"byzantine":  byz,
-			"decision":   res.Decision.String(),
-			"agreement":  res.Agreement,
-			"confirmed":  res.Confirmed,
-			"rounds":     res.Rounds,
-			"bytes_sent": res.BytesSent,
+			"topology":      topo.Kind,
+			"n":             g.N(),
+			"edges":         g.M(),
+			"t":             *t,
+			"byzantine":     byz,
+			"decision":      res.Decision.String(),
+			"agreement":     res.Agreement,
+			"confirmed":     res.Confirmed,
+			"rounds":        res.Rounds,
+			"active_rounds": res.ActiveRounds,
+			"bytes_sent":    res.BytesSent,
 		})
 	}
 	fmt.Printf("topology      %s (n=%d, m=%d, κ=%d)\n", topo.Kind, g.N(), g.M(), g.Connectivity())
 	fmt.Printf("assumed t     %d  (Byzantine present: %d, behavior %s)\n", *t, len(byz), *behavior)
-	fmt.Printf("rounds        %d\n", res.Rounds)
+	fmt.Printf("rounds        %d executed of %d horizon (quiescence early exit)\n", res.ActiveRounds, res.Rounds)
 	fmt.Printf("decision      %v (agreement=%v, confirmed=%v)\n", res.Decision, res.Agreement, res.Confirmed)
 	var total int64
 	for _, b := range res.BytesSent {

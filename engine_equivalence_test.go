@@ -1,0 +1,218 @@
+package nectar
+
+// Engine v2 equivalence properties: quiescence early exit and parallel
+// routing are pure wall-clock optimizations — for every seeded scenario
+// the decisions, outcomes, and per-node byte counts must be byte-identical
+// to a full-horizon sequential run. The matrix covers the three scenario
+// shapes of the evaluation (ring, drone scatter, Byzantine bridge), every
+// Byzantine behaviour Simulate supports, and several seeds.
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+)
+
+// simCase is one topology + Byzantine placement under test.
+type simCase struct {
+	name string
+	cfg  SimulationConfig
+}
+
+// equivalenceCases builds the scenario matrix for one seed.
+func equivalenceCases(t *testing.T, seed int64) []simCase {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+
+	var cases []simCase
+	add := func(name string, g *Graph, byz map[NodeID]Behavior, blocked map[NodeID][]NodeID) {
+		cases = append(cases, simCase{name: name, cfg: SimulationConfig{
+			Graph:      g,
+			T:          2,
+			Seed:       seed,
+			SchemeName: "hmac",
+			Byzantine:  byz,
+			Blocked:    blocked,
+		}})
+	}
+
+	ring := Ring(12)
+	scatter, _, err := Drone(14, 0, 1.8, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	for _, topo := range []struct {
+		name string
+		g    *Graph
+	}{{"ring", ring}, {"scatter", scatter}} {
+		n := topo.g.N()
+		b0, b1 := NodeID(0), NodeID(n/2)
+		// One side of the network for the split-brain behaviour.
+		var half []NodeID
+		for v := n / 2; v < n; v++ {
+			half = append(half, NodeID(v))
+		}
+		add(topo.name+"/correct", topo.g, nil, nil)
+		add(topo.name+"/crash", topo.g, map[NodeID]Behavior{b0: BehaviorCrash, b1: BehaviorCrash}, nil)
+		add(topo.name+"/splitbrain", topo.g,
+			map[NodeID]Behavior{b0: BehaviorSplitBrain},
+			map[NodeID][]NodeID{b0: half})
+		add(topo.name+"/fakeedges", topo.g, map[NodeID]Behavior{b0: BehaviorFakeEdges, b1: BehaviorFakeEdges}, nil)
+		add(topo.name+"/garbage", topo.g, map[NodeID]Behavior{b0: BehaviorGarbage}, nil)
+		add(topo.name+"/stale", topo.g, map[NodeID]Behavior{b0: BehaviorStale}, nil)
+		add(topo.name+"/equivocate", topo.g, map[NodeID]Behavior{b0: BehaviorEquivocate}, nil)
+		add(topo.name+"/omitown", topo.g, map[NodeID]Behavior{b0: BehaviorOmitOwn, b1: BehaviorOmitOwn}, nil)
+	}
+
+	// The §V-D bridge attack: all correct-part communication crosses
+	// split-brain Byzantine nodes.
+	sc, err := BridgeScenario(14, 2, 6, 1.8, 2)(rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	byz := make(map[NodeID]Behavior, sc.Byz.Len())
+	blocked := make(map[NodeID][]NodeID, sc.Byz.Len())
+	for _, b := range sc.Byz.Sorted() {
+		byz[b] = BehaviorSplitBrain
+		blocked[b] = sc.Blocked[b].Sorted()
+	}
+	add("bridge/splitbrain", sc.Graph, byz, blocked)
+	return cases
+}
+
+// TestEngineV2EquivalenceProperty: early-exit runs must be byte-identical
+// to full-horizon runs across the whole scenario matrix.
+func TestEngineV2EquivalenceProperty(t *testing.T) {
+	for _, seed := range []int64{1, 7, 42} {
+		for _, tc := range equivalenceCases(t, seed) {
+			fast, err := Simulate(tc.cfg)
+			if err != nil {
+				t.Fatalf("seed %d %s: %v", seed, tc.name, err)
+			}
+			full := tc.cfg
+			full.FullHorizon = true
+			ref, err := Simulate(full)
+			if err != nil {
+				t.Fatalf("seed %d %s (full horizon): %v", seed, tc.name, err)
+			}
+			if !reflect.DeepEqual(fast.Outcomes, ref.Outcomes) {
+				t.Errorf("seed %d %s: outcomes diverge:\nfast: %+v\nfull: %+v",
+					seed, tc.name, fast.Outcomes, ref.Outcomes)
+			}
+			if fast.Decision != ref.Decision || fast.Agreement != ref.Agreement || fast.Confirmed != ref.Confirmed {
+				t.Errorf("seed %d %s: decision diverges: fast=%v/%v/%v full=%v/%v/%v",
+					seed, tc.name, fast.Decision, fast.Agreement, fast.Confirmed,
+					ref.Decision, ref.Agreement, ref.Confirmed)
+			}
+			if !reflect.DeepEqual(fast.BytesSent, ref.BytesSent) {
+				t.Errorf("seed %d %s: BytesSent diverge", seed, tc.name)
+			}
+			if !reflect.DeepEqual(fast.BytesBroadcast, ref.BytesBroadcast) {
+				t.Errorf("seed %d %s: BytesBroadcast diverge", seed, tc.name)
+			}
+			if fast.ActiveRounds > fast.Rounds {
+				t.Errorf("seed %d %s: ActiveRounds %d > horizon %d",
+					seed, tc.name, fast.ActiveRounds, fast.Rounds)
+			}
+			if ref.ActiveRounds != ref.Rounds {
+				t.Errorf("seed %d %s: full-horizon run exited early (%d/%d)",
+					seed, tc.name, ref.ActiveRounds, ref.Rounds)
+			}
+		}
+	}
+}
+
+// TestEngineV2EarlyExitFires: on quiescence-friendly scenarios the engine
+// must actually fast-forward (ActiveRounds < Rounds) — a regression guard
+// so the optimization cannot silently turn into a no-op.
+func TestEngineV2EarlyExitFires(t *testing.T) {
+	res, err := Simulate(SimulationConfig{Graph: Ring(16), T: 1, Seed: 3, SchemeName: "hmac"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.ActiveRounds >= res.Rounds {
+		t.Fatalf("ring run never went quiescent: ActiveRounds=%d Rounds=%d", res.ActiveRounds, res.Rounds)
+	}
+	// A garbage flooder never quiesces: the same topology must pay the
+	// full horizon.
+	res, err = Simulate(SimulationConfig{
+		Graph: Ring(16), T: 1, Seed: 3, SchemeName: "hmac",
+		Byzantine: map[NodeID]Behavior{0: BehaviorGarbage},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.ActiveRounds != res.Rounds {
+		t.Fatalf("garbage run exited early: ActiveRounds=%d Rounds=%d", res.ActiveRounds, res.Rounds)
+	}
+}
+
+// TestExperimentEquivalence: harness-level runs (all three protocols) must
+// produce identical accuracy and traffic with and without early exit, and
+// with sequential versus parallel engine stepping.
+func TestExperimentEquivalence(t *testing.T) {
+	for _, proto := range []ProtocolKind{ProtoNectar, ProtoMtG, ProtoMtGv2} {
+		base := ExperimentSpec{
+			Protocol: proto,
+			Attack:   AttackSplitBrain,
+			Scenario: BridgeScenario(14, 2, 6, 1.8, 2),
+			T:        2,
+			Trials:   4,
+			Seed:     11,
+		}
+		ref, err := RunExperiment(base)
+		if err != nil {
+			t.Fatalf("%s: %v", proto, err)
+		}
+		for _, variant := range []struct {
+			name string
+			mut  func(*ExperimentSpec)
+		}{
+			{"full-horizon", func(s *ExperimentSpec) { s.FullHorizon = true }},
+			{"engine-parallel", func(s *ExperimentSpec) { s.EngineParallel = true }},
+		} {
+			spec := base
+			variant.mut(&spec)
+			got, err := RunExperiment(spec)
+			if err != nil {
+				t.Fatalf("%s/%s: %v", proto, variant.name, err)
+			}
+			for i := range ref.Trials {
+				r, g := ref.Trials[i], got.Trials[i]
+				if r.Accuracy != g.Accuracy || r.Agreement != g.Agreement ||
+					r.MeanBytesPerNode != g.MeanBytesPerNode || r.MaxBytesPerNode != g.MaxBytesPerNode ||
+					r.MeanBroadcastBytes != g.MeanBroadcastBytes {
+					t.Errorf("%s/%s trial %d diverges:\nref: %+v\ngot: %+v",
+						proto, variant.name, i, r, g)
+				}
+			}
+		}
+		// MtG gossips forever, so only it must pay the full horizon.
+		if proto == ProtoMtG && ref.ActiveRounds.Mean != float64(13) {
+			t.Errorf("mtg: ActiveRounds %.1f, want full horizon 13", ref.ActiveRounds.Mean)
+		}
+	}
+}
+
+// TestSimulateRejectsMisconfiguredBlocked: Blocked entries for nodes not
+// running the split-brain behaviour must fail loudly, not silently no-op.
+func TestSimulateRejectsMisconfiguredBlocked(t *testing.T) {
+	g := Ring(8)
+	cases := []SimulationConfig{
+		// Blocked for a crash node.
+		{Graph: g, T: 1, Byzantine: map[NodeID]Behavior{0: BehaviorCrash},
+			Blocked: map[NodeID][]NodeID{0: {1}}},
+		// Blocked for a node that is not Byzantine at all.
+		{Graph: g, T: 1, Blocked: map[NodeID][]NodeID{3: {1}}},
+		// Blocked target out of range.
+		{Graph: g, T: 1, Byzantine: map[NodeID]Behavior{0: BehaviorSplitBrain},
+			Blocked: map[NodeID][]NodeID{0: {99}}},
+	}
+	for i, cfg := range cases {
+		cfg.SchemeName = "hmac"
+		if _, err := Simulate(cfg); err == nil {
+			t.Errorf("case %d: misconfigured Blocked accepted", i)
+		}
+	}
+}

@@ -1,0 +1,3 @@
+module github.com/nectar-repro/nectar
+
+go 1.22

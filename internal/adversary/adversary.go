@@ -33,6 +33,9 @@ func (Silent) Emit(int) []rounds.Send { return nil }
 // Deliver implements rounds.Protocol.
 func (Silent) Deliver(int, ids.NodeID, []byte) {}
 
+// Quiescent implements rounds.Quiescer: a crashed node never speaks.
+func (Silent) Quiescent() bool { return true }
+
 // OutFilter wraps an inner protocol and drops every outgoing message the
 // Keep predicate rejects. Incoming traffic reaches the inner protocol
 // unchanged. It is the building block for "behaves correctly except
@@ -59,6 +62,15 @@ func (f *OutFilter) Emit(round int) []rounds.Send {
 // Deliver implements rounds.Protocol.
 func (f *OutFilter) Deliver(round int, from ids.NodeID, data []byte) {
 	f.Inner.Deliver(round, from, data)
+}
+
+// Quiescent implements rounds.Quiescer: filtering only removes output, so
+// the wrapper is quiescent exactly when its inner protocol is. An inner
+// protocol that cannot attest quiescence keeps the whole run on the full
+// horizon (the engine requires every node to implement Quiescer).
+func (f *OutFilter) Quiescent() bool {
+	q, ok := f.Inner.(rounds.Quiescer)
+	return ok && q.Quiescent()
 }
 
 // SplitBrain is the paper's bridge attack behaviour (§V-D): the Byzantine
@@ -105,6 +117,9 @@ func (b *BloomPoison) Emit(int) []rounds.Send {
 // Deliver implements rounds.Protocol.
 func (b *BloomPoison) Deliver(int, ids.NodeID, []byte) {}
 
+// Quiescent implements rounds.Quiescer: the poisoner floods every round.
+func (b *BloomPoison) Quiescent() bool { return len(b.neighbors) == 0 }
+
 // Garbage floods every neighbor with random bytes each round — a
 // robustness probe: correct protocols must discard it all without state
 // damage.
@@ -138,3 +153,7 @@ func (g *Garbage) Emit(int) []rounds.Send {
 
 // Deliver implements rounds.Protocol.
 func (g *Garbage) Deliver(int, ids.NodeID, []byte) {}
+
+// Quiescent implements rounds.Quiescer: the flooder never stops, so runs
+// containing one pay the full horizon — the cost its victims pay too.
+func (g *Garbage) Quiescent() bool { return len(g.neighbors) == 0 }

@@ -97,6 +97,11 @@ func (a *NectarFakeEdges) Deliver(round int, from ids.NodeID, data []byte) {
 	a.inner.Deliver(round, from, data)
 }
 
+// Quiescent implements rounds.Quiescer: the forged announcements ride on
+// round 1 only, so quiescence reduces to the inner node's (which is never
+// quiescent before its round-1 emission).
+func (a *NectarFakeEdges) Quiescent() bool { return a.inner.Quiescent() }
+
 // NectarStaleReplay delays every protocol message by one round, so each
 // chain it sends has length r-1 in round r — violating the
 // lengthSign(msg) = R rule. Correct nodes must reject every such stale
@@ -125,4 +130,11 @@ func (a *NectarStaleReplay) Emit(round int) []rounds.Send {
 // Deliver implements rounds.Protocol.
 func (a *NectarStaleReplay) Deliver(round int, from ids.NodeID, data []byte) {
 	a.inner.Deliver(round, from, data)
+}
+
+// Quiescent implements rounds.Quiescer: the delay buffer is in-flight
+// output — the wrapper is quiescent only once the inner node has nothing
+// queued AND the held-back batch has been flushed.
+func (a *NectarStaleReplay) Quiescent() bool {
+	return len(a.prev) == 0 && a.inner.Quiescent()
 }

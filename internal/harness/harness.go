@@ -46,6 +46,10 @@ type Spec struct {
 	// reliable-channel assumption) — for baseline robustness studies and
 	// NECTAR degradation analysis. See rounds.Config.LossRate.
 	LossRate float64
+	// FullHorizon disables the engine's quiescence early exit, forcing
+	// every trial through all rounds. Results are identical either way;
+	// used by equivalence tests and round-complexity ablations.
+	FullHorizon bool
 }
 
 // Truth is the scenario's ground truth, computed from the generated graph
@@ -91,6 +95,11 @@ type Trial struct {
 	// MeanBroadcastBytes counts each distinct payload once per emit — the
 	// salticidae-style multicast accounting of the paper's cost figures.
 	MeanBroadcastBytes float64
+	// Rounds is the configured horizon; ActiveRounds is how many rounds
+	// the engine actually executed before every node went quiescent
+	// (equal to Rounds when no early exit happened).
+	Rounds       int
+	ActiveRounds int
 }
 
 // Result aggregates all trials of a Spec.
@@ -105,6 +114,9 @@ type Result struct {
 	BytesPerNode   stats.Summary // unicast bytes
 	MaxBytes       stats.Summary // unicast bytes
 	BroadcastBytes stats.Summary // multicast-accounted bytes
+	// ActiveRounds summarizes per-trial engine rounds actually executed
+	// (quiescence early exit makes this < the horizon on most topologies).
+	ActiveRounds stats.Summary
 }
 
 // KBPerNode returns the mean unicast data sent per node in kilobytes.
@@ -187,11 +199,12 @@ func runTrial(spec *Spec, trial int) (Trial, error) {
 		r = n - 1
 	}
 	metrics, err := rounds.Run(rounds.Config{
-		Graph:      sc.Graph,
-		Rounds:     r,
-		Seed:       trialSeed,
-		Sequential: !spec.EngineParallel,
-		LossRate:   spec.LossRate,
+		Graph:       sc.Graph,
+		Rounds:      r,
+		Seed:        trialSeed,
+		Sequential:  !spec.EngineParallel,
+		FullHorizon: spec.FullHorizon,
+		LossRate:    spec.LossRate,
 	}, protos)
 	if err != nil {
 		return Trial{}, err
@@ -226,7 +239,7 @@ func score(spec *Spec, sc *Scenario, decisions []nodeDecision, m *rounds.Metrics
 		expected = truth.TByzPartitionable
 	}
 
-	t := Trial{Truth: truth, Agreement: true}
+	t := Trial{Truth: truth, Agreement: true, Rounds: m.Rounds, ActiveRounds: m.ActiveRounds}
 	var correct, detected, confirmed, accurate int
 	var bytesSum, bytesMax, bcastSum int64
 	firstKey := ""
@@ -291,5 +304,6 @@ func aggregate(spec Spec, trials []Trial) *Result {
 		BytesPerNode:   stats.Summarize(pick(func(t Trial) float64 { return t.MeanBytesPerNode })),
 		MaxBytes:       stats.Summarize(pick(func(t Trial) float64 { return t.MaxBytesPerNode })),
 		BroadcastBytes: stats.Summarize(pick(func(t Trial) float64 { return t.MeanBroadcastBytes })),
+		ActiveRounds:   stats.Summarize(pick(func(t Trial) float64 { return float64(t.ActiveRounds) })),
 	}
 }

@@ -111,6 +111,12 @@ func (n *Node) Emit(round int) []rounds.Send {
 	return out
 }
 
+// Quiescent implements rounds.Quiescer: MtG gossips its filter every
+// round of the epoch unconditionally, so an MtG node is never quiescent —
+// runs containing one always execute the full horizon, which is exactly
+// the protocol's topology-independent cost profile (Fig. 4's flat line).
+func (n *Node) Quiescent() bool { return false }
+
 // Deliver implements rounds.Protocol: merge the received filter. Malformed
 // payloads are ignored.
 func (n *Node) Deliver(round int, from ids.NodeID, data []byte) {

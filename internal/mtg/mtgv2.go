@@ -162,6 +162,19 @@ func (n *NodeV2) Emit(round int) []rounds.Send {
 	return out
 }
 
+// Quiescent implements rounds.Quiescer: a node with no credential left
+// unsent to any neighbor emits nothing in future rounds regardless of
+// which gossip partners its RNG would pick (send-at-most-once per
+// neighbor), so it is quiescent until a new credential arrives.
+func (n *NodeV2) Quiescent() bool {
+	for _, nb := range n.cfg.Neighbors {
+		if n.sent[nb] < len(n.order) {
+			return false
+		}
+	}
+	return true
+}
+
 // Deliver implements rounds.Protocol: record every new, valid credential.
 // Invalid entries are ignored individually (one bad entry does not poison
 // the batch).

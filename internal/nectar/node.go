@@ -111,6 +111,7 @@ type Node struct {
 	nRounds int
 	view    *graph.Graph // Gi: the discovered adjacency
 	queue   []relayItem  // filled in Deliver(r), drained by Emit(r+1)
+	started bool         // round-1 neighborhood announcement has been emitted
 	stats   Stats
 }
 
@@ -175,6 +176,7 @@ func (nd *Node) Rounds() int { return nd.nRounds }
 // the previous round, to all neighbors except the one it came from
 // (ll. 9-12).
 func (nd *Node) Emit(round int) []rounds.Send {
+	nd.started = true
 	if round == 1 {
 		out := make([]rounds.Send, 0, len(nd.cfg.Neighbors)*len(nd.cfg.Neighbors))
 		for _, j := range nd.cfg.Neighbors {
@@ -240,6 +242,11 @@ func (nd *Node) Deliver(round int, from ids.NodeID, data []byte) {
 	nd.queue = append(nd.queue, relayItem{msg: m, from: from})
 	nd.stats.Accepted++
 }
+
+// Quiescent implements rounds.Quiescer: once the initial announcement is
+// out and the relay queue is empty, the node sends nothing more until
+// another first-seen edge arrives (§IV-E silence after discovery).
+func (nd *Node) Quiescent() bool { return nd.started && len(nd.queue) == 0 }
 
 // Decide runs the decision phase (Alg. 1 ll. 16-24) on the discovered
 // graph: NOT_PARTITIONABLE iff κ(Gi) > t and all n nodes are reachable;

@@ -31,8 +31,9 @@ func costPoint(x float64, proto harness.ProtocolKind, scen harness.ScenarioFn, t
 		Y:  res.KBPerNodeBroadcast(),
 		CI: res.BroadcastBytes.CI95 / 1000,
 		Extra: map[string]float64{
-			"unicast_kb": res.KBPerNode(),
-			"max_kb":     res.MaxBytes.Mean / 1000,
+			"unicast_kb":    res.KBPerNode(),
+			"max_kb":        res.MaxBytes.Mean / 1000,
+			"active_rounds": res.ActiveRounds.Mean,
 		},
 	}, nil
 }
@@ -76,7 +77,8 @@ func Fig3(opts Options) (*Figure, error) {
 				return nil, fmt.Errorf("fig3 k=%d n=%d: %w", k, n, err)
 			}
 			s.Points = append(s.Points, p)
-			opts.progress("fig3 k=%d n=%d: %.1f KB/node", k, n, p.Y)
+			opts.progress("fig3 k=%d n=%d: %.1f KB/node (%.0f/%d rounds)",
+				k, n, p.Y, p.Extra["active_rounds"], n-1)
 		}
 		fig.Series = append(fig.Series, s)
 	}

@@ -13,6 +13,15 @@
 // Per-sender byte and message counts are metered exactly (payload bytes
 // plus a fixed per-message overhead), producing the "data sent per node"
 // measurements of the paper's evaluation.
+//
+// Engine v2 (DESIGN.md §6) adds quiescence-aware early exit: protocols may
+// implement the optional Quiescer extension, and once every node reports
+// quiescence at a round boundary (all inboxes drained, so nothing is in
+// flight) the engine fast-forwards the remaining horizon — the §IV-E
+// observation that NECTAR nodes go silent once every edge is known, turned
+// into wall-clock savings. Routing is parallelized across contiguous
+// sender stripes with per-worker metric shards merged in sender-major
+// order, so results are byte-identical to a sequential run.
 package rounds
 
 import (
@@ -44,6 +53,21 @@ type Protocol interface {
 	Deliver(round int, from ids.NodeID, data []byte)
 }
 
+// Quiescer is an optional Protocol extension. Quiescent reports that the
+// node will emit nothing in any future round unless it receives another
+// message: its relay queues are empty and it holds no delayed output. The
+// engine checks quiescence at round boundaries, when every inbox has been
+// drained; if every node implements Quiescer and reports true, no message
+// is in flight anywhere, so the remaining rounds are provably silent and
+// the engine fast-forwards them (Metrics.ActiveRounds < Metrics.Rounds).
+//
+// Protocols that emit unconditionally every round (MtG's gossip, garbage
+// flooders) implement Quiescent() == false — runs containing one never
+// exit early, which is exactly their cost profile.
+type Quiescer interface {
+	Quiescent() bool
+}
+
 // DefaultMsgOverhead is the per-message byte overhead added to the sender's
 // byte count: a 4-byte sender ID and a 4-byte length prefix, matching the
 // TCP framing in internal/tcpnet.
@@ -60,11 +84,17 @@ type Config struct {
 	// reproducible while avoiding sender-ID-ordered delivery artifacts.
 	Seed int64
 	// MsgOverhead is the per-message accounting overhead in bytes; 0
-	// means DefaultMsgOverhead.
+	// means DefaultMsgOverhead, any negative value means a true
+	// zero-overhead configuration (payload bytes only).
 	MsgOverhead int
 	// Sequential disables per-node parallelism. Results are identical
 	// either way; sequential mode is mainly for debugging.
 	Sequential bool
+	// FullHorizon disables quiescence early exit: all Rounds rounds run
+	// even when every node is quiescent. Results are identical either
+	// way (the skipped rounds are provably silent); the knob exists for
+	// equivalence tests and ablations.
+	FullHorizon bool
 	// LossRate drops each routed message independently with the given
 	// probability (0 = reliable channels, the paper's model). Message
 	// loss violates NECTAR's channel assumption and exists to reproduce
@@ -72,6 +102,17 @@ type Config struct {
 	// §VI-A1) and to study NECTAR's degradation. Lost messages are still
 	// metered as sent.
 	LossRate float64
+}
+
+// overhead resolves the MsgOverhead sentinel: 0 = default, negative = none.
+func (cfg *Config) overhead() int {
+	switch {
+	case cfg.MsgOverhead < 0:
+		return 0
+	case cfg.MsgOverhead == 0:
+		return DefaultMsgOverhead
+	}
+	return cfg.MsgOverhead
 }
 
 // Metrics records per-node traffic for one run.
@@ -98,8 +139,13 @@ type Metrics struct {
 	// the §IV-E effect of nodes going silent once every edge is known
 	// shows up as trailing zeros.
 	BytesByRound []int64
-	// Rounds is the number of rounds executed.
+	// Rounds is the configured horizon R. Rounds beyond ActiveRounds were
+	// fast-forwarded (provably silent), but still count toward the
+	// synchronous-time complexity the horizon models.
 	Rounds int
+	// ActiveRounds is the number of rounds the engine actually executed:
+	// equal to Rounds unless every node reported quiescence earlier.
+	ActiveRounds int
 }
 
 // TotalBytes returns the sum of bytes sent by all nodes.
@@ -136,6 +182,34 @@ type delivery struct {
 	data []byte
 }
 
+// routeShard is one worker's private routing state: staged deliveries for
+// every recipient plus the scalar counters that would otherwise contend.
+// Per-sender metric arrays need no shard — sender stripes are disjoint.
+// Shards persist across rounds (buffers are truncated, not reallocated) to
+// keep GC pressure flat on large graphs.
+type routeShard struct {
+	inbox          [][]delivery // per-recipient staged messages, sender-major
+	seen           map[uint64]bool
+	bytesThisRound int64
+	droppedNonEdge int64
+	droppedLoss    int64
+}
+
+// engine holds one run's reusable state.
+type engine struct {
+	cfg       Config
+	g         *graph.Graph
+	n         int
+	overhead  int
+	workers   int
+	nodes     []Protocol
+	quiescers []Quiescer // non-nil only when every node implements Quiescer
+	m         *Metrics
+	outboxes  [][]Send
+	shards    []*routeShard
+	inboxes   [][]delivery // per-recipient merged+shuffled inbox, reused
+}
+
 // Run drives nodes through cfg.Rounds synchronous rounds and returns the
 // traffic metrics. nodes[i] is the protocol state machine of node i; its
 // length must equal cfg.Graph.N().
@@ -150,89 +224,189 @@ func Run(cfg Config, nodes []Protocol) (*Metrics, error) {
 	if cfg.Rounds < 0 {
 		return nil, fmt.Errorf("rounds: negative round count %d", cfg.Rounds)
 	}
-	overhead := cfg.MsgOverhead
-	if overhead == 0 {
-		overhead = DefaultMsgOverhead
-	}
 	if cfg.LossRate < 0 || cfg.LossRate >= 1 {
-		if cfg.LossRate != 0 {
-			return nil, fmt.Errorf("rounds: LossRate must be in [0,1), got %v", cfg.LossRate)
-		}
+		return nil, fmt.Errorf("rounds: LossRate must be in [0,1), got %v", cfg.LossRate)
 	}
 	n := g.N()
-	m := &Metrics{
-		BytesSent:      make([]int64, n),
-		BytesBroadcast: make([]int64, n),
-		MsgsSent:       make([]int64, n),
-		MsgsDelivered:  make([]int64, n),
-		BytesByRound:   make([]int64, cfg.Rounds),
-		Rounds:         cfg.Rounds,
-	}
-	var lossRng *rand.Rand
-	if cfg.LossRate > 0 {
-		lossRng = rand.New(rand.NewSource(cfg.Seed ^ 0x10551055))
-	}
 	workers := runtime.GOMAXPROCS(0)
 	if cfg.Sequential {
 		workers = 1
 	}
+	if workers > n {
+		workers = n
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	e := &engine{
+		cfg:      cfg,
+		g:        g,
+		n:        n,
+		overhead: cfg.overhead(),
+		workers:  workers,
+		nodes:    nodes,
+		m: &Metrics{
+			BytesSent:      make([]int64, n),
+			BytesBroadcast: make([]int64, n),
+			MsgsSent:       make([]int64, n),
+			MsgsDelivered:  make([]int64, n),
+			BytesByRound:   make([]int64, cfg.Rounds),
+			Rounds:         cfg.Rounds,
+		},
+		outboxes: make([][]Send, n),
+		shards:   make([]*routeShard, workers),
+		inboxes:  make([][]delivery, n),
+	}
+	for w := range e.shards {
+		e.shards[w] = &routeShard{
+			inbox: make([][]delivery, n),
+			seen:  make(map[uint64]bool),
+		}
+	}
+	// Early exit is sound only when every node can attest quiescence;
+	// one opaque protocol forces the full horizon.
+	quiescers := make([]Quiescer, n)
+	for i, nd := range nodes {
+		q, ok := nd.(Quiescer)
+		if !ok {
+			quiescers = nil
+			break
+		}
+		quiescers[i] = q
+	}
+	e.quiescers = quiescers
+	e.run()
+	return e.m, nil
+}
 
-	outboxes := make([][]Send, n)
-	inboxes := make([][]delivery, n)
-	for r := 1; r <= cfg.Rounds; r++ {
+func (e *engine) run() {
+	e.m.ActiveRounds = e.cfg.Rounds
+	for r := 1; r <= e.cfg.Rounds; r++ {
 		// Phase 1: every node emits its round-r messages (in parallel —
 		// nodes are independent state machines).
-		parallelFor(n, workers, func(i int) {
-			outboxes[i] = nodes[i].Emit(r)
+		parallelChunks(e.n, e.workers, func(_, lo, hi int) {
+			for i := lo; i < hi; i++ {
+				e.outboxes[i] = e.nodes[i].Emit(r)
+			}
 		})
 
-		// Phase 2: route. Sender-major order keeps routing deterministic;
-		// metrics are updated here, single-threaded.
-		seen := make(map[uint64]bool)
-		for i := 0; i < n; i++ {
-			from := ids.NodeID(i)
-			clear(seen)
-			for _, s := range outboxes[i] {
-				if s.To == from || int(s.To) >= n || !g.HasEdge(from, s.To) {
-					m.DroppedNonEdge++
-					continue
-				}
-				m.BytesSent[i] += int64(len(s.Data) + overhead)
-				m.BytesByRound[r-1] += int64(len(s.Data) + overhead)
-				m.MsgsSent[i]++
-				if h := fnv64(s.Data); !seen[h] {
-					seen[h] = true
-					m.BytesBroadcast[i] += int64(len(s.Data) + overhead)
-				}
-				if lossRng != nil && lossRng.Float64() < cfg.LossRate {
-					m.DroppedLoss++
-					continue
-				}
-				inboxes[s.To] = append(inboxes[s.To], delivery{from: from, data: s.Data})
-			}
-			outboxes[i] = nil
+		// Phase 2: route. Each worker owns a contiguous sender stripe, so
+		// per-sender metric rows are contention-free and staged inboxes
+		// concatenate back to sender-major order.
+		parallelChunks(e.n, e.workers, func(w, lo, hi int) {
+			e.route(e.shards[w], r, lo, hi)
+		})
+		for _, sh := range e.shards {
+			e.m.BytesByRound[r-1] += sh.bytesThisRound
+			e.m.DroppedNonEdge += sh.droppedNonEdge
+			e.m.DroppedLoss += sh.droppedLoss
+			sh.bytesThisRound, sh.droppedNonEdge, sh.droppedLoss = 0, 0, 0
 		}
 
-		// Phase 3: deliver. Per-recipient order is shuffled with a
-		// round/recipient-specific seed so protocols cannot accidentally
-		// rely on sender-ordered delivery, yet runs stay reproducible.
-		parallelFor(n, workers, func(i int) {
-			inbox := inboxes[i]
-			if len(inbox) == 0 {
+		// Phase 3: merge + deliver. Each recipient's inbox is assembled
+		// from the worker shards in stripe order (restoring sender-major
+		// order), then shuffled with a round/recipient-specific seed so
+		// protocols cannot accidentally rely on sender-ordered delivery,
+		// yet runs stay reproducible.
+		parallelChunks(e.n, e.workers, func(_, lo, hi int) {
+			for i := lo; i < hi; i++ {
+				e.deliver(i, r)
+			}
+		})
+
+		// Quiescence check: inboxes are drained, so if every node attests
+		// it has nothing left to say, rounds r+1..R are provably silent.
+		if e.quiescers != nil && !e.cfg.FullHorizon && r < e.cfg.Rounds {
+			if e.allQuiescent() {
+				e.m.ActiveRounds = r
 				return
 			}
-			rng := rand.New(rand.NewSource(cfg.Seed ^ int64(r)<<20 ^ int64(i)))
-			rng.Shuffle(len(inbox), func(a, b int) {
-				inbox[a], inbox[b] = inbox[b], inbox[a]
-			})
-			for _, d := range inbox {
-				m.MsgsDelivered[i]++
-				nodes[i].Deliver(r, d.from, d.data)
-			}
-			inboxes[i] = inboxes[i][:0]
-		})
+		}
 	}
-	return m, nil
+}
+
+// route meters and stages the outboxes of senders [lo, hi) into sh.
+func (e *engine) route(sh *routeShard, round, lo, hi int) {
+	m := e.m
+	for i := lo; i < hi; i++ {
+		from := ids.NodeID(i)
+		clear(sh.seen)
+		for k, s := range e.outboxes[i] {
+			if s.To == from || int(s.To) >= e.n || !e.g.HasEdge(from, s.To) {
+				sh.droppedNonEdge++
+				continue
+			}
+			size := int64(len(s.Data) + e.overhead)
+			m.BytesSent[i] += size
+			sh.bytesThisRound += size
+			m.MsgsSent[i]++
+			if h := fnv64(s.Data); !sh.seen[h] {
+				sh.seen[h] = true
+				m.BytesBroadcast[i] += size
+			}
+			if e.cfg.LossRate > 0 && lossDraw(e.cfg.Seed, round, i, k) < e.cfg.LossRate {
+				sh.droppedLoss++
+				continue
+			}
+			sh.inbox[s.To] = append(sh.inbox[s.To], delivery{from: from, data: s.Data})
+		}
+		e.outboxes[i] = nil
+	}
+}
+
+// deliver merges recipient i's staged messages, shuffles, and delivers.
+// Only this call touches shard entry i, so truncating it here is safe.
+func (e *engine) deliver(i, round int) {
+	inbox := e.inboxes[i][:0]
+	for _, sh := range e.shards {
+		inbox = append(inbox, sh.inbox[i]...)
+		sh.inbox[i] = sh.inbox[i][:0]
+	}
+	e.inboxes[i] = inbox
+	if len(inbox) == 0 {
+		return
+	}
+	rng := rand.New(rand.NewSource(e.cfg.Seed ^ int64(round)<<20 ^ int64(i)))
+	rng.Shuffle(len(inbox), func(a, b int) {
+		inbox[a], inbox[b] = inbox[b], inbox[a]
+	})
+	e.m.MsgsDelivered[i] += int64(len(inbox))
+	for _, d := range inbox {
+		e.nodes[i].Deliver(round, d.from, d.data)
+	}
+}
+
+// allQuiescent reports whether every node attests quiescence.
+func (e *engine) allQuiescent() bool {
+	for _, q := range e.quiescers {
+		if !q.Quiescent() {
+			return false
+		}
+	}
+	return true
+}
+
+// lossDraw returns a deterministic uniform [0,1) draw for message k of
+// sender `from` in `round`. Hashing instead of a shared RNG stream keeps
+// loss decisions independent of routing parallelism and worker count.
+// Each input is mixed through the finalizer separately — packing them
+// into bit fields would alias once an outbox exceeds the field width.
+func lossDraw(seed int64, round, from, k int) float64 {
+	h := splitmix64(uint64(seed) ^ 0x1055105510551055)
+	h = splitmix64(h ^ uint64(round))
+	h = splitmix64(h ^ uint64(from))
+	h = splitmix64(h ^ uint64(k))
+	return float64(h>>11) / (1 << 53)
+}
+
+// splitmix64 is the SplitMix64 finalizer (Steele et al.).
+func splitmix64(h uint64) uint64 {
+	h ^= h >> 30
+	h *= 0xbf58476d1ce4e5b9
+	h ^= h >> 27
+	h *= 0x94d049bb133111eb
+	h ^= h >> 31
+	return h
 }
 
 // fnv64 hashes a payload (FNV-1a) for per-round broadcast deduplication.
@@ -251,33 +425,26 @@ func fnv64(data []byte) uint64 {
 	return h
 }
 
-// parallelFor runs fn(0..n-1) across the given number of workers,
-// preserving nothing about ordering within a phase (callers must not
-// depend on it).
-func parallelFor(n, workers int, fn func(i int)) {
+// parallelChunks splits [0, n) into one contiguous chunk per worker and
+// runs fn(worker, lo, hi) concurrently. With one worker it runs inline
+// (no goroutines) — the Sequential debugging mode.
+func parallelChunks(n, workers int, fn func(w, lo, hi int)) {
 	if workers <= 1 || n <= 1 {
-		for i := 0; i < n; i++ {
-			fn(i)
-		}
+		fn(0, 0, n)
 		return
 	}
 	if workers > n {
 		workers = n
 	}
 	var wg sync.WaitGroup
-	next := make(chan int)
 	wg.Add(workers)
 	for w := 0; w < workers; w++ {
-		go func() {
+		lo := w * n / workers
+		hi := (w + 1) * n / workers
+		go func(w, lo, hi int) {
 			defer wg.Done()
-			for i := range next {
-				fn(i)
-			}
-		}()
+			fn(w, lo, hi)
+		}(w, lo, hi)
 	}
-	for i := 0; i < n; i++ {
-		next <- i
-	}
-	close(next)
 	wg.Wait()
 }

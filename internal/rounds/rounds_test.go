@@ -356,6 +356,112 @@ func TestLossRateValidation(t *testing.T) {
 	}
 }
 
+// quiescentFlood is floodNode plus the Quiescer attestation: nothing
+// pending means nothing to say until another first-seen payload arrives.
+type quiescentFlood struct{ *floodNode }
+
+func (q quiescentFlood) Quiescent() bool { return len(q.pending) == 0 }
+
+func runQuiescentFlood(t *testing.T, g *graph.Graph, cfg Config) ([]*floodNode, *Metrics) {
+	t.Helper()
+	nodes := make([]*floodNode, g.N())
+	protos := make([]Protocol, g.N())
+	for i := range nodes {
+		nodes[i] = newFloodNode(ids.NodeID(i), g, fmt.Sprintf("origin-%d", i))
+		protos[i] = quiescentFlood{nodes[i]}
+	}
+	cfg.Graph = g
+	m, err := Run(cfg, protos)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return nodes, m
+}
+
+func TestEarlyExitSkipsSilentRounds(t *testing.T) {
+	// Complete-graph flooding is done after 2 active rounds (emit, relay);
+	// the engine needs one more silent round to observe quiescence, then
+	// fast-forwards the rest of the 20-round horizon.
+	g := topology.Complete(8)
+	nodes, m := runQuiescentFlood(t, g, Config{Rounds: 20, Seed: 5})
+	if m.Rounds != 20 {
+		t.Errorf("Rounds = %d, want the 20-round horizon", m.Rounds)
+	}
+	if m.ActiveRounds >= 20 || m.ActiveRounds < 2 {
+		t.Errorf("ActiveRounds = %d, want early exit in [2,20)", m.ActiveRounds)
+	}
+	if len(m.BytesByRound) != 20 {
+		t.Errorf("BytesByRound keeps the horizon length, got %d", len(m.BytesByRound))
+	}
+	for i, n := range nodes {
+		if len(n.seen) != 8 {
+			t.Errorf("node %d saw %d origins despite early exit", i, len(n.seen))
+		}
+	}
+}
+
+func TestEarlyExitMatchesFullHorizon(t *testing.T) {
+	for _, seed := range []int64{1, 2, 3} {
+		for _, g := range []*graph.Graph{topology.Ring(10), topology.Complete(9), topology.Star(8)} {
+			_, fast := runQuiescentFlood(t, g, Config{Rounds: 15, Seed: seed})
+			_, full := runQuiescentFlood(t, g, Config{Rounds: 15, Seed: seed, FullHorizon: true})
+			if full.ActiveRounds != 15 {
+				t.Fatalf("FullHorizon run exited early: %d", full.ActiveRounds)
+			}
+			if !reflect.DeepEqual(fast.BytesSent, full.BytesSent) ||
+				!reflect.DeepEqual(fast.BytesBroadcast, full.BytesBroadcast) ||
+				!reflect.DeepEqual(fast.MsgsSent, full.MsgsSent) ||
+				!reflect.DeepEqual(fast.MsgsDelivered, full.MsgsDelivered) ||
+				!reflect.DeepEqual(fast.BytesByRound, full.BytesByRound) {
+				t.Errorf("seed %d: early-exit metrics diverge from full horizon", seed)
+			}
+		}
+	}
+}
+
+func TestOpaqueProtocolForcesFullHorizon(t *testing.T) {
+	// floodNode does not implement Quiescer: one opaque node in the run
+	// must disable early exit entirely.
+	g := topology.Complete(6)
+	_, m := runFlood(t, g, Config{Rounds: 12, Seed: 1})
+	if m.ActiveRounds != 12 {
+		t.Errorf("ActiveRounds = %d, want full horizon 12 for non-Quiescer protocols", m.ActiveRounds)
+	}
+}
+
+func TestZeroOverheadSentinel(t *testing.T) {
+	g := graph.New(2)
+	g.AddEdge(0, 1)
+	m, err := Run(Config{Graph: g, Rounds: 2, Seed: 0, MsgOverhead: -1},
+		[]Protocol{&rogueNode{target: 1}, &silentNode{}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.BytesSent[0] != 2 { // two 1-byte payloads, zero overhead
+		t.Errorf("BytesSent[0] = %d, want 2 with MsgOverhead sentinel -1", m.BytesSent[0])
+	}
+}
+
+func TestLossDeterministicAcrossParallelism(t *testing.T) {
+	g := topology.Complete(12)
+	run := func(sequential bool) *Metrics {
+		protos := make([]Protocol, 12)
+		for i := range protos {
+			protos[i] = &raceNode{g: g, id: ids.NodeID(i)}
+		}
+		m, err := Run(Config{Graph: g, Rounds: 8, Seed: 21, LossRate: 0.3, Sequential: sequential}, protos)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return m
+	}
+	seq, par := run(true), run(false)
+	if seq.DroppedLoss != par.DroppedLoss || !reflect.DeepEqual(seq.MsgsDelivered, par.MsgsDelivered) {
+		t.Errorf("loss decisions depend on parallelism: seq dropped %d, par dropped %d",
+			seq.DroppedLoss, par.DroppedLoss)
+	}
+}
+
 func TestBytesByRoundTrailingSilence(t *testing.T) {
 	// Flooding on a complete graph finishes in ~2 rounds; rounds beyond
 	// the diameter must be silent (the §IV-E observation).

@@ -91,6 +91,7 @@ type Node struct {
 	claims   map[claimKey]*claimState
 	believed map[graph.Edge]ids.Set // believed asserters per edge
 	queue    []outMsg               // relays for the next round
+	started  bool                   // round-1 assertions have been emitted
 	stats    Stats
 }
 
@@ -154,6 +155,7 @@ func (nd *Node) Rounds() int { return nd.nRounds }
 // Emit implements rounds.Protocol: round 1 asserts the local
 // neighborhood; later rounds flush queued relays.
 func (nd *Node) Emit(round int) []rounds.Send {
+	nd.started = true
 	var out []rounds.Send
 	if round == 1 {
 		for _, nb := range nd.cfg.Neighbors {
@@ -176,6 +178,10 @@ func (nd *Node) Emit(round int) []rounds.Send {
 	nd.queue = nd.queue[:0]
 	return out
 }
+
+// Quiescent implements rounds.Quiescer: nothing queued for relay means
+// nothing to say until another acceptable path-annotated copy arrives.
+func (nd *Node) Quiescent() bool { return nd.started && len(nd.queue) == 0 }
 
 // Deliver implements rounds.Protocol: validate the path-annotated copy,
 // update the claim's evidence, and re-evaluate belief.

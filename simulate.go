@@ -51,8 +51,13 @@ type SimulationConfig struct {
 	// Byzantine assigns behaviours to Byzantine nodes (may be empty).
 	Byzantine map[NodeID]Behavior
 	// Blocked lists, per split-brain Byzantine node, the destinations it
-	// stonewalls.
+	// stonewalls. Every key must be a node assigned BehaviorSplitBrain —
+	// entries for any other node are a configuration error.
 	Blocked map[NodeID][]NodeID
+	// FullHorizon disables the engine's quiescence early exit, forcing
+	// all rounds to execute. Results are identical either way; the knob
+	// exists for equivalence testing and round-complexity ablations.
+	FullHorizon bool
 }
 
 // SimulationResult reports the decisions and traffic of one execution.
@@ -72,8 +77,12 @@ type SimulationResult struct {
 	// multicast-accounted, see DESIGN.md §5).
 	BytesSent      []int64
 	BytesBroadcast []int64
-	// Rounds is the number of synchronous rounds executed.
+	// Rounds is the configured round horizon (n-1 unless overridden).
 	Rounds int
+	// ActiveRounds is the number of rounds the engine actually executed:
+	// less than Rounds when every node went quiescent early (§IV-E), in
+	// which case the remaining rounds were provably silent and skipped.
+	ActiveRounds int
 }
 
 // Simulate runs NECTAR on cfg.Graph with goroutine-per-core lockstep
@@ -104,6 +113,19 @@ func Simulate(cfg SimulationConfig) (*SimulationResult, error) {
 	if byz.Len() > cfg.T {
 		return nil, fmt.Errorf("nectar: %d Byzantine nodes exceed T=%d", byz.Len(), cfg.T)
 	}
+	// Blocked entries apply only to split-brain nodes; anything else is a
+	// misconfigured attack scenario that would otherwise silently no-op.
+	for b, targets := range cfg.Blocked {
+		if cfg.Byzantine[b] != BehaviorSplitBrain {
+			return nil, fmt.Errorf("nectar: Blocked entry for node %v, which has behavior %q (want %q)",
+				b, cfg.Byzantine[b], BehaviorSplitBrain)
+		}
+		for _, to := range targets {
+			if int(to) >= n {
+				return nil, fmt.Errorf("nectar: Blocked target %v of node %v out of range", to, b)
+			}
+		}
+	}
 
 	nodes, err := BuildNodes(cfg.Graph, cfg.T, scheme, cfg.Rounds)
 	if err != nil {
@@ -126,9 +148,10 @@ func Simulate(cfg SimulationConfig) (*SimulationResult, error) {
 		r = n - 1
 	}
 	metrics, err := rounds.Run(rounds.Config{
-		Graph:  cfg.Graph,
-		Rounds: r,
-		Seed:   cfg.Seed,
+		Graph:       cfg.Graph,
+		Rounds:      r,
+		Seed:        cfg.Seed,
+		FullHorizon: cfg.FullHorizon,
 	}, protos)
 	if err != nil {
 		return nil, err
@@ -140,6 +163,7 @@ func Simulate(cfg SimulationConfig) (*SimulationResult, error) {
 		BytesSent:      metrics.BytesSent,
 		BytesBroadcast: metrics.BytesBroadcast,
 		Rounds:         r,
+		ActiveRounds:   metrics.ActiveRounds,
 	}
 	first := true
 	for i, nd := range nodes {
