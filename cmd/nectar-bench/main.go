@@ -53,7 +53,7 @@ func run(args []string) error {
 		opts.Progress = func(line string) { fmt.Fprintln(os.Stderr, "  "+line) }
 	}
 
-	all := []string{"fig3", "fig4", "fig5", "fig6", "fig7", "fig8", "topo-cost", "byz-topo", "loss"}
+	all := []string{"fig3", "fig4", "fig5", "fig6", "fig7", "fig8", "topo-cost", "byz-topo", "loss", "churn"}
 	var expanded []string
 	for _, tgt := range targets {
 		if tgt == "all" {
@@ -100,6 +100,8 @@ func runOne(target string, opts report.Options, outDir string, ascii bool) error
 		return emitTable(report.ByzTopo, opts, outDir, ascii)
 	case "loss":
 		return emitTable(report.LossTable, opts, outDir, ascii)
+	case "churn":
+		return emitTable(report.ChurnTable, opts, outDir, ascii)
 	}
 	return fmt.Errorf("unknown experiment %q", target)
 }

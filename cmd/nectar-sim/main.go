@@ -1,11 +1,17 @@
 // nectar-sim runs a single NECTAR execution on a chosen topology with
-// optional Byzantine nodes and prints every correct node's decision.
+// optional Byzantine nodes and prints every correct node's decision. With
+// -churn it instead runs epoch-based re-detection over a time-varying
+// topology (link flapping, node churn, partition/heal, or drone
+// mobility) and reports per-epoch decisions, ground-truth κ vs t, and
+// detection latency.
 //
 // Examples:
 //
 //	nectar-sim -topo harary -k 4 -n 20 -t 1
 //	nectar-sim -topo drone -n 35 -d 6 -radius 1.2 -t 2
 //	nectar-sim -topo star -n 9 -t 1 -byz 0 -behavior splitbrain -blocked 5,6,7,8
+//	nectar-sim -topo drone -n 20 -radius 1.8 -t 2 -churn mobility -d 0 -drift 0.8 -epochs 8
+//	nectar-sim -topo harary -k 6 -n 20 -t 2 -churn nodes -churn-rate 0.02 -epochs 6
 package main
 
 import (
@@ -33,21 +39,22 @@ func run(args []string) error {
 	t := fs.Int("t", 1, "assumed Byzantine bound")
 	seed := fs.Int64("seed", 1, "random seed")
 	scheme := fs.String("scheme", "ed25519", "signature scheme: ed25519|hmac|insecure")
-	rounds := fs.Int("rounds", 0, "round override (0 = n-1)")
+	rounds := fs.Int("rounds", 0, "round override (0 = n-1); the per-epoch horizon under -churn")
 	byzList := fs.String("byz", "", "comma-separated Byzantine node IDs")
 	behavior := fs.String("behavior", "crash",
 		"Byzantine behavior: crash|splitbrain|fakeedges|garbage|stale|equivocate|omitown")
 	blockedList := fs.String("blocked", "", "nodes split-brain Byzantine nodes stonewall")
+	churn := fs.String("churn", "",
+		"dynamic-network workload: flap|nodes|partition|mobility (empty = static single run)")
+	epochs := fs.Int("epochs", 0, "detection epochs under -churn (0 = cover the schedule)")
+	churnRate := fs.Float64("churn-rate", 0.02,
+		"per-round link down probability (flap) or node leave probability (nodes)")
+	drift := fs.Float64("drift", 0.5, "barycenter separation added per epoch (mobility)")
 	asJSON := fs.Bool("json", false, "emit JSON instead of text")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 
-	rng := rand.New(rand.NewSource(*seed))
-	g, err := topo.Build(rng)
-	if err != nil {
-		return err
-	}
 	byz, err := cliutil.ParseNodeList(*byzList)
 	if err != nil {
 		return err
@@ -56,34 +63,62 @@ func run(args []string) error {
 	if err != nil {
 		return err
 	}
+	// Fail fast on a typo'd behavior, naming the valid ones, before any
+	// topology or crypto setup runs.
+	if len(byz) > 0 && !nectar.Behavior(*behavior).Valid() {
+		return fmt.Errorf("unknown -behavior %q (valid: %v)", *behavior, nectar.KnownBehaviors())
+	}
 	if len(blocked) > 0 && nectar.Behavior(*behavior) != nectar.BehaviorSplitBrain {
 		return fmt.Errorf("-blocked only applies to -behavior %s (got %q)", nectar.BehaviorSplitBrain, *behavior)
 	}
 	if len(blocked) > 0 && len(byz) == 0 {
 		return fmt.Errorf("-blocked requires -byz to name the split-brain node(s)")
 	}
-	cfg := nectar.SimulationConfig{
+	var byzantine map[nectar.NodeID]nectar.Behavior
+	var blockedMap map[nectar.NodeID][]nectar.NodeID
+	if len(byz) > 0 {
+		byzantine = make(map[nectar.NodeID]nectar.Behavior, len(byz))
+		for _, b := range byz {
+			byzantine[b] = nectar.Behavior(*behavior)
+		}
+		// Blocked only applies to split-brain nodes; Simulate rejects
+		// entries for any other behaviour.
+		if nectar.Behavior(*behavior) == nectar.BehaviorSplitBrain {
+			blockedMap = make(map[nectar.NodeID][]nectar.NodeID, len(byz))
+			for _, b := range byz {
+				blockedMap[b] = blocked
+			}
+		}
+	}
+
+	if *churn != "" {
+		// Resolve the default once: buildSchedule (workload horizon) and
+		// the detection run must agree on the epoch count.
+		if *epochs == 0 {
+			*epochs = 6
+		}
+		return runDynamic(&topo, dynFlags{
+			kind: *churn, t: *t, seed: *seed, scheme: *scheme,
+			epochRounds: *rounds, epochs: *epochs, rate: *churnRate,
+			drift: *drift, byzantine: byzantine, blocked: blockedMap,
+			asJSON: *asJSON,
+		})
+	}
+
+	rng := rand.New(rand.NewSource(*seed))
+	g, err := topo.Build(rng)
+	if err != nil {
+		return err
+	}
+	res, err := nectar.Simulate(nectar.SimulationConfig{
 		Graph:      g,
 		T:          *t,
 		Seed:       *seed,
 		SchemeName: *scheme,
 		Rounds:     *rounds,
-	}
-	if len(byz) > 0 {
-		cfg.Byzantine = make(map[nectar.NodeID]nectar.Behavior, len(byz))
-		for _, b := range byz {
-			cfg.Byzantine[b] = nectar.Behavior(*behavior)
-		}
-		// Blocked only applies to split-brain nodes; Simulate rejects
-		// entries for any other behaviour.
-		if nectar.Behavior(*behavior) == nectar.BehaviorSplitBrain {
-			cfg.Blocked = make(map[nectar.NodeID][]nectar.NodeID, len(byz))
-			for _, b := range byz {
-				cfg.Blocked[b] = blocked
-			}
-		}
-	}
-	res, err := nectar.Simulate(cfg)
+		Byzantine:  byzantine,
+		Blocked:    blockedMap,
+	})
 	if err != nil {
 		return err
 	}
@@ -118,5 +153,156 @@ func run(args []string) error {
 			fmt.Printf("  node %v: %v (confirmed=%v, reachable=%d)\n", id, o.Decision, o.Confirmed, o.Reachable)
 		}
 	}
+	return nil
+}
+
+// dynFlags carries the -churn run's parameters.
+type dynFlags struct {
+	kind        string
+	t           int
+	seed        int64
+	scheme      string
+	epochRounds int
+	epochs      int
+	rate        float64
+	drift       float64
+	byzantine   map[nectar.NodeID]nectar.Behavior
+	blocked     map[nectar.NodeID][]nectar.NodeID
+	asJSON      bool
+}
+
+// buildSchedule compiles the selected dynamic workload over the chosen
+// base topology.
+func buildSchedule(topo *cliutil.TopologyFlags, f dynFlags, rng *rand.Rand) (*nectar.EdgeSchedule, error) {
+	epochRounds := f.epochRounds
+	if epochRounds == 0 {
+		epochRounds = topo.N - 1
+	}
+	epochs := f.epochs
+	horizon := epochs * epochRounds
+	switch f.kind {
+	case "mobility":
+		// The drone fleet itself moves: -d is the initial separation,
+		// -drift the per-epoch drift, -radius the communication scope.
+		return nectar.DroneMobilitySchedule(nectar.MobilityConfig{
+			N:          topo.N,
+			Radius:     topo.Radius,
+			StepRounds: epochRounds,
+			Steps:      epochs - 1,
+			Distance:   nectar.LinearDrift(topo.D, f.drift),
+		}, rng)
+	case "flap":
+		g, err := topo.Build(rng)
+		if err != nil {
+			return nil, err
+		}
+		return nectar.FlappingSchedule(g, f.rate, 0.3, horizon, rng)
+	case "nodes":
+		g, err := topo.Build(rng)
+		if err != nil {
+			return nil, err
+		}
+		return nectar.PoissonChurnSchedule(g, f.rate, float64(epochRounds), horizon, rng)
+	case "partition":
+		g, err := topo.Build(rng)
+		if err != nil {
+			return nil, err
+		}
+		// Cut at the second epoch's first round, heal two epochs later.
+		heal := 3*epochRounds + 1
+		if epochs <= 3 {
+			heal = 0
+		}
+		return nectar.PartitionHealSchedule(g, epochRounds+1, heal)
+	}
+	return nil, fmt.Errorf("unknown -churn workload %q (valid: flap, nodes, partition, mobility)", f.kind)
+}
+
+// runDynamic executes and prints an epoch-based re-detection run.
+func runDynamic(topo *cliutil.TopologyFlags, f dynFlags) error {
+	sched, err := buildSchedule(topo, f, rand.New(rand.NewSource(f.seed)))
+	if err != nil {
+		return err
+	}
+	res, err := nectar.SimulateDynamic(nectar.DynamicConfig{
+		Schedule:    sched,
+		T:           f.t,
+		Seed:        f.seed,
+		SchemeName:  f.scheme,
+		EpochRounds: f.epochRounds,
+		Epochs:      f.epochs,
+		Byzantine:   f.byzantine,
+		Blocked:     f.blocked,
+	})
+	if err != nil {
+		return err
+	}
+
+	mean, detected, undetected := res.DetectionLatency()
+	if f.asJSON {
+		type epochJSON struct {
+			Epoch        int    `json:"epoch"`
+			Kappa        int    `json:"kappa"`
+			Truth        bool   `json:"truth_partitionable"`
+			Decision     string `json:"decision"`
+			Agreement    bool   `json:"agreement"`
+			Confirmed    bool   `json:"confirmed"`
+			Absent       int    `json:"absent"`
+			ActiveRounds int    `json:"active_rounds"`
+		}
+		eps := make([]epochJSON, len(res.Epochs))
+		for i, ep := range res.Epochs {
+			eps[i] = epochJSON{
+				Epoch: ep.Epoch, Kappa: ep.Kappa, Truth: ep.TruthPartitionable,
+				Decision: ep.Decision.String(), Agreement: ep.Agreement,
+				Confirmed: ep.Confirmed, Absent: len(ep.Absent),
+				ActiveRounds: ep.ActiveRounds,
+			}
+		}
+		return json.NewEncoder(os.Stdout).Encode(map[string]any{
+			"workload":            f.kind,
+			"topology":            topo.Kind,
+			"n":                   sched.Base.N(),
+			"t":                   f.t,
+			"epoch_rounds":        res.EpochRounds,
+			"epochs":              eps,
+			"flips":               res.Flips,
+			"mean_latency_epochs": mean,
+			"flips_detected":      detected,
+			"flips_undetected":    undetected,
+		})
+	}
+
+	fmt.Printf("workload      %s over %s (n=%d, t=%d, %d-round epochs)\n",
+		f.kind, topo.Kind, sched.Base.N(), f.t, res.EpochRounds)
+	fmt.Printf("%-6s %-4s %-8s %-20s %-10s %-7s %s\n",
+		"epoch", "κ", "truth", "decision", "agreement", "absent", "rounds")
+	for _, ep := range res.Epochs {
+		truth := "NOT_PART"
+		if ep.TruthPartitionable {
+			truth = "PART"
+		}
+		fmt.Printf("%-6d %-4d %-8s %-20v %-10v %-7d %d/%d\n",
+			ep.Epoch, ep.Kappa, truth, ep.Decision, ep.Agreement,
+			len(ep.Absent), ep.ActiveRounds, ep.Rounds)
+	}
+	if len(res.Flips) == 0 {
+		fmt.Println("flips         none (ground truth never changed)")
+		return nil
+	}
+	for _, fl := range res.Flips {
+		verdict := "NOT_PARTITIONABLE"
+		if fl.ToPartitionable {
+			verdict = "PARTITIONABLE"
+		}
+		if fl.Latency >= 0 {
+			fmt.Printf("flip @epoch %-3d -> %-18s detected at epoch %d (latency %d)\n",
+				fl.Epoch, verdict, fl.DetectedEpoch, fl.Latency)
+		} else {
+			fmt.Printf("flip @epoch %-3d -> %-18s undetected\n", fl.Epoch, verdict)
+		}
+	}
+	fmt.Printf("latency       %.2f epochs mean (%d detected, %d undetected)\n",
+		mean, detected, undetected)
 	return nil
 }

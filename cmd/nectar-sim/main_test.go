@@ -1,6 +1,9 @@
 package main
 
-import "testing"
+import (
+	"strings"
+	"testing"
+)
 
 func TestRunBasicTopologies(t *testing.T) {
 	cases := [][]string{
@@ -26,6 +29,26 @@ func TestRunWithByzantine(t *testing.T) {
 	}
 }
 
+func TestRunChurnWorkloads(t *testing.T) {
+	cases := [][]string{
+		{"-topo", "harary", "-k", "4", "-n", "10", "-t", "1", "-scheme", "hmac",
+			"-churn", "flap", "-churn-rate", "0.05", "-epochs", "3"},
+		{"-topo", "harary", "-k", "4", "-n", "10", "-t", "1", "-scheme", "hmac",
+			"-churn", "nodes", "-churn-rate", "0.03", "-epochs", "3"},
+		{"-topo", "harary", "-k", "4", "-n", "10", "-t", "1", "-scheme", "hmac",
+			"-churn", "partition", "-epochs", "5"},
+		{"-topo", "drone", "-n", "12", "-d", "0", "-radius", "1.8", "-t", "1",
+			"-scheme", "hmac", "-churn", "mobility", "-drift", "1.0", "-epochs", "4"},
+		{"-topo", "harary", "-k", "4", "-n", "10", "-t", "1", "-scheme", "hmac",
+			"-churn", "partition", "-epochs", "5", "-json"},
+	}
+	for _, args := range cases {
+		if err := run(args); err != nil {
+			t.Errorf("run(%v): %v", args, err)
+		}
+	}
+}
+
 func TestRunErrors(t *testing.T) {
 	cases := [][]string{
 		{"-topo", "nosuch"},
@@ -34,10 +57,24 @@ func TestRunErrors(t *testing.T) {
 		{"-blocked", "1,bad"},
 		{"-topo", "ring", "-n", "6", "-t", "1", "-byz", "1,2"}, // 2 byz > t
 		{"-topo", "ring", "-n", "6", "-scheme", "nosuch"},
+		{"-topo", "ring", "-n", "6", "-byz", "1", "-behavior", "nosuch"},
+		{"-topo", "ring", "-n", "6", "-churn", "nosuch"},
 	}
 	for _, args := range cases {
 		if err := run(args); err == nil {
 			t.Errorf("run(%v) should fail", args)
+		}
+	}
+}
+
+func TestBehaviorErrorNamesValidBehaviors(t *testing.T) {
+	err := run([]string{"-topo", "ring", "-n", "6", "-byz", "1", "-behavior", "sneaky"})
+	if err == nil {
+		t.Fatal("unknown behavior accepted")
+	}
+	for _, want := range []string{"sneaky", "crash", "splitbrain", "omitown"} {
+		if !strings.Contains(err.Error(), want) {
+			t.Errorf("error %q does not mention %q", err, want)
 		}
 	}
 }

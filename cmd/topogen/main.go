@@ -1,17 +1,19 @@
 // topogen generates and inspects the evaluation topologies: vertex count,
 // edges, exact vertex connectivity, diameter, minimum degree, and
-// t-Byzantine partitionability, with optional DOT/JSON output.
+// t-Byzantine partitionability, with Graphviz DOT and JSON export for
+// visualizing generated (and scheduled) topologies.
 //
 // Examples:
 //
 //	topogen -topo gwheel -c 3 -n 20 -t 5
-//	topogen -topo drone -n 35 -d 6 -radius 1.2 -dot > drone.dot
+//	topogen -topo drone -n 35 -d 6 -radius 1.2 -format dot > drone.dot
 package main
 
 import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"math/rand"
 	"os"
 
@@ -19,60 +21,71 @@ import (
 )
 
 func main() {
-	if err := run(os.Args[1:]); err != nil {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
 		fmt.Fprintln(os.Stderr, "topogen:", err)
 		os.Exit(1)
 	}
 }
 
-func run(args []string) error {
+func run(args []string, w io.Writer) error {
 	fs := flag.NewFlagSet("topogen", flag.ContinueOnError)
 	var topo cliutil.TopologyFlags
 	topo.Register(fs)
 	seed := fs.Int64("seed", 1, "random seed")
 	t := fs.Int("t", 1, "Byzantine bound for the partitionability report")
-	dot := fs.Bool("dot", false, "emit Graphviz DOT to stdout")
-	asJSON := fs.Bool("json", false, "emit JSON edge list to stdout")
+	format := fs.String("format", "text", "output format: text|dot|json")
+	dot := fs.Bool("dot", false, "emit Graphviz DOT (alias for -format dot)")
+	asJSON := fs.Bool("json", false, "emit JSON edge list (alias for -format json)")
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	if *dot {
+		*format = "dot"
+	}
+	if *asJSON {
+		*format = "json"
 	}
 	g, err := topo.Build(rand.New(rand.NewSource(*seed)))
 	if err != nil {
 		return err
 	}
-	if *dot {
-		fmt.Print(g.DOT(topo.Kind))
+	switch *format {
+	case "dot":
+		fmt.Fprint(w, g.DOT(topo.Kind))
 		return nil
-	}
-	if *asJSON {
+	case "json":
 		type edge struct{ U, V uint32 }
 		edges := make([]edge, 0, g.M())
 		for _, e := range g.Edges() {
 			edges = append(edges, edge{uint32(e.U), uint32(e.V)})
 		}
-		return json.NewEncoder(os.Stdout).Encode(map[string]any{
+		return json.NewEncoder(w).Encode(map[string]any{
 			"topology": topo.Kind,
 			"n":        g.N(),
 			"edges":    edges,
 		})
+	case "text":
+		// fall through to the report below
+	default:
+		return fmt.Errorf("unknown -format %q (valid: text, dot, json)", *format)
 	}
 	kappa := g.Connectivity()
 	diam, connected := g.Diameter()
-	fmt.Printf("topology            %s\n", topo.Kind)
-	fmt.Printf("nodes               %d\n", g.N())
-	fmt.Printf("edges               %d\n", g.M())
-	fmt.Printf("min degree          %d\n", g.MinDegree())
-	fmt.Printf("vertex connectivity %d\n", kappa)
+	fmt.Fprintf(w, "topology            %s\n", topo.Kind)
+	fmt.Fprintf(w, "nodes               %d\n", g.N())
+	fmt.Fprintf(w, "edges               %d\n", g.M())
+	fmt.Fprintf(w, "min degree          %d\n", g.MinDegree())
+	fmt.Fprintf(w, "vertex connectivity %d\n", kappa)
 	if connected {
-		fmt.Printf("diameter            %d\n", diam)
+		fmt.Fprintf(w, "diameter            %d\n", diam)
 	} else {
-		fmt.Printf("diameter            ∞ (disconnected, %d components)\n", len(g.Components()))
+		fmt.Fprintf(w, "diameter            ∞ (disconnected, %d components)\n", len(g.Components()))
 	}
-	fmt.Printf("%d-Byz partitionable %v (κ ≤ t iff partitionable, Cor. 1)\n", *t, g.IsTByzPartitionable(*t))
+	fmt.Fprintf(w, "%d-Byz partitionable %v (κ ≤ t iff partitionable, Cor. 1)\n", *t, g.IsTByzPartitionable(*t))
 	if cut, ok := g.MinVertexCut(); ok {
-		fmt.Printf("a minimum cut       %v\n", cut)
+		fmt.Fprintf(w, "a minimum cut       %v\n", cut)
 	} else {
-		fmt.Printf("a minimum cut       none (complete graph)\n")
+		fmt.Fprintf(w, "a minimum cut       none (complete graph)\n")
 	}
 	return nil
 }

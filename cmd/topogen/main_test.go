@@ -1,6 +1,11 @@
 package main
 
-import "testing"
+import (
+	"bytes"
+	"io"
+	"strings"
+	"testing"
+)
 
 func TestRunReports(t *testing.T) {
 	cases := [][]string{
@@ -11,26 +16,78 @@ func TestRunReports(t *testing.T) {
 		{"-topo", "drone", "-n", "10", "-d", "6", "-radius", "1.2"},
 	}
 	for _, args := range cases {
-		if err := run(args); err != nil {
+		if err := run(args, io.Discard); err != nil {
 			t.Errorf("run(%v): %v", args, err)
 		}
 	}
 }
 
 func TestRunOutputs(t *testing.T) {
-	if err := run([]string{"-topo", "ring", "-n", "5", "-dot"}); err != nil {
-		t.Errorf("dot output: %v", err)
+	for _, args := range [][]string{
+		{"-topo", "ring", "-n", "5", "-dot"},
+		{"-topo", "ring", "-n", "5", "-json"},
+		{"-topo", "ring", "-n", "5", "-format", "dot"},
+		{"-topo", "ring", "-n", "5", "-format", "json"},
+		{"-topo", "ring", "-n", "5", "-format", "text"},
+	} {
+		if err := run(args, io.Discard); err != nil {
+			t.Errorf("run(%v): %v", args, err)
+		}
 	}
-	if err := run([]string{"-topo", "ring", "-n", "5", "-json"}); err != nil {
-		t.Errorf("json output: %v", err)
+}
+
+// TestDOTGolden pins the Graphviz export byte-for-byte: a stable DOT
+// rendering is what downstream visualization scripts parse.
+func TestDOTGolden(t *testing.T) {
+	const golden = `graph "ring" {
+  0;
+  1;
+  2;
+  3;
+  4;
+  0 -- 1;
+  0 -- 4;
+  1 -- 2;
+  2 -- 3;
+  3 -- 4;
+}
+`
+	var buf bytes.Buffer
+	if err := run([]string{"-topo", "ring", "-n", "5", "-format", "dot"}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	if buf.String() != golden {
+		t.Errorf("DOT output drifted:\n got:\n%s\nwant:\n%s", buf.String(), golden)
+	}
+	// The -dot alias must produce the identical bytes.
+	var alias bytes.Buffer
+	if err := run([]string{"-topo", "ring", "-n", "5", "-dot"}, &alias); err != nil {
+		t.Fatal(err)
+	}
+	if alias.String() != buf.String() {
+		t.Error("-dot alias diverges from -format dot")
 	}
 }
 
 func TestRunErrors(t *testing.T) {
-	if err := run([]string{"-topo", "nosuch"}); err == nil {
-		t.Error("unknown topology accepted")
+	cases := [][]string{
+		{"-topo", "nosuch"},
+		{"-topo", "mwheel", "-c", "2", "-parts", "5", "-n", "10"},
+		{"-topo", "ring", "-n", "5", "-format", "yaml"},
 	}
-	if err := run([]string{"-topo", "mwheel", "-c", "2", "-parts", "5", "-n", "10"}); err == nil {
-		t.Error("invalid mwheel params accepted")
+	for _, args := range cases {
+		if err := run(args, io.Discard); err == nil {
+			t.Errorf("run(%v) should fail", args)
+		}
+	}
+}
+
+func TestFormatErrorNamesValidFormats(t *testing.T) {
+	err := run([]string{"-topo", "ring", "-n", "5", "-format", "yaml"}, io.Discard)
+	if err == nil {
+		t.Fatal("bad format accepted")
+	}
+	if !strings.Contains(err.Error(), "dot") || !strings.Contains(err.Error(), "json") {
+		t.Errorf("error %q does not name the valid formats", err)
 	}
 }

@@ -1,0 +1,295 @@
+package nectar
+
+import (
+	"fmt"
+	"math/rand"
+	"strconv"
+
+	"github.com/nectar-repro/nectar/internal/adversary"
+	"github.com/nectar-repro/nectar/internal/dynamic"
+	"github.com/nectar-repro/nectar/internal/graph"
+	"github.com/nectar-repro/nectar/internal/ids"
+	"github.com/nectar-repro/nectar/internal/rounds"
+)
+
+// Dynamic-network subsystem re-exports (DESIGN.md §7): time-varying
+// topologies, churn/mobility schedule generators, and epoch-based
+// re-detection with detection-latency metrics.
+
+type (
+	// EdgeSchedule is a time-varying topology: a base graph plus
+	// round-ordered edge up/down and node leave/join events.
+	EdgeSchedule = dynamic.EdgeSchedule
+	// ScheduleEvent is one scheduled topology change.
+	ScheduleEvent = dynamic.Event
+	// ScheduleEventKind discriminates schedule events.
+	ScheduleEventKind = dynamic.EventKind
+	// MobilityConfig parameterizes DroneMobilitySchedule.
+	MobilityConfig = dynamic.MobilityConfig
+)
+
+// Schedule event kinds.
+const (
+	EdgeUp    = dynamic.EdgeUp
+	EdgeDown  = dynamic.EdgeDown
+	NodeLeave = dynamic.NodeLeave
+	NodeJoin  = dynamic.NodeJoin
+)
+
+// StaticSchedule returns the schedule that never changes base.
+func StaticSchedule(base *Graph) *EdgeSchedule { return dynamic.Static(base) }
+
+// FlappingSchedule generates independent per-round link flapping over
+// base: up edges fail with downProb, down edges recover with upProb.
+func FlappingSchedule(base *Graph, downProb, upProb float64, horizon int, rng *rand.Rand) (*EdgeSchedule, error) {
+	return dynamic.Flapping(base, downProb, upProb, horizon, rng)
+}
+
+// PoissonChurnSchedule generates node churn: present nodes leave with
+// probability leaveRate per round and stay away for geometrically
+// distributed downtimes with the given mean (in rounds).
+func PoissonChurnSchedule(base *Graph, leaveRate, meanDowntime float64, horizon int, rng *rand.Rand) (*EdgeSchedule, error) {
+	return dynamic.PoissonChurn(base, leaveRate, meanDowntime, horizon, rng)
+}
+
+// PartitionHealSchedule cuts every edge between the ID-halves of base at
+// cutRound and restores them at healRound (0 = never).
+func PartitionHealSchedule(base *Graph, cutRound, healRound int) (*EdgeSchedule, error) {
+	return dynamic.PartitionHeal(base, cutRound, healRound)
+}
+
+// DroneMobilitySchedule compiles a mobile two-squad drone fleet (§V-B
+// scatters following a separation trajectory) into an EdgeSchedule by
+// recomputing the geometric graph at every waypoint step.
+func DroneMobilitySchedule(cfg MobilityConfig, rng *rand.Rand) (*EdgeSchedule, error) {
+	return dynamic.DroneMobility(cfg, rng)
+}
+
+// LinearDrift returns the separation trajectory d0 + step·perStep,
+// clamped at 0.
+func LinearDrift(d0, perStep float64) func(step int) float64 {
+	return dynamic.LinearDrift(d0, perStep)
+}
+
+// DynamicConfig drives one epoch-based re-detection execution: NECTAR is
+// re-run from scratch in successive epochs over the evolving graph.
+type DynamicConfig struct {
+	// Schedule is the time-varying communication network. Required.
+	Schedule *EdgeSchedule
+	// T is the assumed Byzantine bound handed to every node.
+	T int
+	// Seed makes the run reproducible; epoch e derives its own seed, with
+	// epoch 0 using Seed itself (so a static schedule's first epoch
+	// reproduces Simulate bit-for-bit).
+	Seed int64
+	// SchemeName selects signatures ("" = "ed25519", as in Simulate).
+	SchemeName string
+	// EpochRounds is the engine horizon per epoch (0 = n-1).
+	EpochRounds int
+	// Epochs is the number of detection epochs (0 = enough to cover the
+	// schedule plus one fresh epoch on the final topology).
+	Epochs int
+	// Byzantine assigns behaviours to Byzantine nodes for every epoch
+	// (the same nodes stay compromised throughout the run). A Byzantine
+	// node that is churned out behaves as crashed while absent.
+	Byzantine map[NodeID]Behavior
+	// Blocked lists, per split-brain Byzantine node, the stonewalled
+	// destinations (see SimulationConfig.Blocked).
+	Blocked map[NodeID][]NodeID
+	// FullHorizon disables the engine's quiescence early exit.
+	FullHorizon bool
+}
+
+// EpochResult reports one epoch of a dynamic run.
+type EpochResult struct {
+	// Epoch is the 0-based index; StartRound its first global round.
+	Epoch      int
+	StartRound int
+	// Kappa is the ground-truth vertex connectivity of the present
+	// nodes' subgraph at the epoch's first round, and TruthPartitionable
+	// is Kappa <= T (Corollary 1) — what a correct detector should say.
+	Kappa              int
+	TruthPartitionable bool
+	// Absent lists nodes churned out at the epoch's first round (they run
+	// no protocol and have no Outcome).
+	Absent []NodeID
+	// Outcomes holds each correct, present node's decision.
+	Outcomes map[NodeID]Outcome
+	// Agreement reports whether all those decisions are identical;
+	// Decision is the lowest-ID correct node's decision.
+	Agreement bool
+	Decision  Decision
+	// Confirmed reports whether any correct node confirmed an actual
+	// partition this epoch.
+	Confirmed bool
+	// BytesSent meters per-node unicast traffic for the epoch; Rounds and
+	// ActiveRounds mirror SimulationResult's horizon accounting.
+	BytesSent    []int64
+	Rounds       int
+	ActiveRounds int
+}
+
+// DetectionFlip is one ground-truth partitionability transition and the
+// latency until all correct nodes followed it: Epoch is the first epoch
+// with the new truth ToPartitionable, DetectedEpoch the first epoch at
+// which every correct node's verdict matches it (-1 if the run or the
+// next flip arrives first), and Latency is DetectedEpoch - Epoch in
+// epochs (-1 if undetected).
+type DetectionFlip = dynamic.Flip
+
+// DynamicResult reports a full epoch-based re-detection run.
+type DynamicResult struct {
+	// EpochRounds is the resolved per-epoch horizon.
+	EpochRounds int
+	// Epochs holds the per-epoch reports in order.
+	Epochs []EpochResult
+	// Flips lists every ground-truth transition with detection latency
+	// (the initial truth is not a flip).
+	Flips []DetectionFlip
+}
+
+// DetectionLatency summarizes Flips: mean latency in epochs over the
+// detected flips, plus detected/undetected counts.
+func (r *DynamicResult) DetectionLatency() (mean float64, detected, undetected int) {
+	return (&dynamic.Result{Flips: r.Flips}).DetectionLatency()
+}
+
+// SimulateDynamic runs NECTAR in successive epochs over a time-varying
+// topology: each epoch rebuilds fresh nodes (and proofs) on the graph in
+// effect at the epoch's first round, drives the rounds engine — which
+// swaps adjacency at round boundaries for mid-epoch events and re-arms
+// its quiescence early exit — and scores the epoch against the
+// ground-truth κ vs T. A static (empty) schedule makes every epoch an
+// independent replay of Simulate; see DESIGN.md §7.
+func SimulateDynamic(cfg DynamicConfig) (*DynamicResult, error) {
+	if cfg.Schedule == nil {
+		return nil, fmt.Errorf("nectar: DynamicConfig.Schedule is required")
+	}
+	if err := cfg.Schedule.Validate(); err != nil {
+		return nil, err
+	}
+	n := cfg.Schedule.Base.N()
+	if err := validateSchemeName(cfg.SchemeName); err != nil {
+		return nil, err
+	}
+	if _, err := checkByzantine(n, cfg.T, cfg.Byzantine, cfg.Blocked); err != nil {
+		return nil, err
+	}
+
+	// Per-epoch decisions for full-Outcome extraction, filled once by
+	// each epoch's Finish (dynamic.Run calls build sequentially).
+	type epochNodes struct {
+		outcomes map[NodeID]Outcome
+		correct  []NodeID // present, non-Byzantine, in ID order
+	}
+	var perEpoch []*epochNodes
+
+	build := func(epoch int, g *graph.Graph, absent ids.Set, seed int64) (*dynamic.Stack, error) {
+		scheme, err := resolveScheme(cfg.SchemeName, n, seed)
+		if err != nil {
+			return nil, err
+		}
+		nodes, err := BuildNodes(g, cfg.T, scheme, cfg.EpochRounds)
+		if err != nil {
+			return nil, err
+		}
+		protos := make([]rounds.Protocol, n)
+		for i, nd := range nodes {
+			protos[i] = nd
+		}
+		byz := ids.NewSet()
+		for b := range cfg.Byzantine {
+			byz.Add(b)
+		}
+		simCfg := SimulationConfig{
+			Graph:     g,
+			T:         cfg.T,
+			Seed:      seed,
+			Byzantine: cfg.Byzantine,
+			Blocked:   cfg.Blocked,
+		}
+		for _, b := range byz.Sorted() {
+			p, err := wrapByzantine(simCfg, scheme, nodes[b], b, byz)
+			if err != nil {
+				return nil, err
+			}
+			protos[b] = p
+		}
+		// Churned-out nodes are off the network entirely.
+		en := &epochNodes{}
+		for _, a := range absent.Sorted() {
+			protos[a] = adversary.Silent{}
+		}
+		for i := 0; i < n; i++ {
+			id := NodeID(i)
+			if !byz.Has(id) && !absent.Has(id) {
+				en.correct = append(en.correct, id)
+			}
+		}
+		perEpoch = append(perEpoch, en)
+		return &dynamic.Stack{
+			Protos: protos,
+			Finish: func() map[ids.NodeID]dynamic.Verdict {
+				// The decision phase (reachability + max-flow) is the
+				// dominant per-node cost: run it once here and keep the
+				// Outcomes for the EpochResult assembly below.
+				en.outcomes = make(map[NodeID]Outcome, len(en.correct))
+				out := make(map[ids.NodeID]dynamic.Verdict, len(en.correct))
+				for _, id := range en.correct {
+					o := nodes[id].Decide()
+					en.outcomes[id] = o
+					out[id] = dynamic.Verdict{
+						Partitionable: o.Decision == Partitionable,
+						Key:           o.Decision.String() + "/" + strconv.FormatBool(o.Confirmed),
+					}
+				}
+				return out
+			},
+		}, nil
+	}
+
+	inner, err := dynamic.Run(dynamic.Config{
+		Schedule:    cfg.Schedule,
+		T:           cfg.T,
+		Seed:        cfg.Seed,
+		EpochRounds: cfg.EpochRounds,
+		Epochs:      cfg.Epochs,
+		FullHorizon: cfg.FullHorizon,
+	}, build)
+	if err != nil {
+		return nil, err
+	}
+
+	res := &DynamicResult{EpochRounds: inner.EpochRounds, Flips: inner.Flips}
+	for e, rep := range inner.Epochs {
+		en := perEpoch[e]
+		er := EpochResult{
+			Epoch:              rep.Epoch,
+			StartRound:         rep.StartRound,
+			Kappa:              rep.Kappa,
+			TruthPartitionable: rep.TruthPartitionable,
+			Absent:             rep.Absent,
+			Outcomes:           make(map[NodeID]Outcome, len(en.correct)),
+			Agreement:          true,
+			BytesSent:          rep.Metrics.BytesSent,
+			Rounds:             rep.Metrics.Rounds,
+			ActiveRounds:       rep.Metrics.ActiveRounds,
+		}
+		first := true
+		for _, id := range en.correct {
+			o := en.outcomes[id]
+			er.Outcomes[id] = o
+			if o.Confirmed {
+				er.Confirmed = true
+			}
+			if first {
+				er.Decision = o.Decision
+				first = false
+			} else if o.Decision != er.Decision {
+				er.Agreement = false
+			}
+		}
+		res.Epochs = append(res.Epochs, er)
+	}
+	return res, nil
+}

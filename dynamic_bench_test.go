@@ -1,0 +1,69 @@
+package nectar
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// BenchmarkSimulateDynamic measures epoch-based re-detection over a
+// mobile drone fleet: 6 epochs of fresh NECTAR runs (setup-time proofs
+// included) over an evolving geometric graph, the dynamic subsystem's
+// hot path.
+func BenchmarkSimulateDynamic(b *testing.B) {
+	const n = 20
+	sched, err := DroneMobilitySchedule(MobilityConfig{
+		N:          n,
+		Radius:     1.8,
+		StepRounds: n - 1,
+		Steps:      5,
+		Distance:   LinearDrift(0, 0.8),
+	}, rand.New(rand.NewSource(1)))
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := SimulateDynamic(DynamicConfig{
+			Schedule:   sched,
+			T:          2,
+			Seed:       1,
+			SchemeName: "hmac",
+			Epochs:     6,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(res.Epochs) != 6 {
+			b.Fatalf("epochs = %d", len(res.Epochs))
+		}
+	}
+	b.ReportMetric(float64(6), "epochs/op")
+}
+
+// BenchmarkSimulateDynamicChurn exercises the node-churn path: absent
+// nodes are silenced, ground truth is computed on the present-induced
+// subgraph, and the engine re-arms across mid-epoch events.
+func BenchmarkSimulateDynamicChurn(b *testing.B) {
+	g, err := Harary(6, 20)
+	if err != nil {
+		b.Fatal(err)
+	}
+	sched, err := PoissonChurnSchedule(g, 0.02, 19, 6*19, rand.New(rand.NewSource(1)))
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := SimulateDynamic(DynamicConfig{
+			Schedule:   sched,
+			T:          2,
+			Seed:       1,
+			SchemeName: "hmac",
+			Epochs:     6,
+		}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

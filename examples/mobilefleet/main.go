@@ -1,0 +1,84 @@
+// Mobile fleet: the drone scenario (§V-B) set in motion. Where
+// examples/dronefleet re-runs NECTAR on independently sampled static
+// fleets, this example builds ONE fleet whose two squads fly apart and
+// back together, compiles the motion into an edge schedule, and lets
+// SimulateDynamic re-detect partitionability epoch by epoch — reporting
+// the detection latency of each ground-truth flip.
+//
+//	go run ./examples/mobilefleet
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+
+	nectar "github.com/nectar-repro/nectar"
+)
+
+func main() {
+	const (
+		n      = 20
+		t      = 2
+		radius = 1.8
+		epochs = 11
+	)
+	// Out for 5 epochs, then back: separation 0 -> 4 -> 0.
+	outAndBack := func(step int) float64 {
+		d := float64(step) * 0.8
+		if step > 5 {
+			d = float64(10-step) * 0.8
+		}
+		return d
+	}
+	sched, err := nectar.DroneMobilitySchedule(nectar.MobilityConfig{
+		N:          n,
+		Radius:     radius,
+		StepRounds: n - 1, // one waypoint step per detection epoch
+		Steps:      epochs - 1,
+		Distance:   outAndBack,
+		Jitter:     0.03, // light Brownian wobble on top of the drift
+	}, rand.New(rand.NewSource(2)))
+	if err != nil {
+		log.Fatal(err)
+	}
+	res, err := nectar.SimulateDynamic(nectar.DynamicConfig{
+		Schedule: sched,
+		T:        t,
+		Seed:     2,
+		Epochs:   epochs,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("%-6s %-6s %-4s %-10s %-20s %-10s %s\n",
+		"epoch", "d", "κ", "truth", "decision", "agreement", "rounds")
+	for _, ep := range res.Epochs {
+		truth := "κ>t"
+		if ep.TruthPartitionable {
+			truth = "κ≤t"
+		}
+		fmt.Printf("%-6d %-6.1f %-4d %-10s %-20v %-10v %d/%d\n",
+			ep.Epoch, outAndBack(ep.Epoch), ep.Kappa, truth,
+			ep.Decision, ep.Agreement, ep.ActiveRounds, ep.Rounds)
+	}
+	fmt.Println()
+	for _, f := range res.Flips {
+		to := "NOT_PARTITIONABLE"
+		if f.ToPartitionable {
+			to = "PARTITIONABLE"
+		}
+		if f.Latency >= 0 {
+			fmt.Printf("ground truth flipped to %s at epoch %d — all correct drones followed at epoch %d (latency %d)\n",
+				to, f.Epoch, f.DetectedEpoch, f.Latency)
+		} else {
+			fmt.Printf("ground truth flipped to %s at epoch %d — not yet detected when the run ended\n",
+				to, f.Epoch)
+		}
+	}
+	mean, detected, _ := res.DetectionLatency()
+	fmt.Printf("\nmean detection latency: %.1f epochs over %d flips\n", mean, detected)
+	fmt.Println("\nThe fleet separates and re-forms; NECTAR, re-armed each epoch over the")
+	fmt.Println("evolving graph, tracks every partitionability flip the motion causes.")
+}

@@ -1,0 +1,294 @@
+package dynamic
+
+import (
+	"fmt"
+
+	"github.com/nectar-repro/nectar/internal/graph"
+	"github.com/nectar-repro/nectar/internal/ids"
+	"github.com/nectar-repro/nectar/internal/rounds"
+)
+
+// epochSeedStride derives per-epoch seeds, matching the harness's
+// per-trial stride so epoch 0 reproduces a static Simulate bit-for-bit
+// (seed + 0·stride = seed).
+const epochSeedStride = 0x9E3779B9
+
+// Verdict is one correct node's scored decision in one epoch.
+type Verdict struct {
+	// Partitionable is the node's partitionability verdict.
+	Partitionable bool
+	// Key identifies the full decision (verdict plus any auxiliary
+	// outputs) for the agreement metric.
+	Key string
+}
+
+// Stack is one epoch's wired protocol stack: a Protocol per vertex
+// (absent and Byzantine vertices included — typically silenced or
+// wrapped) plus a Finish callback reading the decisions of the correct,
+// present nodes after the epoch's run.
+type Stack struct {
+	Protos []rounds.Protocol
+	Finish func() map[ids.NodeID]Verdict
+}
+
+// BuildFn wires one epoch: g is the live graph at the epoch's first round
+// (callee-owned), absent the nodes currently churned out, and seed the
+// epoch's derived seed. Run calls it once per epoch, in order.
+type BuildFn func(epoch int, g *graph.Graph, absent ids.Set, seed int64) (*Stack, error)
+
+// Config parameterizes an epoch-based re-detection run.
+type Config struct {
+	// Schedule is the evolving topology. Required.
+	Schedule *EdgeSchedule
+	// T is the Byzantine bound the ground truth tests against (κ ≤ T).
+	T int
+	// Seed derives every epoch's seed.
+	Seed int64
+	// EpochRounds is the engine horizon per epoch (0 = n-1, Simulate's
+	// default).
+	EpochRounds int
+	// Epochs is the number of detection epochs (0 = enough that the last
+	// epoch starts at or after the schedule's final event, so the final
+	// topology's ground truth is always scored).
+	Epochs int
+	// FullHorizon disables the engine's quiescence early exit.
+	FullHorizon bool
+}
+
+// EpochReport scores one epoch.
+type EpochReport struct {
+	// Epoch is the 0-based epoch index; StartRound its first global round.
+	Epoch      int
+	StartRound int
+	// Kappa is the ground-truth vertex connectivity of the subgraph
+	// induced by present nodes at the epoch's first round; mid-epoch
+	// changes are attributed to the next epoch's truth.
+	Kappa int
+	// TruthPartitionable is Kappa <= T (Corollary 1).
+	TruthPartitionable bool
+	// Absent lists the nodes churned out at the epoch's first round.
+	Absent []ids.NodeID
+	// Verdicts holds each correct, present node's scored decision.
+	Verdicts map[ids.NodeID]Verdict
+	// Agreement reports whether all verdict keys are identical.
+	Agreement bool
+	// Decision is the lowest-ID correct node's key (the run's headline
+	// decision when Agreement holds).
+	Decision string
+	// Metrics is the epoch's engine traffic.
+	Metrics *rounds.Metrics
+}
+
+// unanimous reports whether every correct node's verdict matches want
+// (false when no correct node decided).
+func (e *EpochReport) unanimous(want bool) bool {
+	if len(e.Verdicts) == 0 {
+		return false
+	}
+	for _, v := range e.Verdicts {
+		if v.Partitionable != want {
+			return false
+		}
+	}
+	return true
+}
+
+// Flip is one ground-truth partitionability transition and how long the
+// detector took to follow it.
+type Flip struct {
+	// Epoch is the first epoch whose ground truth differs from the
+	// previous epoch's; ToPartitionable is the new truth.
+	Epoch           int
+	ToPartitionable bool
+	// DetectedEpoch is the first epoch in [Epoch, next flip) at which
+	// every correct node's verdict matches the new truth, or -1 if the
+	// run (or the next flip) arrives first.
+	DetectedEpoch int
+	// Latency is DetectedEpoch - Epoch in epochs, or -1 if undetected.
+	Latency int
+}
+
+// Result aggregates an epoch-based re-detection run.
+type Result struct {
+	// EpochRounds is the resolved per-epoch horizon.
+	EpochRounds int
+	// Epochs holds one report per epoch, in order.
+	Epochs []EpochReport
+	// Flips lists every ground-truth transition with its detection
+	// latency. The initial truth is not a flip.
+	Flips []Flip
+}
+
+// DetectionLatency summarizes Flips: the mean latency over detected
+// flips, plus the detected / undetected counts.
+func (r *Result) DetectionLatency() (mean float64, detected, undetected int) {
+	var sum int
+	for _, f := range r.Flips {
+		if f.Latency >= 0 {
+			sum += f.Latency
+			detected++
+		} else {
+			undetected++
+		}
+	}
+	if detected > 0 {
+		mean = float64(sum) / float64(detected)
+	}
+	return mean, detected, undetected
+}
+
+// Run executes epoch-based re-detection: for each epoch it replays the
+// schedule to the epoch's first round, asks build for a fresh protocol
+// stack over the live graph, drives the rounds engine with the schedule's
+// window as TopologyProvider (mid-epoch events swap adjacency and re-arm
+// quiescence), and scores the outcome against the epoch's ground truth.
+// Flips of the ground truth are matched against the epochs that follow to
+// measure detection latency.
+func Run(cfg Config, build BuildFn) (*Result, error) {
+	if build == nil {
+		return nil, fmt.Errorf("dynamic: Run requires a build function")
+	}
+	if err := cfg.Schedule.Validate(); err != nil {
+		return nil, err
+	}
+	if cfg.T < 0 {
+		return nil, fmt.Errorf("dynamic: negative T %d", cfg.T)
+	}
+	if cfg.EpochRounds < 0 || cfg.Epochs < 0 {
+		return nil, fmt.Errorf("dynamic: negative EpochRounds or Epochs")
+	}
+	n := cfg.Schedule.Base.N()
+	epochRounds := cfg.EpochRounds
+	if epochRounds == 0 {
+		epochRounds = n - 1
+	}
+	epochs := cfg.Epochs
+	if epochs == 0 {
+		epochs = 1
+		// Cover every event plus one epoch whose *start* postdates the
+		// last event, so the final topology's ground truth is scored
+		// even when the last event lands mid-epoch: the last event at
+		// round H falls in epoch ⌈(H-1)/R⌉ at the latest, and the next
+		// epoch starts at or after H.
+		if h := cfg.Schedule.Horizon(); epochRounds > 0 && h > 1 {
+			// ceil((h-1)/R) + 1
+			epochs = (h-2+epochRounds)/epochRounds + 1
+		}
+	}
+
+	res := &Result{EpochRounds: epochRounds}
+	for e := 0; e < epochs; e++ {
+		offset := e * epochRounds
+		w, err := WindowAt(cfg.Schedule, offset)
+		if err != nil {
+			return nil, err
+		}
+		gStart := w.GraphFor(1).Clone()
+		absent := w.p.Absent().Clone()
+		seed := cfg.Seed + int64(e)*epochSeedStride
+		stack, err := build(e, gStart, absent, seed)
+		if err != nil {
+			return nil, fmt.Errorf("dynamic: epoch %d: %w", e, err)
+		}
+		metrics, err := rounds.Run(rounds.Config{
+			Topology:    w,
+			Rounds:      epochRounds,
+			Seed:        seed,
+			FullHorizon: cfg.FullHorizon,
+		}, stack.Protos)
+		if err != nil {
+			return nil, fmt.Errorf("dynamic: epoch %d: %w", e, err)
+		}
+		verdicts := stack.Finish()
+		kappa := presentKappa(gStart, absent)
+		rep := EpochReport{
+			Epoch:              e,
+			StartRound:         offset + 1,
+			Kappa:              kappa,
+			TruthPartitionable: kappa <= cfg.T,
+			Absent:             absent.Sorted(),
+			Verdicts:           verdicts,
+			Agreement:          true,
+			Metrics:            metrics,
+		}
+		for _, id := range sortedKeys(verdicts) {
+			if rep.Decision == "" {
+				rep.Decision = verdicts[id].Key
+			} else if verdicts[id].Key != rep.Decision {
+				rep.Agreement = false
+			}
+		}
+		res.Epochs = append(res.Epochs, rep)
+	}
+
+	// Ground-truth flips and their detection latency: a flip at epoch e
+	// is detected at the first following epoch whose correct nodes
+	// unanimously report the new truth, unless the truth flips again (or
+	// the run ends) first.
+	for e := 1; e < len(res.Epochs); e++ {
+		if res.Epochs[e].TruthPartitionable == res.Epochs[e-1].TruthPartitionable {
+			continue
+		}
+		res.Flips = append(res.Flips, Flip{
+			Epoch:           e,
+			ToPartitionable: res.Epochs[e].TruthPartitionable,
+			DetectedEpoch:   -1,
+			Latency:         -1,
+		})
+	}
+	for i := range res.Flips {
+		f := &res.Flips[i]
+		end := len(res.Epochs)
+		if i+1 < len(res.Flips) {
+			end = res.Flips[i+1].Epoch
+		}
+		for e := f.Epoch; e < end; e++ {
+			if res.Epochs[e].unanimous(f.ToPartitionable) {
+				f.DetectedEpoch = e
+				f.Latency = e - f.Epoch
+				break
+			}
+		}
+	}
+	return res, nil
+}
+
+// presentKappa returns the vertex connectivity of the subgraph induced by
+// the present (non-absent) vertices, the dynamic ground truth for
+// Corollary 1. With nobody absent this is κ(g); with ≤ 1 present vertex
+// it is 0 (trivially partitionable under the κ ≤ t test's conventions).
+func presentKappa(g *graph.Graph, absent ids.Set) int {
+	if absent.Len() == 0 {
+		return g.Connectivity()
+	}
+	compact := make([]ids.NodeID, 0, g.N()-absent.Len())
+	index := make(map[ids.NodeID]ids.NodeID, g.N())
+	for v := 0; v < g.N(); v++ {
+		if !absent.Has(ids.NodeID(v)) {
+			index[ids.NodeID(v)] = ids.NodeID(len(compact))
+			compact = append(compact, ids.NodeID(v))
+		}
+	}
+	if len(compact) <= 1 {
+		return 0
+	}
+	sub := graph.New(len(compact))
+	for _, v := range compact {
+		for _, nb := range g.Neighbors(v) {
+			if v < nb && !absent.Has(nb) {
+				sub.AddEdge(index[v], index[nb])
+			}
+		}
+	}
+	return sub.Connectivity()
+}
+
+// sortedKeys returns the verdict map's keys in ID order (deterministic
+// agreement scoring).
+func sortedKeys(m map[ids.NodeID]Verdict) []ids.NodeID {
+	set := ids.NewSet()
+	for id := range m {
+		set.Add(id)
+	}
+	return set.Sorted()
+}

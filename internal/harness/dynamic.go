@@ -1,0 +1,265 @@
+package harness
+
+import (
+	"fmt"
+	"math/rand"
+	"runtime"
+	"strconv"
+	"sync"
+
+	"github.com/nectar-repro/nectar/internal/adversary"
+	"github.com/nectar-repro/nectar/internal/dynamic"
+	"github.com/nectar-repro/nectar/internal/graph"
+	"github.com/nectar-repro/nectar/internal/ids"
+	"github.com/nectar-repro/nectar/internal/nectar"
+	"github.com/nectar-repro/nectar/internal/rounds"
+	"github.com/nectar-repro/nectar/internal/sig"
+	"github.com/nectar-repro/nectar/internal/stats"
+)
+
+// DynamicSpec describes one dynamic-network experiment: NECTAR re-run in
+// successive epochs over per-trial generated churn/mobility schedules
+// (DESIGN.md §7). Dynamics — not Byzantine behaviour — are the adversary
+// here, so trials are attack-free.
+type DynamicSpec struct {
+	// Name labels the experiment in reports.
+	Name string
+	// Schedule generates the per-trial evolving topology from the
+	// trial's RNG. Required.
+	Schedule func(rng *rand.Rand) (*dynamic.EdgeSchedule, error)
+	// T is the Byzantine bound handed to NECTAR nodes and tested by the
+	// ground truth (κ ≤ T).
+	T int
+	// Trials is the number of repetitions.
+	Trials int
+	// Seed derives every trial's randomness.
+	Seed int64
+	// SchemeName selects the signature scheme ("" = "hmac", the harness
+	// default).
+	SchemeName string
+	// EpochRounds is the engine horizon per epoch (0 = n-1).
+	EpochRounds int
+	// Epochs is the number of detection epochs per trial (0 = cover the
+	// schedule horizon plus one fresh epoch).
+	Epochs int
+}
+
+// DynamicTrial is the scored outcome of one dynamic run.
+type DynamicTrial struct {
+	// Epochs is the number of detection epochs executed.
+	Epochs int
+	// Flips / Detected count ground-truth partitionability transitions
+	// and how many of them all correct nodes followed before the next
+	// flip (or the end of the run).
+	Flips    int
+	Detected int
+	// MeanLatency is the mean detection latency in epochs over detected
+	// flips (0 when there were none).
+	MeanLatency float64
+	// AgreementRate is the fraction of epochs in which all correct,
+	// present nodes decided identically.
+	AgreementRate float64
+	// AccuracyRate is the fraction of (epoch, correct node) verdicts
+	// matching the epoch's ground truth.
+	AccuracyRate float64
+	// MeanBytesPerNode is the mean per-epoch unicast bytes sent per
+	// node.
+	MeanBytesPerNode float64
+	// MeanActiveRounds is the mean number of engine rounds actually
+	// executed per epoch (quiescence early exit and re-arm included).
+	MeanActiveRounds float64
+}
+
+// DynamicResult aggregates all trials of a DynamicSpec.
+type DynamicResult struct {
+	Spec   DynamicSpec
+	Trials []DynamicTrial
+	// Agreement, Accuracy, BytesPerNode and ActiveRounds summarize the
+	// per-trial series; Latency summarizes mean detection latency over
+	// the trials that detected at least one flip; DetectedRate is the
+	// per-trial fraction of flips detected (trials without flips are
+	// excluded from its sample).
+	Agreement    stats.Summary
+	Accuracy     stats.Summary
+	Latency      stats.Summary
+	DetectedRate stats.Summary
+	BytesPerNode stats.Summary
+	ActiveRounds stats.Summary
+}
+
+// RunDynamic executes the experiment: each trial generates a schedule,
+// re-runs NECTAR epoch by epoch over it, and scores agreement, accuracy
+// against the per-epoch ground truth, and detection latency.
+func RunDynamic(spec DynamicSpec) (*DynamicResult, error) {
+	if spec.Trials <= 0 {
+		return nil, fmt.Errorf("harness: Trials must be positive, got %d", spec.Trials)
+	}
+	if spec.Schedule == nil {
+		return nil, fmt.Errorf("harness: Schedule generator is required")
+	}
+	if spec.SchemeName == "" {
+		spec.SchemeName = "hmac"
+	}
+	trials := make([]DynamicTrial, spec.Trials)
+	errs := make([]error, spec.Trials)
+	workers := runtime.GOMAXPROCS(0)
+	if workers > spec.Trials {
+		workers = spec.Trials
+	}
+	var wg sync.WaitGroup
+	next := make(chan int)
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for i := range next {
+				trials[i], errs[i] = runDynamicTrial(&spec, i)
+			}
+		}()
+	}
+	for i := 0; i < spec.Trials; i++ {
+		next <- i
+	}
+	close(next)
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			return nil, fmt.Errorf("harness: dynamic trial %d: %w", i, err)
+		}
+	}
+	return aggregateDynamic(spec, trials), nil
+}
+
+func runDynamicTrial(spec *DynamicSpec, trial int) (DynamicTrial, error) {
+	trialSeed := spec.Seed + int64(trial)*0x9E3779B9
+	rng := rand.New(rand.NewSource(trialSeed))
+	sched, err := spec.Schedule(rng)
+	if err != nil {
+		return DynamicTrial{}, err
+	}
+	n := sched.Base.N()
+
+	build := func(epoch int, g *graph.Graph, absent ids.Set, seed int64) (*dynamic.Stack, error) {
+		scheme := sig.ByName(spec.SchemeName, n, seed)
+		if scheme == nil {
+			return nil, fmt.Errorf("unknown scheme %q", spec.SchemeName)
+		}
+		nodes, err := nectar.BuildNodes(g, spec.T, scheme, spec.EpochRounds)
+		if err != nil {
+			return nil, err
+		}
+		protos := make([]rounds.Protocol, n)
+		for i, nd := range nodes {
+			protos[i] = nd
+		}
+		for a := range absent {
+			protos[a] = adversary.Silent{}
+		}
+		return &dynamic.Stack{
+			Protos: protos,
+			Finish: func() map[ids.NodeID]dynamic.Verdict {
+				out := make(map[ids.NodeID]dynamic.Verdict, n-absent.Len())
+				for i, nd := range nodes {
+					id := ids.NodeID(i)
+					if absent.Has(id) {
+						continue
+					}
+					o := nd.Decide()
+					out[id] = dynamic.Verdict{
+						Partitionable: o.Decision == nectar.Partitionable,
+						Key:           o.Decision.String() + "/" + strconv.FormatBool(o.Confirmed),
+					}
+				}
+				return out
+			},
+		}, nil
+	}
+
+	res, err := dynamic.Run(dynamic.Config{
+		Schedule:    sched,
+		T:           spec.T,
+		Seed:        trialSeed ^ 0x5F5F5F5F,
+		EpochRounds: spec.EpochRounds,
+		Epochs:      spec.Epochs,
+	}, build)
+	if err != nil {
+		return DynamicTrial{}, err
+	}
+	return scoreDynamic(res), nil
+}
+
+// scoreDynamic folds a dynamic run into per-trial metrics.
+func scoreDynamic(res *dynamic.Result) DynamicTrial {
+	t := DynamicTrial{Epochs: len(res.Epochs)}
+	var agreeEpochs int
+	var verdicts, accurate int
+	var bytesSum float64
+	var activeSum int
+	for _, ep := range res.Epochs {
+		if ep.Agreement {
+			agreeEpochs++
+		}
+		for _, v := range ep.Verdicts {
+			verdicts++
+			if v.Partitionable == ep.TruthPartitionable {
+				accurate++
+			}
+		}
+		var epochBytes int64
+		for _, b := range ep.Metrics.BytesSent {
+			epochBytes += b
+		}
+		// Per *present* node, matching the static harness's
+		// per-participating-node accounting: absent nodes send nothing
+		// and must not dilute the mean as churn rises.
+		if present := len(ep.Metrics.BytesSent) - len(ep.Absent); present > 0 {
+			bytesSum += float64(epochBytes) / float64(present)
+		}
+		activeSum += ep.Metrics.ActiveRounds
+	}
+	if t.Epochs > 0 {
+		t.AgreementRate = float64(agreeEpochs) / float64(t.Epochs)
+		t.MeanBytesPerNode = bytesSum / float64(t.Epochs)
+		t.MeanActiveRounds = float64(activeSum) / float64(t.Epochs)
+	}
+	if verdicts > 0 {
+		t.AccuracyRate = float64(accurate) / float64(verdicts)
+	}
+	mean, detected, undetected := res.DetectionLatency()
+	t.Flips = detected + undetected
+	t.Detected = detected
+	t.MeanLatency = mean
+	return t
+}
+
+func aggregateDynamic(spec DynamicSpec, trials []DynamicTrial) *DynamicResult {
+	pick := func(f func(DynamicTrial) (float64, bool)) []float64 {
+		var xs []float64
+		for _, t := range trials {
+			if x, ok := f(t); ok {
+				xs = append(xs, x)
+			}
+		}
+		return xs
+	}
+	always := func(f func(DynamicTrial) float64) []float64 {
+		return pick(func(t DynamicTrial) (float64, bool) { return f(t), true })
+	}
+	return &DynamicResult{
+		Spec:      spec,
+		Trials:    trials,
+		Agreement: stats.Summarize(always(func(t DynamicTrial) float64 { return t.AgreementRate })),
+		Accuracy:  stats.Summarize(always(func(t DynamicTrial) float64 { return t.AccuracyRate })),
+		Latency: stats.Summarize(pick(func(t DynamicTrial) (float64, bool) {
+			return t.MeanLatency, t.Detected > 0
+		})),
+		DetectedRate: stats.Summarize(pick(func(t DynamicTrial) (float64, bool) {
+			if t.Flips == 0 {
+				return 0, false
+			}
+			return float64(t.Detected) / float64(t.Flips), true
+		})),
+		BytesPerNode: stats.Summarize(always(func(t DynamicTrial) float64 { return t.MeanBytesPerNode })),
+		ActiveRounds: stats.Summarize(always(func(t DynamicTrial) float64 { return t.MeanActiveRounds })),
+	}
+}

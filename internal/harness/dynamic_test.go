@@ -1,0 +1,98 @@
+package harness
+
+import (
+	"math/rand"
+	"testing"
+
+	"github.com/nectar-repro/nectar/internal/dynamic"
+	"github.com/nectar-repro/nectar/internal/topology"
+)
+
+func TestRunDynamicStaticScheduleIsPerfect(t *testing.T) {
+	// A static 4-connected graph with T=2: every epoch's truth is NOT
+	// partitionable and NECTAR is exact, so accuracy and agreement must
+	// both be 1 with zero flips.
+	res, err := RunDynamic(DynamicSpec{
+		Name: "static",
+		Schedule: func(*rand.Rand) (*dynamic.EdgeSchedule, error) {
+			g, err := topology.Harary(4, 12)
+			if err != nil {
+				return nil, err
+			}
+			return dynamic.Static(g), nil
+		},
+		T:      2,
+		Trials: 3,
+		Seed:   1,
+		Epochs: 2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Accuracy.Mean != 1 || res.Agreement.Mean != 1 {
+		t.Errorf("accuracy %.2f agreement %.2f, want 1 and 1", res.Accuracy.Mean, res.Agreement.Mean)
+	}
+	if res.Latency.N != 0 || res.DetectedRate.N != 0 {
+		t.Errorf("static schedule produced flip samples: latency N=%d detected N=%d",
+			res.Latency.N, res.DetectedRate.N)
+	}
+	for _, tr := range res.Trials {
+		if tr.Epochs != 2 || tr.Flips != 0 {
+			t.Errorf("trial = %+v, want 2 epochs and no flips", tr)
+		}
+	}
+}
+
+func TestRunDynamicPartitionHealDetectsFlips(t *testing.T) {
+	// Ring (κ=2) with T=2: partitionable from the start... use Harary 4
+	// instead: κ=4 > 2, the cut at epoch 1 drops κ to 0, the heal at
+	// epoch 3 restores it — two flips per trial, both detectable.
+	res, err := RunDynamic(DynamicSpec{
+		Name: "partition-heal",
+		Schedule: func(*rand.Rand) (*dynamic.EdgeSchedule, error) {
+			g, err := topology.Harary(4, 12)
+			if err != nil {
+				return nil, err
+			}
+			// n-1 = 11 rounds per epoch: cut at epoch 1, heal at epoch 3.
+			return dynamic.PartitionHeal(g, 12, 34)
+		},
+		T:      2,
+		Trials: 2,
+		Seed:   7,
+		Epochs: 5,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, tr := range res.Trials {
+		if tr.Flips != 2 {
+			t.Errorf("trial %d: flips = %d, want 2", i, tr.Flips)
+		}
+		if tr.Detected != 2 || tr.MeanLatency != 0 {
+			t.Errorf("trial %d: detected = %d latency = %.1f, want 2 and 0 (epoch-aligned cut)",
+				i, tr.Detected, tr.MeanLatency)
+		}
+	}
+	if res.DetectedRate.Mean != 1 {
+		t.Errorf("detected rate = %.2f, want 1", res.DetectedRate.Mean)
+	}
+}
+
+func TestRunDynamicValidation(t *testing.T) {
+	if _, err := RunDynamic(DynamicSpec{Trials: 0}); err == nil {
+		t.Error("zero trials accepted")
+	}
+	if _, err := RunDynamic(DynamicSpec{Trials: 1}); err == nil {
+		t.Error("nil schedule generator accepted")
+	}
+	if _, err := RunDynamic(DynamicSpec{
+		Trials:     1,
+		SchemeName: "nosuch",
+		Schedule: func(*rand.Rand) (*dynamic.EdgeSchedule, error) {
+			return dynamic.Static(topology.Ring(5)), nil
+		},
+	}); err == nil {
+		t.Error("unknown scheme accepted")
+	}
+}

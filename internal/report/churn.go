@@ -1,0 +1,131 @@
+package report
+
+import (
+	"fmt"
+	"math/rand"
+
+	"github.com/nectar-repro/nectar/internal/dynamic"
+	"github.com/nectar-repro/nectar/internal/graph"
+	"github.com/nectar-repro/nectar/internal/harness"
+	"github.com/nectar-repro/nectar/internal/topology"
+)
+
+// ChurnTable sweeps the dynamic-network workloads (DESIGN.md §7): link
+// flapping, Poisson node churn, and drone mobility over a Harary / drone
+// base, reporting per-epoch agreement, decision accuracy against the
+// evolving ground truth, flip-detection rate, and the mean detection
+// latency in epochs. There is no paper counterpart — the paper's
+// evaluation is static — so the table extends §V to the mobile setting
+// the drone scenario implies.
+func ChurnTable(opts Options) (*Table, error) {
+	trials := opts.trials(20, 4)
+	const (
+		n      = 20
+		tByz   = 2
+		epochs = 6
+	)
+	epochRounds := n - 1
+	horizon := epochs * epochRounds
+
+	hararyBase := func() (*graph.Graph, error) { return topology.Harary(6, n) }
+
+	type row struct {
+		workload string
+		param    string
+		schedule func(rng *rand.Rand) (*dynamic.EdgeSchedule, error)
+	}
+	var rows []row
+	flapRates := []float64{0, 0.01, 0.05, 0.1}
+	churnRates := []float64{0.005, 0.02, 0.05}
+	drifts := []float64{0.5, 1.0}
+	if opts.Quick {
+		flapRates = []float64{0, 0.05}
+		churnRates = []float64{0.02}
+		drifts = []float64{1.0}
+	}
+	for _, p := range flapRates {
+		p := p
+		rows = append(rows, row{"flapping", fmt.Sprintf("down=%.3g/round", p),
+			func(rng *rand.Rand) (*dynamic.EdgeSchedule, error) {
+				g, err := hararyBase()
+				if err != nil {
+					return nil, err
+				}
+				return dynamic.Flapping(g, p, 0.3, horizon, rng)
+			}})
+	}
+	for _, lam := range churnRates {
+		lam := lam
+		rows = append(rows, row{"node-churn", fmt.Sprintf("leave=%.3g/round", lam),
+			func(rng *rand.Rand) (*dynamic.EdgeSchedule, error) {
+				g, err := hararyBase()
+				if err != nil {
+					return nil, err
+				}
+				return dynamic.PoissonChurn(g, lam, float64(epochRounds), horizon, rng)
+			}})
+	}
+	rows = append(rows, row{"partition-heal", "cut@2 heal@4",
+		func(rng *rand.Rand) (*dynamic.EdgeSchedule, error) {
+			g, err := hararyBase()
+			if err != nil {
+				return nil, err
+			}
+			return dynamic.PartitionHeal(g, 2*epochRounds+1, 4*epochRounds+1)
+		}})
+	for _, v := range drifts {
+		v := v
+		rows = append(rows, row{"drone-mobility", fmt.Sprintf("drift=%.1f/epoch", v),
+			func(rng *rand.Rand) (*dynamic.EdgeSchedule, error) {
+				return dynamic.DroneMobility(dynamic.MobilityConfig{
+					N:          n,
+					Radius:     1.8,
+					StepRounds: epochRounds,
+					Steps:      epochs - 1,
+					Distance:   dynamic.LinearDrift(0, v),
+					Jitter:     0.05,
+				}, rng)
+			}})
+	}
+
+	tbl := &Table{
+		ID:    "churn",
+		Title: fmt.Sprintf("Dynamic networks: NECTAR re-detection under churn (n=%d, t=%d, %d epochs)", n, tByz, epochs),
+		Columns: []string{"workload", "param", "agreement", "accuracy",
+			"flips_detected", "latency_epochs", "kb_per_node_epoch", "active_rounds"},
+	}
+	for _, r := range rows {
+		res, err := harness.RunDynamic(harness.DynamicSpec{
+			Name:     r.workload + " " + r.param,
+			Schedule: r.schedule,
+			T:        tByz,
+			Trials:   trials,
+			Seed:     opts.Seed,
+			Epochs:   epochs,
+		})
+		if err != nil {
+			return nil, fmt.Errorf("churn %s %s: %w", r.workload, r.param, err)
+		}
+		latency := "-"
+		if res.Latency.N > 0 {
+			latency = fmt.Sprintf("%.2f", res.Latency.Mean)
+		}
+		detected := "-"
+		if res.DetectedRate.N > 0 {
+			detected = fmt.Sprintf("%.2f", res.DetectedRate.Mean)
+		}
+		tbl.Rows = append(tbl.Rows, []string{
+			r.workload,
+			r.param,
+			fmt.Sprintf("%.2f", res.Agreement.Mean),
+			fmt.Sprintf("%.2f", res.Accuracy.Mean),
+			detected,
+			latency,
+			fmt.Sprintf("%.1f", res.BytesPerNode.Mean/1000),
+			fmt.Sprintf("%.1f", res.ActiveRounds.Mean),
+		})
+		opts.progress("churn %s %s: agreement=%.2f accuracy=%.2f latency=%s",
+			r.workload, r.param, res.Agreement.Mean, res.Accuracy.Mean, latency)
+	}
+	return tbl, nil
+}

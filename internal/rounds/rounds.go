@@ -53,6 +53,34 @@ type Protocol interface {
 	Deliver(round int, from ids.NodeID, data []byte)
 }
 
+// TopologyProvider supplies a time-varying communication graph (DESIGN.md
+// §7): messages sent in round r travel only on edges of GraphFor(r). The
+// engine queries it at round boundaries only, from the scheduler
+// goroutine, with non-decreasing round numbers — a provider may therefore
+// mutate and return a single graph instance in place. The vertex count
+// must never change (the system model fixes n; node churn is modelled as
+// edge removal, see internal/dynamic).
+type TopologyProvider interface {
+	// GraphFor returns the graph in effect during round r.
+	GraphFor(round int) *graph.Graph
+	// NextChange returns the first round > after at which the topology
+	// differs from the graph in effect during round `after`, or 0 if the
+	// topology never changes again. The engine uses it to re-arm the
+	// quiescence early exit: an all-quiescent network fast-forwards to
+	// the next change instead of to the end of the horizon.
+	NextChange(after int) int
+}
+
+// TopologyAware is an optional Protocol extension for runs with a
+// TopologyProvider: the engine calls OnTopology before Emit of every
+// round at which it swapped adjacency, passing the node's new neighbor
+// list (shared with the graph — copy before retaining). A node may use it
+// to wake from quiescence, e.g. to re-announce on link change; protocols
+// that ignore topology changes simply don't implement it.
+type TopologyAware interface {
+	OnTopology(round int, neighbors []ids.NodeID)
+}
+
 // Quiescer is an optional Protocol extension. Quiescent reports that the
 // node will emit nothing in any future round unless it receives another
 // message: its relay queues are empty and it holds no delayed output. The
@@ -76,8 +104,14 @@ const DefaultMsgOverhead = 8
 // Config parameterizes a run.
 type Config struct {
 	// Graph is the communication network; messages travel only on its
-	// edges. Required.
+	// edges. Required unless Topology is set.
 	Graph *graph.Graph
+	// Topology, when non-nil, supplies a time-varying communication graph
+	// and takes precedence over Graph: the engine routes round r over
+	// Topology.GraphFor(r), swapping adjacency at round boundaries. A
+	// provider whose graph never changes behaves identically to passing
+	// Graph. See DESIGN.md §7.
+	Topology TopologyProvider
 	// Rounds is the number of synchronous rounds R. Required (>= 0).
 	Rounds int
 	// Seed drives the per-recipient delivery-order shuffle, making runs
@@ -144,7 +178,10 @@ type Metrics struct {
 	// synchronous-time complexity the horizon models.
 	Rounds int
 	// ActiveRounds is the number of rounds the engine actually executed:
-	// equal to Rounds unless every node reported quiescence earlier.
+	// equal to Rounds unless every node reported quiescence earlier. With
+	// a TopologyProvider, quiescent stretches between topology changes
+	// are fast-forwarded too, so ActiveRounds counts only rounds in which
+	// traffic was possible.
 	ActiveRounds int
 }
 
@@ -215,8 +252,12 @@ type engine struct {
 // length must equal cfg.Graph.N().
 func Run(cfg Config, nodes []Protocol) (*Metrics, error) {
 	g := cfg.Graph
+	if cfg.Topology != nil {
+		// Round-1 events are part of the initial topology.
+		g = cfg.Topology.GraphFor(1)
+	}
 	if g == nil {
-		return nil, fmt.Errorf("rounds: Config.Graph is required")
+		return nil, fmt.Errorf("rounds: Config.Graph or Config.Topology is required")
 	}
 	if len(nodes) != g.N() {
 		return nil, fmt.Errorf("rounds: %d nodes for a %d-vertex graph", len(nodes), g.N())
@@ -280,8 +321,27 @@ func Run(cfg Config, nodes []Protocol) (*Metrics, error) {
 }
 
 func (e *engine) run() {
-	e.m.ActiveRounds = e.cfg.Rounds
+	// nextChange is the first upcoming round with a different topology
+	// (0 = none). It both triggers adjacency swaps and re-arms the
+	// quiescence early exit: an all-quiescent network fast-forwards to
+	// the next change instead of to the end of the horizon.
+	nextChange := 0
+	if e.cfg.Topology != nil {
+		nextChange = e.cfg.Topology.NextChange(1)
+	}
 	for r := 1; r <= e.cfg.Rounds; r++ {
+		if nextChange > 0 && r >= nextChange {
+			e.g = e.cfg.Topology.GraphFor(r)
+			nextChange = e.cfg.Topology.NextChange(r)
+			// Link-layer notification: nodes observing the change may
+			// wake from quiescence before this round's Emit.
+			for i, nd := range e.nodes {
+				if ta, ok := nd.(TopologyAware); ok {
+					ta.OnTopology(r, e.g.Neighbors(ids.NodeID(i)))
+				}
+			}
+		}
+		e.m.ActiveRounds++
 		// Phase 1: every node emits its round-r messages (in parallel —
 		// nodes are independent state machines).
 		parallelChunks(e.n, e.workers, func(_, lo, hi int) {
@@ -315,11 +375,17 @@ func (e *engine) run() {
 		})
 
 		// Quiescence check: inboxes are drained, so if every node attests
-		// it has nothing left to say, rounds r+1..R are provably silent.
+		// it has nothing left to say, rounds up to the next topology
+		// change (or the horizon, if none) are provably silent. A pending
+		// change re-arms the run: the engine fast-forwards to the change
+		// round, whose swap may wake TopologyAware nodes, rather than
+		// exiting the horizon.
 		if e.quiescers != nil && !e.cfg.FullHorizon && r < e.cfg.Rounds {
 			if e.allQuiescent() {
-				e.m.ActiveRounds = r
-				return
+				if nextChange == 0 || nextChange > e.cfg.Rounds {
+					return
+				}
+				r = nextChange - 1 // resume at the swap round
 			}
 		}
 	}

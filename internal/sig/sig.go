@@ -242,6 +242,10 @@ func (v insecureVerifier) Verify(signer ids.NodeID, _ []byte, sg []byte) bool {
 
 func (v insecureVerifier) SigSize() int { return v.s.sigSize }
 
+// Names lists the scheme names ByName accepts, for error messages and
+// flag validation.
+func Names() []string { return []string{"ed25519", "hmac", "insecure"} }
+
 // ByName constructs a scheme by name: "ed25519", "hmac" or "insecure".
 // Unknown names return nil.
 func ByName(name string, n int, seed int64) Scheme {

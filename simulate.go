@@ -2,6 +2,7 @@ package nectar
 
 import (
 	"fmt"
+	"strings"
 
 	"github.com/nectar-repro/nectar/internal/adversary"
 	"github.com/nectar-repro/nectar/internal/graph"
@@ -34,6 +35,25 @@ const (
 	// BehaviorOmitOwn: hides its edges to other Byzantine nodes.
 	BehaviorOmitOwn Behavior = "omitown"
 )
+
+// KnownBehaviors lists every supported Byzantine behaviour, for flag
+// validation and error messages.
+func KnownBehaviors() []Behavior {
+	return []Behavior{
+		BehaviorCrash, BehaviorSplitBrain, BehaviorFakeEdges, BehaviorGarbage,
+		BehaviorStale, BehaviorEquivocate, BehaviorOmitOwn,
+	}
+}
+
+// Valid reports whether b names a supported behaviour.
+func (b Behavior) Valid() bool {
+	for _, k := range KnownBehaviors() {
+		if b == k {
+			return true
+		}
+	}
+	return false
+}
 
 // SimulationConfig drives one in-memory NECTAR execution.
 type SimulationConfig struct {
@@ -95,36 +115,13 @@ func Simulate(cfg SimulationConfig) (*SimulationResult, error) {
 	if n == 0 {
 		return nil, fmt.Errorf("nectar: empty graph")
 	}
-	schemeName := cfg.SchemeName
-	if schemeName == "" {
-		schemeName = "ed25519"
+	scheme, err := resolveScheme(cfg.SchemeName, n, cfg.Seed)
+	if err != nil {
+		return nil, err
 	}
-	scheme := sig.ByName(schemeName, n, cfg.Seed)
-	if scheme == nil {
-		return nil, fmt.Errorf("nectar: unknown scheme %q", schemeName)
-	}
-	byz := ids.NewSet()
-	for b := range cfg.Byzantine {
-		if int(b) >= n {
-			return nil, fmt.Errorf("nectar: Byzantine node %v out of range", b)
-		}
-		byz.Add(b)
-	}
-	if byz.Len() > cfg.T {
-		return nil, fmt.Errorf("nectar: %d Byzantine nodes exceed T=%d", byz.Len(), cfg.T)
-	}
-	// Blocked entries apply only to split-brain nodes; anything else is a
-	// misconfigured attack scenario that would otherwise silently no-op.
-	for b, targets := range cfg.Blocked {
-		if cfg.Byzantine[b] != BehaviorSplitBrain {
-			return nil, fmt.Errorf("nectar: Blocked entry for node %v, which has behavior %q (want %q)",
-				b, cfg.Byzantine[b], BehaviorSplitBrain)
-		}
-		for _, to := range targets {
-			if int(to) >= n {
-				return nil, fmt.Errorf("nectar: Blocked target %v of node %v out of range", to, b)
-			}
-		}
+	byz, err := checkByzantine(n, cfg.T, cfg.Byzantine, cfg.Blocked)
+	if err != nil {
+		return nil, err
 	}
 
 	nodes, err := BuildNodes(cfg.Graph, cfg.T, scheme, cfg.Rounds)
@@ -184,6 +181,67 @@ func Simulate(cfg SimulationConfig) (*SimulationResult, error) {
 		}
 	}
 	return res, nil
+}
+
+// validateSchemeName checks a scheme name ("" = the ed25519 default)
+// without constructing the scheme, naming the valid schemes on error —
+// misconfigurations fail before any key generation.
+func validateSchemeName(name string) error {
+	if name == "" {
+		return nil
+	}
+	for _, s := range sig.Names() {
+		if name == s {
+			return nil
+		}
+	}
+	return fmt.Errorf("nectar: unknown scheme %q (valid: %s)",
+		name, strings.Join(sig.Names(), ", "))
+}
+
+// resolveScheme validates a scheme name ("" = "ed25519") and constructs
+// the scheme.
+func resolveScheme(name string, n int, seed int64) (Scheme, error) {
+	if err := validateSchemeName(name); err != nil {
+		return nil, err
+	}
+	if name == "" {
+		name = "ed25519"
+	}
+	return sig.ByName(name, n, seed), nil
+}
+
+// checkByzantine validates a Byzantine assignment for an n-node system
+// with bound t: known behaviours, in-range IDs, count within t, and
+// Blocked entries only for split-brain nodes (anything else is a
+// misconfigured attack scenario that would otherwise silently no-op).
+func checkByzantine(n, t int, byzantine map[NodeID]Behavior, blocked map[NodeID][]NodeID) (ids.Set, error) {
+	byz := ids.NewSet()
+	for b, beh := range byzantine {
+		if int(b) >= n {
+			return nil, fmt.Errorf("nectar: Byzantine node %v out of range", b)
+		}
+		if !beh.Valid() {
+			return nil, fmt.Errorf("nectar: node %v has unknown behavior %q (valid: %v)",
+				b, beh, KnownBehaviors())
+		}
+		byz.Add(b)
+	}
+	if byz.Len() > t {
+		return nil, fmt.Errorf("nectar: %d Byzantine nodes exceed T=%d", byz.Len(), t)
+	}
+	for b, targets := range blocked {
+		if byzantine[b] != BehaviorSplitBrain {
+			return nil, fmt.Errorf("nectar: Blocked entry for node %v, which has behavior %q (want %q)",
+				b, byzantine[b], BehaviorSplitBrain)
+		}
+		for _, to := range targets {
+			if int(to) >= n {
+				return nil, fmt.Errorf("nectar: Blocked target %v of node %v out of range", to, b)
+			}
+		}
+	}
+	return byz, nil
 }
 
 // wrapByzantine builds the adversary wrapper for node b.
