@@ -9,7 +9,7 @@
 //	nectar-bench -quick all
 //
 // Experiments: fig3 fig4 fig5 fig6 fig7 fig8 fig8-n20 fig8-n50
-// topo-cost byz-topo loss all
+// topo-cost byz-topo loss churn redteam all
 package main
 
 import (
@@ -17,9 +17,11 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"strings"
 	"time"
 
 	"github.com/nectar-repro/nectar/internal/report"
+	"github.com/nectar-repro/nectar/internal/sig"
 )
 
 func main() {
@@ -38,12 +40,18 @@ func run(args []string) error {
 	out := fs.String("out", "results", "output directory for CSV files")
 	noASCII := fs.Bool("no-ascii", false, "suppress terminal plots")
 	verbose := fs.Bool("v", false, "print per-point progress")
+	list := fs.Bool("list", false, "print valid experiments and schemes and exit")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
+	if *list {
+		fmt.Printf("experiments: %s\n", strings.Join(experiments(), " "))
+		fmt.Printf("schemes:     %s\n", strings.Join(sig.Names(), " "))
+		return nil
+	}
 	targets := fs.Args()
 	if len(targets) == 0 {
-		return fmt.Errorf("no experiments given; try: nectar-bench -quick all")
+		return fmt.Errorf("no experiments given; try: nectar-bench -quick all (or -list)")
 	}
 	if err := os.MkdirAll(*out, 0o755); err != nil {
 		return err
@@ -53,11 +61,10 @@ func run(args []string) error {
 		opts.Progress = func(line string) { fmt.Fprintln(os.Stderr, "  "+line) }
 	}
 
-	all := []string{"fig3", "fig4", "fig5", "fig6", "fig7", "fig8", "topo-cost", "byz-topo", "loss", "churn"}
 	var expanded []string
 	for _, tgt := range targets {
 		if tgt == "all" {
-			expanded = append(expanded, all...)
+			expanded = append(expanded, allExperiments()...)
 			continue
 		}
 		expanded = append(expanded, tgt)
@@ -70,6 +77,18 @@ func run(args []string) error {
 		fmt.Printf("%s done in %v\n\n", tgt, time.Since(start).Round(time.Millisecond))
 	}
 	return nil
+}
+
+// allExperiments lists what "all" expands to.
+func allExperiments() []string {
+	return []string{"fig3", "fig4", "fig5", "fig6", "fig7", "fig8",
+		"topo-cost", "byz-topo", "loss", "churn", "redteam"}
+}
+
+// experiments lists every runnable target for -list (the "all" set plus
+// the named variants).
+func experiments() []string {
+	return append(allExperiments(), "fig8-n20", "fig8-n50", "all")
 }
 
 func runOne(target string, opts report.Options, outDir string, ascii bool) error {
@@ -102,8 +121,10 @@ func runOne(target string, opts report.Options, outDir string, ascii bool) error
 		return emitTable(report.LossTable, opts, outDir, ascii)
 	case "churn":
 		return emitTable(report.ChurnTable, opts, outDir, ascii)
+	case "redteam":
+		return emitTable(report.FrontierTable, opts, outDir, ascii)
 	}
-	return fmt.Errorf("unknown experiment %q", target)
+	return fmt.Errorf("unknown experiment %q (valid: %s)", target, strings.Join(experiments(), ", "))
 }
 
 func emitFigure(build func(report.Options) (*report.Figure, error), opts report.Options, outDir string, ascii bool) error {

@@ -41,3 +41,20 @@ func TestRunErrors(t *testing.T) {
 		t.Error("unknown experiment accepted")
 	}
 }
+
+func TestListMode(t *testing.T) {
+	// -list needs no targets and writes no files.
+	if err := run([]string{"-list"}); err != nil {
+		t.Errorf("run(-list): %v", err)
+	}
+}
+
+func TestRunQuickRedTeam(t *testing.T) {
+	dir := t.TempDir()
+	if err := run([]string{"-quick", "-trials", "1", "-no-ascii", "-out", dir, "redteam"}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(filepath.Join(dir, "redteam.csv")); err != nil {
+		t.Error("redteam.csv missing")
+	}
+}

@@ -20,10 +20,15 @@ import (
 	"fmt"
 	"math/rand"
 	"os"
+	"strings"
 
 	nectar "github.com/nectar-repro/nectar"
 	"github.com/nectar-repro/nectar/internal/cliutil"
+	"github.com/nectar-repro/nectar/internal/sig"
 )
+
+// knownChurn lists the -churn workloads buildSchedule accepts.
+func knownChurn() []string { return []string{"flap", "nodes", "partition", "mobility"} }
 
 func main() {
 	if err := run(os.Args[1:]); err != nil {
@@ -42,7 +47,7 @@ func run(args []string) error {
 	rounds := fs.Int("rounds", 0, "round override (0 = n-1); the per-epoch horizon under -churn")
 	byzList := fs.String("byz", "", "comma-separated Byzantine node IDs")
 	behavior := fs.String("behavior", "crash",
-		"Byzantine behavior: crash|splitbrain|fakeedges|garbage|stale|equivocate|omitown")
+		"Byzantine behavior: crash|splitbrain|fakeedges|garbage|stale|equivocate|omitown|adaptive|phased (see -list)")
 	blockedList := fs.String("blocked", "", "nodes split-brain Byzantine nodes stonewall")
 	churn := fs.String("churn", "",
 		"dynamic-network workload: flap|nodes|partition|mobility (empty = static single run)")
@@ -51,8 +56,20 @@ func run(args []string) error {
 		"per-round link down probability (flap) or node leave probability (nodes)")
 	drift := fs.Float64("drift", 0.5, "barycenter separation added per epoch (mobility)")
 	asJSON := fs.Bool("json", false, "emit JSON instead of text")
+	list := fs.Bool("list", false, "print valid behaviors, schemes, topologies, churn workloads and exit")
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	if *list {
+		behaviors := make([]string, 0, 9)
+		for _, b := range nectar.KnownBehaviors() {
+			behaviors = append(behaviors, string(b))
+		}
+		fmt.Printf("behaviors:   %s\n", strings.Join(behaviors, " "))
+		fmt.Printf("schemes:     %s\n", strings.Join(sig.Names(), " "))
+		fmt.Printf("topologies:  %s\n", strings.Join(cliutil.TopologyKinds(), " "))
+		fmt.Printf("churn:       %s\n", strings.Join(knownChurn(), " "))
+		return nil
 	}
 
 	byz, err := cliutil.ParseNodeList(*byzList)
@@ -215,7 +232,7 @@ func buildSchedule(topo *cliutil.TopologyFlags, f dynFlags, rng *rand.Rand) (*ne
 		}
 		return nectar.PartitionHealSchedule(g, epochRounds+1, heal)
 	}
-	return nil, fmt.Errorf("unknown -churn workload %q (valid: flap, nodes, partition, mobility)", f.kind)
+	return nil, fmt.Errorf("unknown -churn workload %q (valid: %s)", f.kind, strings.Join(knownChurn(), ", "))
 }
 
 // runDynamic executes and prints an epoch-based re-detection run.

@@ -1,8 +1,11 @@
 package main
 
 import (
+	"math/rand"
 	"strings"
 	"testing"
+
+	"github.com/nectar-repro/nectar/internal/cliutil"
 )
 
 func TestRunBasicTopologies(t *testing.T) {
@@ -63,6 +66,43 @@ func TestRunErrors(t *testing.T) {
 	for _, args := range cases {
 		if err := run(args); err == nil {
 			t.Errorf("run(%v) should fail", args)
+		}
+	}
+}
+
+func TestKnownChurnMatchesBuildSchedule(t *testing.T) {
+	// Pin the -list catalogue to buildSchedule's switch: every advertised
+	// workload must compile a schedule, mirroring TopologyKinds vs Build.
+	for _, kind := range knownChurn() {
+		topo := cliutil.TopologyFlags{Kind: "harary", N: 10, K: 4, D: 0, Radius: 1.8}
+		f := dynFlags{kind: kind, t: 1, seed: 1, epochs: 3, rate: 0.02, drift: 0.5}
+		if _, err := buildSchedule(&topo, f, rand.New(rand.NewSource(1))); err != nil {
+			t.Errorf("advertised churn workload %q does not build: %v", kind, err)
+		}
+	}
+}
+
+func TestListMode(t *testing.T) {
+	// -list short-circuits before any topology or crypto work; it must
+	// succeed even combined with otherwise-invalid flags.
+	if err := run([]string{"-list"}); err != nil {
+		t.Errorf("run(-list): %v", err)
+	}
+	if err := run([]string{"-list", "-topo", "nosuch"}); err != nil {
+		t.Errorf("run(-list -topo nosuch): %v", err)
+	}
+}
+
+func TestAdaptiveBehaviorsRun(t *testing.T) {
+	cases := [][]string{
+		{"-topo", "harary", "-k", "4", "-n", "10", "-t", "2", "-scheme", "hmac",
+			"-byz", "0,5", "-behavior", "adaptive"},
+		{"-topo", "harary", "-k", "4", "-n", "10", "-t", "2", "-scheme", "hmac",
+			"-byz", "0,5", "-behavior", "phased"},
+	}
+	for _, args := range cases {
+		if err := run(args); err != nil {
+			t.Errorf("run(%v): %v", args, err)
 		}
 	}
 }

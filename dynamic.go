@@ -208,8 +208,22 @@ func SimulateDynamic(cfg DynamicConfig) (*DynamicResult, error) {
 			Byzantine: cfg.Byzantine,
 			Blocked:   cfg.Blocked,
 		}
+		// Coordinated behaviours get a fresh controller per epoch: nodes
+		// are rebuilt each epoch, so adversary observations reset with
+		// them.
+		epochRounds := cfg.EpochRounds
+		if epochRounds == 0 {
+			epochRounds = n - 1
+		}
+		coord := coordinatorFor(cfg.Byzantine)
 		for _, b := range byz.Sorted() {
-			p, err := wrapByzantine(simCfg, scheme, nodes[b], b, byz)
+			if absent.Has(b) {
+				// Replaced by Silent below: a churned-out node is off the
+				// network entirely, so it must not join the coordinated
+				// coalition and steer victim selection.
+				continue
+			}
+			p, err := wrapByzantine(simCfg, scheme, nodes[b], b, byz, coord, epochRounds)
 			if err != nil {
 				return nil, err
 			}

@@ -208,6 +208,46 @@ func TestSimulateDynamicChurnExcludesAbsentNodes(t *testing.T) {
 	}
 }
 
+// TestSimulateDynamicAdaptiveByzantineSurvivesChurn: a coordinated
+// adaptive Byzantine node that churns out must not keep steering the
+// coalition — the epoch where it is absent runs it as Silent without
+// joining the coordinator, and the whole run stays deterministic.
+func TestSimulateDynamicAdaptiveByzantineSurvivesChurn(t *testing.T) {
+	hg, err := Harary(4, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Byzantine node 3 is away for epoch 1 (rounds 10-18), back at 19.
+	sched := &EdgeSchedule{Base: hg, Events: []ScheduleEvent{
+		{Round: 5, Kind: NodeLeave, Node: 3},
+		{Round: 19, Kind: NodeJoin, Node: 3},
+	}}
+	cfg := DynamicConfig{
+		Schedule:   sched,
+		T:          2,
+		Seed:       11,
+		SchemeName: "hmac",
+		Byzantine:  map[NodeID]Behavior{3: BehaviorAdaptive, 7: BehaviorPhased},
+	}
+	a, err := SimulateDynamic(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a.Epochs) < 3 {
+		t.Fatalf("epochs = %d, want >= 3", len(a.Epochs))
+	}
+	if len(a.Epochs[1].Absent) != 1 || a.Epochs[1].Absent[0] != 3 {
+		t.Fatalf("epoch 1 absent = %v, want [p3]", a.Epochs[1].Absent)
+	}
+	b, err := SimulateDynamic(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(a.Epochs, b.Epochs) {
+		t.Error("adaptive churn run is not deterministic across replays")
+	}
+}
+
 // TestSimulateDynamicValidation: misconfigurations fail fast with
 // actionable messages.
 func TestSimulateDynamicValidation(t *testing.T) {

@@ -63,6 +63,8 @@ func equivalenceCases(t *testing.T, seed int64) []simCase {
 		add(topo.name+"/stale", topo.g, map[NodeID]Behavior{b0: BehaviorStale}, nil)
 		add(topo.name+"/equivocate", topo.g, map[NodeID]Behavior{b0: BehaviorEquivocate}, nil)
 		add(topo.name+"/omitown", topo.g, map[NodeID]Behavior{b0: BehaviorOmitOwn, b1: BehaviorOmitOwn}, nil)
+		add(topo.name+"/adaptive", topo.g, map[NodeID]Behavior{b0: BehaviorAdaptive, b1: BehaviorAdaptive}, nil)
+		add(topo.name+"/phased", topo.g, map[NodeID]Behavior{b0: BehaviorPhased, b1: BehaviorPhased}, nil)
 	}
 
 	// The §V-D bridge attack: all correct-part communication crosses

@@ -26,10 +26,20 @@ type TopologyFlags struct {
 	Radius float64
 }
 
+// TopologyKinds lists every topology the Build switch accepts, for -list
+// modes and flag documentation. Keep in sync with Build (pinned by the
+// package tests).
+func TopologyKinds() []string {
+	return []string{
+		"ring", "line", "star", "complete", "er", "harary", "randomregular",
+		"kdiamond", "kpasted", "gwheel", "mwheel", "drone",
+	}
+}
+
 // Register installs the topology flags on fs.
 func (t *TopologyFlags) Register(fs *flag.FlagSet) {
 	fs.StringVar(&t.Kind, "topo", "ring",
-		"topology: ring|line|star|complete|er|harary|randomregular|kdiamond|kpasted|gwheel|mwheel|drone")
+		"topology: "+strings.Join(TopologyKinds(), "|"))
 	fs.IntVar(&t.N, "n", 20, "number of nodes")
 	fs.IntVar(&t.K, "k", 4, "connectivity parameter (harary/randomregular/kdiamond/kpasted)")
 	fs.IntVar(&t.C, "c", 2, "hub size (gwheel/mwheel)")
@@ -68,7 +78,7 @@ func (t *TopologyFlags) Build(rng *rand.Rand) (*graph.Graph, error) {
 		g, _, err := topology.Drone(t.N, t.D, t.Radius, rng)
 		return g, err
 	}
-	return nil, fmt.Errorf("unknown topology %q", t.Kind)
+	return nil, fmt.Errorf("unknown topology %q (valid: %s)", t.Kind, strings.Join(TopologyKinds(), ", "))
 }
 
 // ParseNodeList parses "1,4,7" into node IDs.

@@ -43,6 +43,18 @@ func TestBuildAllKinds(t *testing.T) {
 	}
 }
 
+// TestTopologyKindsMatchesBuild pins the -list catalogue to the Build
+// switch: every advertised kind must build with workable defaults, so a
+// kind added to one place but not the other fails here.
+func TestTopologyKindsMatchesBuild(t *testing.T) {
+	for _, kind := range TopologyKinds() {
+		tf := TopologyFlags{Kind: kind, N: 12, K: 4, C: 2, Parts: 2, P: 0.5, D: 1, Radius: 1.5}
+		if _, err := tf.Build(rand.New(rand.NewSource(1))); err != nil {
+			t.Errorf("advertised kind %q does not build: %v", kind, err)
+		}
+	}
+}
+
 func TestBuildErrors(t *testing.T) {
 	if _, err := buildKind(t, "-topo", "nosuch"); err == nil {
 		t.Error("unknown kind accepted")

@@ -2,6 +2,7 @@ package harness
 
 import (
 	"fmt"
+	"sort"
 
 	"github.com/nectar-repro/nectar/internal/adversary"
 	"github.com/nectar-repro/nectar/internal/graph"
@@ -46,6 +47,13 @@ const (
 	AttackEquivocate AttackKind = "equivocate"
 	// AttackOmitOwn: NECTAR-only concealment of Byzantine-Byzantine edges.
 	AttackOmitOwn AttackKind = "omitown"
+	// AttackAdaptive: NECTAR-only coordinated adaptive equivocation — the
+	// Byzantine coalition shares observations and stonewalls, per round,
+	// the correct neighbors it heard the least from (DESIGN.md §8).
+	AttackAdaptive AttackKind = "adaptive"
+	// AttackPhased: NECTAR-only composed schedule — stale replay for the
+	// first third of the horizon, then coordinated equivocation.
+	AttackPhased AttackKind = "phased"
 )
 
 // supportedAttacks lists which attacks are defined for each protocol
@@ -55,6 +63,7 @@ var supportedAttacks = map[ProtocolKind]map[AttackKind]bool{
 		AttackNone: true, AttackCrash: true, AttackSplitBrain: true,
 		AttackFakeEdges: true, AttackGarbage: true, AttackStale: true,
 		AttackEquivocate: true, AttackOmitOwn: true,
+		AttackAdaptive: true, AttackPhased: true,
 	},
 	ProtoMtG: {
 		AttackNone: true, AttackCrash: true, AttackSplitBrain: true,
@@ -73,6 +82,22 @@ func attackSupported(p ProtocolKind, a AttackKind) bool {
 		a = AttackNone
 	}
 	return supportedAttacks[p][a]
+}
+
+// Protocols lists the protocols under test.
+func Protocols() []ProtocolKind {
+	return []ProtocolKind{ProtoNectar, ProtoMtG, ProtoMtGv2}
+}
+
+// SupportedAttacks lists the attacks defined for protocol p, sorted, for
+// CLI listings and exhaustive tests.
+func SupportedAttacks(p ProtocolKind) []AttackKind {
+	out := make([]AttackKind, 0, len(supportedAttacks[p]))
+	for a := range supportedAttacks[p] {
+		out = append(out, a)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
 }
 
 // nodeDecision is one correct node's scored decision.
@@ -137,6 +162,15 @@ func nectarStack(spec *Spec, sc *Scenario, scheme sig.Scheme, trialSeed int64) (
 		protos[i] = nd
 	}
 	sigSize := scheme.Verifier().SigSize()
+	horizon := spec.Rounds
+	if horizon == 0 {
+		horizon = g.N() - 1
+	}
+	// Coordinated attacks share one controller across the whole coalition.
+	var coord *adversary.Coordinator
+	if spec.Attack == AttackAdaptive || spec.Attack == AttackPhased {
+		coord = adversary.NewCoordinator()
+	}
 	for _, b := range sc.Byz.Sorted() {
 		inner := nodes[b]
 		nbrs := g.Neighbors(b)
@@ -169,6 +203,10 @@ func nectarStack(spec *Spec, sc *Scenario, scheme sig.Scheme, trialSeed int64) (
 				}
 			}
 			protos[b] = adversary.NectarOmitOwn(inner, sigSize, hide)
+		case AttackAdaptive:
+			protos[b] = coord.Join(inner, b, nbrs, adversary.AlwaysEquivocate())
+		case AttackPhased:
+			protos[b] = coord.Join(inner, b, nbrs, adversary.StaleThenEquivocate(adversary.PhasedSwitchRound(horizon)))
 		default:
 			return nil, nil, fmt.Errorf("harness: attack %q not defined for NECTAR", spec.Attack)
 		}

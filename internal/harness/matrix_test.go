@@ -1,0 +1,77 @@
+package harness
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"github.com/nectar-repro/nectar/internal/graph"
+	"github.com/nectar-repro/nectar/internal/topology"
+)
+
+// TestEveryProtocolAttackPairRuns drives every (protocol, attack) pair in
+// supportedAttacks through a full end-to-end trial. Unsupported combos are
+// rejected up front by Run; this test closes the other half: every combo
+// the table admits must actually build and complete, so a behaviour added
+// to the table without wiring (or vice versa) fails here immediately.
+func TestEveryProtocolAttackPairRuns(t *testing.T) {
+	gen := func(rng *rand.Rand) (*graph.Graph, error) { return topology.Harary(4, 12) }
+	for _, proto := range Protocols() {
+		attacks := SupportedAttacks(proto)
+		if len(attacks) == 0 {
+			t.Fatalf("protocol %q has no attacks in the table", proto)
+		}
+		for _, attack := range attacks {
+			name := fmt.Sprintf("%s/%s", proto, attack)
+			t.Run(name, func(t *testing.T) {
+				res, err := Run(Spec{
+					Name:     name,
+					Protocol: proto,
+					Attack:   attack,
+					// RandomPlacement supplies the Blocked side every
+					// split-brain variant needs.
+					Scenario: RandomPlacement(gen, 2),
+					T:        2,
+					Trials:   2,
+					Seed:     13,
+				})
+				if err != nil {
+					t.Fatalf("supported combo failed: %v", err)
+				}
+				if len(res.Trials) != 2 {
+					t.Fatalf("completed %d trials, want 2", len(res.Trials))
+				}
+				for i, tr := range res.Trials {
+					if tr.Rounds == 0 || tr.ActiveRounds == 0 {
+						t.Errorf("trial %d executed no rounds: %+v", i, tr)
+					}
+				}
+			})
+		}
+	}
+}
+
+// TestUnsupportedPairsRejected spot-checks the complement: combos absent
+// from the table must be refused before any trial runs.
+func TestUnsupportedPairsRejected(t *testing.T) {
+	gen := func(rng *rand.Rand) (*graph.Graph, error) { return topology.Harary(4, 12) }
+	cases := []struct {
+		proto  ProtocolKind
+		attack AttackKind
+	}{
+		{ProtoMtG, AttackOmitOwn},
+		{ProtoMtG, AttackAdaptive},
+		{ProtoMtGv2, AttackPoison},
+		{ProtoMtGv2, AttackPhased},
+		{ProtoNectar, AttackPoison},
+	}
+	for _, c := range cases {
+		_, err := Run(Spec{
+			Protocol: c.proto, Attack: c.attack,
+			Scenario: RandomPlacement(gen, 2), T: 2, Trials: 1, Seed: 1,
+		})
+		if err == nil {
+			t.Errorf("%s/%s accepted", c.proto, c.attack)
+		}
+	}
+}

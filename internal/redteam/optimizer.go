@@ -1,0 +1,370 @@
+package redteam
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+	"strings"
+
+	"github.com/nectar-repro/nectar/internal/graph"
+	"github.com/nectar-repro/nectar/internal/ids"
+)
+
+// Search parameterizes one optimizer run over a fixed topology.
+type Search struct {
+	// Graph is the topology under attack. Required.
+	Graph *graph.Graph
+	// T is the number of Byzantine slots to place. Required, 0 < T < n.
+	T int
+	// Budget caps the number of Evaluator calls (cache hits are free).
+	Budget int
+	// Eval scores a candidate placement. Required.
+	Eval Evaluator
+	// Rand drives every random choice the optimizer makes. Required for
+	// the randomized optimizers; the deterministic greedy ignores it.
+	Rand *rand.Rand
+	// OnStep, when non-nil, receives one trace entry per evaluation.
+	OnStep func(Step)
+}
+
+func (s *Search) validate() error {
+	if s.Graph == nil {
+		return fmt.Errorf("redteam: Search.Graph is required")
+	}
+	if s.Eval == nil {
+		return fmt.Errorf("redteam: Search.Eval is required")
+	}
+	n := s.Graph.N()
+	if s.T <= 0 || s.T >= n {
+		return fmt.Errorf("redteam: need 0 < T < n, got T=%d n=%d", s.T, n)
+	}
+	if s.Budget <= 0 {
+		return fmt.Errorf("redteam: Search.Budget must be positive, got %d", s.Budget)
+	}
+	return nil
+}
+
+// budgetEval wraps the user Evaluator with budget accounting, caching,
+// best tracking and trace emission. All optimizers funnel through it, so
+// an optimizer can never return a candidate it did not evaluate.
+type budgetEval struct {
+	s     *Search
+	cache map[string]float64
+	evals int
+	best  Placement
+	bestD float64
+}
+
+func newBudgetEval(s *Search) *budgetEval {
+	return &budgetEval{s: s, cache: make(map[string]float64), bestD: math.Inf(-1)}
+}
+
+// exhausted reports whether the evaluation budget is spent. Optimizer
+// loops must check it: cache hits are free, so eval alone would never
+// return errBudget once the whole candidate space has been scored.
+func (b *budgetEval) exhausted() bool { return b.evals >= b.s.Budget }
+
+// eval scores p, consuming budget unless cached. It returns errBudget
+// once the budget is exhausted.
+func (b *budgetEval) eval(p Placement) (float64, error) {
+	key := p.Key()
+	if d, ok := b.cache[key]; ok {
+		return d, nil
+	}
+	if b.exhausted() {
+		return 0, errBudget
+	}
+	d, err := b.s.Eval(p)
+	if err != nil {
+		return 0, err
+	}
+	b.evals++
+	b.cache[key] = d
+	if d > b.bestD {
+		b.bestD = d
+		b.best = p.Clone()
+	}
+	if b.s.OnStep != nil {
+		b.s.OnStep(Step{Eval: b.evals, Placement: p.Clone(), Damage: d, Best: b.bestD})
+	}
+	return d, nil
+}
+
+// outcome finalizes the run, mapping budget exhaustion to success.
+func (b *budgetEval) outcome(err error) (Outcome, error) {
+	if err != nil && err != errBudget {
+		return Outcome{}, err
+	}
+	if b.best == nil {
+		return Outcome{}, fmt.Errorf("redteam: no candidate evaluated within budget")
+	}
+	return Outcome{Placement: b.best, Damage: b.bestD, Evals: b.evals}, nil
+}
+
+// Optimizer searches the placement space for a damage maximizer.
+type Optimizer interface {
+	// Name identifies the optimizer in reports and CLI flags.
+	Name() string
+	// Search runs the optimization and returns the best placement found.
+	Search(s Search) (Outcome, error)
+}
+
+// ByName resolves an optimizer from its CLI name.
+func ByName(name string) (Optimizer, error) {
+	for _, o := range Optimizers() {
+		if o.Name() == name {
+			return o, nil
+		}
+	}
+	return nil, fmt.Errorf("redteam: unknown optimizer %q (valid: %s)",
+		name, strings.Join(OptimizerNames(), ", "))
+}
+
+// Optimizers lists the available optimizers.
+func Optimizers() []Optimizer {
+	return []Optimizer{Random{}, GreedyCut{}, Anneal{}}
+}
+
+// OptimizerNames lists the optimizer CLI names.
+func OptimizerNames() []string {
+	names := make([]string, 0, 3)
+	for _, o := range Optimizers() {
+		names = append(names, o.Name())
+	}
+	return names
+}
+
+// Random is the baseline optimizer: it spends the whole budget on
+// independent uniform placements. Any serious optimizer must beat it.
+type Random struct{}
+
+// Name implements Optimizer.
+func (Random) Name() string { return "random" }
+
+// Search implements Optimizer.
+func (Random) Search(s Search) (Outcome, error) {
+	if err := s.validate(); err != nil {
+		return Outcome{}, err
+	}
+	if s.Rand == nil {
+		return Outcome{}, fmt.Errorf("redteam: random optimizer needs Search.Rand")
+	}
+	b := newBudgetEval(&s)
+	var err error
+	// Duplicate draws are cache hits (free), so bound the proposal count
+	// as well as the budget: a space smaller than the budget would
+	// otherwise loop forever.
+	for iter := 0; err == nil && !b.exhausted() && iter < proposalCap(s.Budget); iter++ {
+		_, err = b.eval(RandomPlacement(s.Graph.N(), s.T, s.Rand))
+	}
+	return b.outcome(err)
+}
+
+// proposalCap bounds a randomized optimizer's proposal loop: once the
+// whole candidate space is cached, the budget alone can no longer
+// terminate the walk.
+func proposalCap(budget int) int { return 64 * budget }
+
+// RandomPlacement draws a uniform t-subset of [0, n) — the aleatory
+// placement of the paper's evaluation. Exported so harness baselines draw
+// from the identical distribution as the random optimizer.
+func RandomPlacement(n, t int, rng *rand.Rand) Placement {
+	perm := rng.Perm(n)[:t]
+	members := make([]ids.NodeID, t)
+	for i, v := range perm {
+		members[i] = ids.NodeID(v)
+	}
+	return NewPlacement(members...)
+}
+
+// GreedyCut is the deterministic structure-seeded optimizer: it seeds the
+// placement from a minimum vertex cut (the graph-theoretic weak spot per
+// Corollary 1 — κ(G) ≤ t is exactly t-Byzantine partitionability), then
+// hill-climbs by single-slot swaps against the candidate pool formed by
+// the cut and the current placement's neighborhood. It consumes no
+// randomness: identical inputs visit identical candidates.
+type GreedyCut struct{}
+
+// Name implements Optimizer.
+func (GreedyCut) Name() string { return "greedy" }
+
+// Search implements Optimizer.
+func (g GreedyCut) Search(s Search) (Outcome, error) {
+	if err := s.validate(); err != nil {
+		return Outcome{}, err
+	}
+	b := newBudgetEval(&s)
+	// The graph is fixed for the whole search: compute the max-flow-based
+	// minimum cut once and reuse it for the seed and every swap pool.
+	cut := minCut(s.Graph)
+	cur := cutSeed(s.Graph, s.T, cut)
+	curD, err := b.eval(cur)
+	for err == nil {
+		improved := false
+		for slot := 0; slot < len(cur) && err == nil; slot++ {
+			for _, v := range swapPool(s.Graph, cur, cut) {
+				if cur.Has(v) {
+					continue
+				}
+				next := cur.Clone()
+				next[slot] = v
+				next = NewPlacement(next...)
+				var d float64
+				d, err = b.eval(next)
+				if err != nil {
+					break
+				}
+				if d > curD {
+					cur, curD = next, d
+					improved = true
+					break // re-derive the pool around the new placement
+				}
+			}
+		}
+		if !improved && err == nil {
+			break // local maximum
+		}
+	}
+	return b.outcome(err)
+}
+
+// minCut returns the graph's minimum vertex cut sorted ascending (nil
+// when none exists — complete or trivial graphs).
+func minCut(g *graph.Graph) []ids.NodeID {
+	cut, ok := g.MinVertexCut()
+	if !ok {
+		return nil
+	}
+	sort.Slice(cut, func(i, j int) bool { return cut[i] < cut[j] })
+	return cut
+}
+
+// CutSeed builds the structural starting placement: minimum-vertex-cut
+// members first (lowest IDs first), padded with minimum-degree vertices.
+// Exported so callers outside the optimizers can share the seed.
+func CutSeed(g *graph.Graph, t int) Placement {
+	return cutSeed(g, t, minCut(g))
+}
+
+// cutSeed is CutSeed over a precomputed cut.
+func cutSeed(g *graph.Graph, t int, cut []ids.NodeID) Placement {
+	members := make([]ids.NodeID, 0, t)
+	taken := ids.NewSet()
+	for _, v := range cut {
+		if len(members) == t {
+			break
+		}
+		members = append(members, v)
+		taken.Add(v)
+	}
+	if len(members) < t {
+		// Pad with minimum-degree vertices (id ties ascending): the
+		// cheapest vertices to disconnect around.
+		rest := make([]ids.NodeID, 0, g.N())
+		for v := 0; v < g.N(); v++ {
+			if !taken.Has(ids.NodeID(v)) {
+				rest = append(rest, ids.NodeID(v))
+			}
+		}
+		sort.Slice(rest, func(i, j int) bool {
+			di, dj := g.Degree(rest[i]), g.Degree(rest[j])
+			if di != dj {
+				return di < dj
+			}
+			return rest[i] < rest[j]
+		})
+		members = append(members, rest[:t-len(members)]...)
+	}
+	return NewPlacement(members...)
+}
+
+// swapPool enumerates swap candidates around p: the (precomputed)
+// minimum cut plus the closed neighborhood of p's members, sorted
+// ascending for determinism.
+func swapPool(g *graph.Graph, p Placement, cut []ids.NodeID) []ids.NodeID {
+	pool := ids.NewSet(cut...)
+	for _, m := range p {
+		for _, v := range g.Neighbors(m) {
+			pool.Add(v)
+		}
+	}
+	return pool.Sorted()
+}
+
+// Anneal is the seeded local-search optimizer (simulated-annealing style):
+// starting from the structural cut seed, it proposes single-slot swaps
+// with a uniformly random outside vertex, always accepts improvements, and
+// accepts degradations with probability exp(Δ/T) under a geometrically
+// cooling temperature. On a flat damage landscape this degenerates to a
+// random walk — exactly the exploration needed to escape zero-damage
+// plateaus that stall the greedy.
+type Anneal struct {
+	// T0 is the initial temperature in normalized-damage units
+	// (0 = DefaultT0).
+	T0 float64
+	// Cooling is the per-evaluation temperature factor (0 = DefaultCooling).
+	Cooling float64
+}
+
+// Annealing defaults, chosen for damage scales of order 1 and budgets of
+// a few dozen evaluations.
+const (
+	DefaultT0      = 0.25
+	DefaultCooling = 0.96
+)
+
+// Name implements Optimizer.
+func (Anneal) Name() string { return "anneal" }
+
+// Search implements Optimizer.
+func (a Anneal) Search(s Search) (Outcome, error) {
+	if err := s.validate(); err != nil {
+		return Outcome{}, err
+	}
+	if s.Rand == nil {
+		return Outcome{}, fmt.Errorf("redteam: anneal optimizer needs Search.Rand")
+	}
+	t0 := a.T0
+	if t0 == 0 {
+		t0 = DefaultT0
+	}
+	cooling := a.Cooling
+	if cooling == 0 {
+		cooling = DefaultCooling
+	}
+	b := newBudgetEval(&s)
+	n := s.Graph.N()
+	cur := CutSeed(s.Graph, s.T)
+	curD, err := b.eval(cur)
+	temp := t0
+	for iter := 0; err == nil && !b.exhausted() && iter < proposalCap(s.Budget); iter++ {
+		// Propose: replace one random slot with a random outside vertex.
+		next := cur.Clone()
+		slot := s.Rand.Intn(len(next))
+		v := ids.NodeID(s.Rand.Intn(n))
+		for next.Has(v) {
+			v = ids.NodeID(s.Rand.Intn(n))
+		}
+		next[slot] = v
+		next = NewPlacement(next...)
+		var d float64
+		d, err = b.eval(next)
+		if err != nil {
+			break
+		}
+		// Normalize Δ by the best damage seen so the acceptance rule is
+		// scale-free across objectives (misclassification ∈ [0,1] vs
+		// traffic in KB).
+		scale := b.bestD
+		if scale <= 0 {
+			scale = 1
+		}
+		delta := (d - curD) / scale
+		if delta >= 0 || s.Rand.Float64() < math.Exp(delta/temp) {
+			cur, curD = next, d
+		}
+		temp *= cooling
+	}
+	return b.outcome(err)
+}

@@ -91,7 +91,8 @@ func ChurnTable(opts Options) (*Table, error) {
 	tbl := &Table{
 		ID:    "churn",
 		Title: fmt.Sprintf("Dynamic networks: NECTAR re-detection under churn (n=%d, t=%d, %d epochs)", n, tByz, epochs),
-		Columns: []string{"workload", "param", "agreement", "accuracy",
+		Columns: []string{"workload", "param", "agreement", "agreement_ci95",
+			"accuracy", "accuracy_ci95",
 			"flips_detected", "latency_epochs", "kb_per_node_epoch", "active_rounds"},
 	}
 	for _, r := range rows {
@@ -118,7 +119,9 @@ func ChurnTable(opts Options) (*Table, error) {
 			r.workload,
 			r.param,
 			fmt.Sprintf("%.2f", res.Agreement.Mean),
+			fmt.Sprintf("%.2f", res.Agreement.CI95),
 			fmt.Sprintf("%.2f", res.Accuracy.Mean),
+			fmt.Sprintf("%.2f", res.Accuracy.CI95),
 			detected,
 			latency,
 			fmt.Sprintf("%.1f", res.BytesPerNode.Mean/1000),

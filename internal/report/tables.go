@@ -6,6 +6,7 @@ import (
 
 	"github.com/nectar-repro/nectar/internal/graph"
 	"github.com/nectar-repro/nectar/internal/harness"
+	"github.com/nectar-repro/nectar/internal/stats"
 	"github.com/nectar-repro/nectar/internal/topology"
 )
 
@@ -135,15 +136,20 @@ func ByzTopo(opts Options) (*Table, error) {
 		ts = []int{2, 4}
 	}
 	tbl := &Table{
-		ID:      "byz-topo",
-		Title:   "Decision success rate on connectivity-dependent topologies",
-		Columns: []string{"family", "placement", "t", "nectar", "mtg", "mtgv2", "mtgv2_ci95"},
+		ID:    "byz-topo",
+		Title: "Decision success rate on connectivity-dependent topologies (±95% CI)",
+		// Per-protocol accuracy with its Student-t CI over trials, plus
+		// NECTAR's agreement proportion with a Wilson 95% interval (the
+		// right interval for a proportion over a few dozen trials).
+		Columns: []string{"family", "placement", "t",
+			"nectar", "nectar_ci95", "mtg", "mtg_ci95", "mtgv2", "mtgv2_ci95",
+			"nectar_agree", "nectar_agree_lo95", "nectar_agree_hi95"},
 	}
 	for _, fam := range fams {
 		for _, pl := range placements {
 			for _, t := range ts {
 				row := []string{fam.name, pl.name, fmt.Sprintf("%d", t)}
-				var v2ci float64
+				var agree stats.Summary
 				for _, pr := range protocols {
 					res, err := harness.Run(harness.Spec{
 						Protocol:   pr.proto,
@@ -158,15 +164,20 @@ func ByzTopo(opts Options) (*Table, error) {
 						return nil, fmt.Errorf("byz-topo %s %s t=%d %s: %w",
 							fam.name, pl.name, t, pr.name, err)
 					}
-					row = append(row, fmt.Sprintf("%.2f", res.Accuracy.Mean))
-					if pr.name == "mtgv2" {
-						v2ci = res.Accuracy.CI95
+					row = append(row, fmt.Sprintf("%.2f", res.Accuracy.Mean),
+						fmt.Sprintf("%.2f", res.Accuracy.CI95))
+					if pr.name == "nectar" {
+						agree = res.Agreement
 					}
 				}
-				row = append(row, fmt.Sprintf("%.2f", v2ci))
+				// Agreement is a proportion of trials: k successes of N.
+				k := int(agree.Mean*float64(agree.N) + 0.5)
+				lo, hi := stats.Wilson95(k, agree.N)
+				row = append(row, fmt.Sprintf("%.2f", agree.Mean),
+					fmt.Sprintf("%.2f", lo), fmt.Sprintf("%.2f", hi))
 				tbl.Rows = append(tbl.Rows, row)
 				opts.progress("byz-topo %s %s t=%d: nectar=%s mtg=%s mtgv2=%s",
-					fam.name, pl.name, t, row[3], row[4], row[5])
+					fam.name, pl.name, t, row[3], row[5], row[7])
 			}
 		}
 	}

@@ -56,6 +56,27 @@ func Summarize(xs []float64) Summary {
 	return s
 }
 
+// Wilson95 returns the 95% Wilson score interval for a proportion of k
+// successes in n trials. Unlike the normal approximation it stays inside
+// [0,1] and behaves sensibly at the boundaries (k=0 or k=n with small n),
+// which is exactly the regime of agreement rates over a few dozen trials.
+// Values are pinned by a golden test against reference computations.
+func Wilson95(k, n int) (lo, hi float64) {
+	if n <= 0 {
+		return 0, 0
+	}
+	const z = 1.959963984540054 // two-sided 95% normal quantile
+	p := float64(k) / float64(n)
+	nf := float64(n)
+	z2 := z * z
+	denom := 1 + z2/nf
+	center := p + z2/(2*nf)
+	margin := z * math.Sqrt(p*(1-p)/nf+z2/(4*nf*nf))
+	lo = math.Max(0, (center-margin)/denom)
+	hi = math.Min(1, (center+margin)/denom)
+	return lo, hi
+}
+
 // tCritical95 returns the two-sided 95% critical value of the Student t
 // distribution with df degrees of freedom.
 func tCritical95(df int) float64 {

@@ -90,6 +90,46 @@ func TestCIShrinksWithSampleSize(t *testing.T) {
 	}
 }
 
+func TestWilson95Golden(t *testing.T) {
+	// Reference values computed from the Wilson score formula with
+	// z = 1.96 (textbook tables agree to 4 decimals).
+	cases := []struct {
+		k, n   int
+		lo, hi float64
+	}{
+		{8, 10, 0.4902, 0.9433},
+		{45, 50, 0.7864, 0.9565},
+		{0, 20, 0.0000, 0.1611},
+		{20, 20, 0.8389, 1.0000},
+		{25, 50, 0.3664, 0.6336},
+	}
+	for _, c := range cases {
+		lo, hi := Wilson95(c.k, c.n)
+		if !almost(lo, c.lo, 5e-4) || !almost(hi, c.hi, 5e-4) {
+			t.Errorf("Wilson95(%d, %d) = (%.4f, %.4f), want (%.4f, %.4f)",
+				c.k, c.n, lo, hi, c.lo, c.hi)
+		}
+	}
+}
+
+func TestWilson95Properties(t *testing.T) {
+	if lo, hi := Wilson95(3, 0); lo != 0 || hi != 0 {
+		t.Errorf("n=0 interval = (%v, %v)", lo, hi)
+	}
+	for _, n := range []int{1, 5, 30, 200} {
+		for k := 0; k <= n; k++ {
+			lo, hi := Wilson95(k, n)
+			p := float64(k) / float64(n)
+			if lo < 0 || hi > 1 || lo > hi {
+				t.Fatalf("Wilson95(%d,%d) = (%v,%v) leaves [0,1]", k, n, lo, hi)
+			}
+			if p < lo-1e-12 || p > hi+1e-12 {
+				t.Fatalf("Wilson95(%d,%d) = (%v,%v) excludes p̂=%v", k, n, lo, hi, p)
+			}
+		}
+	}
+}
+
 func TestCICoverage(t *testing.T) {
 	// Statistical sanity check: with normal data, the 95% CI should cover
 	// the true mean in roughly 95% of repetitions. Tolerate 88-100%.

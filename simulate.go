@@ -34,6 +34,13 @@ const (
 	BehaviorEquivocate Behavior = "equivocate"
 	// BehaviorOmitOwn: hides its edges to other Byzantine nodes.
 	BehaviorOmitOwn Behavior = "omitown"
+	// BehaviorAdaptive: coordinated adaptive equivocation — all Byzantine
+	// nodes share observations and stonewall, per round, the correct
+	// neighbors they heard the least from (DESIGN.md §8).
+	BehaviorAdaptive Behavior = "adaptive"
+	// BehaviorPhased: composed schedule — stale replay for the first
+	// third of the horizon, then coordinated adaptive equivocation.
+	BehaviorPhased Behavior = "phased"
 )
 
 // KnownBehaviors lists every supported Byzantine behaviour, for flag
@@ -42,6 +49,7 @@ func KnownBehaviors() []Behavior {
 	return []Behavior{
 		BehaviorCrash, BehaviorSplitBrain, BehaviorFakeEdges, BehaviorGarbage,
 		BehaviorStale, BehaviorEquivocate, BehaviorOmitOwn,
+		BehaviorAdaptive, BehaviorPhased,
 	}
 }
 
@@ -132,17 +140,17 @@ func Simulate(cfg SimulationConfig) (*SimulationResult, error) {
 	for i, nd := range nodes {
 		protos[i] = nd
 	}
+	r := cfg.Rounds
+	if r == 0 {
+		r = n - 1
+	}
+	coord := coordinatorFor(cfg.Byzantine)
 	for _, b := range byz.Sorted() {
-		p, err := wrapByzantine(cfg, scheme, nodes[b], b, byz)
+		p, err := wrapByzantine(cfg, scheme, nodes[b], b, byz, coord, r)
 		if err != nil {
 			return nil, err
 		}
 		protos[b] = p
-	}
-
-	r := cfg.Rounds
-	if r == 0 {
-		r = n - 1
 	}
 	metrics, err := rounds.Run(rounds.Config{
 		Graph:       cfg.Graph,
@@ -244,8 +252,23 @@ func checkByzantine(n, t int, byzantine map[NodeID]Behavior, blocked map[NodeID]
 	return byz, nil
 }
 
-// wrapByzantine builds the adversary wrapper for node b.
-func wrapByzantine(cfg SimulationConfig, scheme Scheme, inner *Node, b NodeID, byz ids.Set) (rounds.Protocol, error) {
+// coordinatorFor returns one fresh shared controller when any assigned
+// behaviour is coordinated (adaptive/phased), nil otherwise. All
+// coordinated nodes of a run join the same controller; other Byzantine
+// behaviours are simply not joined.
+func coordinatorFor(byzantine map[NodeID]Behavior) *adversary.Coordinator {
+	for _, beh := range byzantine {
+		if beh == BehaviorAdaptive || beh == BehaviorPhased {
+			return adversary.NewCoordinator()
+		}
+	}
+	return nil
+}
+
+// wrapByzantine builds the adversary wrapper for node b. coord is the
+// shared controller for coordinated behaviours (non-nil iff the run has
+// any); horizon is the run's round count, which phased schedules key on.
+func wrapByzantine(cfg SimulationConfig, scheme Scheme, inner *Node, b NodeID, byz ids.Set, coord *adversary.Coordinator, horizon int) (rounds.Protocol, error) {
 	nbrs := cfg.Graph.Neighbors(b)
 	switch cfg.Byzantine[b] {
 	case BehaviorCrash:
@@ -279,6 +302,10 @@ func wrapByzantine(cfg SimulationConfig, scheme Scheme, inner *Node, b NodeID, b
 			}
 		}
 		return adversary.NectarOmitOwn(inner, scheme.Verifier().SigSize(), hide), nil
+	case BehaviorAdaptive:
+		return coord.Join(inner, b, nbrs, adversary.AlwaysEquivocate()), nil
+	case BehaviorPhased:
+		return coord.Join(inner, b, nbrs, adversary.StaleThenEquivocate(adversary.PhasedSwitchRound(horizon))), nil
 	}
 	return nil, fmt.Errorf("nectar: unknown behavior %q for node %v", cfg.Byzantine[b], b)
 }
