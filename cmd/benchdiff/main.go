@@ -1,0 +1,247 @@
+// benchdiff maintains the repo's benchmark-regression baseline
+// (BENCH_baseline.json): it parses `go test -bench` output into a stable
+// JSON form and compares two such files with a benchstat-style delta
+// table.
+//
+// Usage:
+//
+//	go test -run=NONE -bench ... -benchmem ... | benchdiff parse > BENCH_baseline.json
+//	benchdiff compare BENCH_baseline.json new.json [-metric ns/op] [-threshold 1.30]
+//
+// compare is warn-only by design: it always exits 0 on valid input, so CI
+// surfaces regressions without blocking on machine-speed noise (see
+// scripts/bench.sh and the bench-compare CI step).
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"regexp"
+	"runtime"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Benchmark is one parsed benchmark result. Metrics maps unit → value
+// (ns/op, B/op, allocs/op, plus any b.ReportMetric custom units).
+type Benchmark struct {
+	Name       string             `json:"name"`
+	Iterations int64              `json:"iterations"`
+	Metrics    map[string]float64 `json:"metrics"`
+}
+
+// File is the on-disk baseline format.
+type File struct {
+	// GoVersion records the toolchain that produced the numbers; deltas
+	// across toolchains are still useful but noisier.
+	GoVersion string `json:"go_version"`
+	// Note is free-form provenance (host class, benchtime).
+	Note       string      `json:"note,omitempty"`
+	Benchmarks []Benchmark `json:"benchmarks"`
+}
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "benchdiff:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	if len(args) == 0 {
+		return fmt.Errorf("usage: benchdiff parse|compare ...")
+	}
+	switch args[0] {
+	case "parse":
+		fs := flag.NewFlagSet("parse", flag.ContinueOnError)
+		note := fs.String("note", "", "provenance note stored in the JSON")
+		if err := fs.Parse(args[1:]); err != nil {
+			return err
+		}
+		return parse(os.Stdin, os.Stdout, *note)
+	case "compare":
+		fs := flag.NewFlagSet("compare", flag.ContinueOnError)
+		metric := fs.String("metric", "ns/op", "primary metric for the delta table")
+		threshold := fs.Float64("threshold", 1.30, "warn when new/old exceeds this ratio")
+		if err := fs.Parse(args[1:]); err != nil {
+			return err
+		}
+		if fs.NArg() != 2 {
+			return fmt.Errorf("usage: benchdiff compare OLD.json NEW.json")
+		}
+		return compare(os.Stdout, fs.Arg(0), fs.Arg(1), *metric, *threshold)
+	}
+	return fmt.Errorf("unknown subcommand %q (want parse or compare)", args[0])
+}
+
+// benchLine matches one `go test -bench` result line:
+// name, iteration count, then (value, unit) pairs.
+var benchLine = regexp.MustCompile(`^(Benchmark\S+)\s+(\d+)\s+(.+)$`)
+
+// cpuSuffix is the trailing -GOMAXPROCS tag. Names are stored verbatim —
+// a `go test` run with GOMAXPROCS=1 emits no tag, so stripping at parse
+// time would corrupt names that legitimately end in -<digits> (e.g.
+// "rounds=n-1"). compare falls back to stripped-name matching instead,
+// so baselines from machines with different core counts still line up.
+var cpuSuffix = regexp.MustCompile(`-\d+$`)
+
+// parseLine parses one benchmark result line, reporting ok=false for
+// non-benchmark output (test chatter, pkg headers).
+func parseLine(line string) (Benchmark, bool) {
+	m := benchLine.FindStringSubmatch(strings.TrimSpace(line))
+	if m == nil {
+		return Benchmark{}, false
+	}
+	iters, err := strconv.ParseInt(m[2], 10, 64)
+	if err != nil {
+		return Benchmark{}, false
+	}
+	b := Benchmark{
+		Name:       stripBase(m[1]),
+		Iterations: iters,
+		Metrics:    map[string]float64{},
+	}
+	fields := strings.Fields(m[3])
+	for i := 0; i+1 < len(fields); i += 2 {
+		v, err := strconv.ParseFloat(fields[i], 64)
+		if err != nil {
+			return Benchmark{}, false
+		}
+		b.Metrics[fields[i+1]] = v
+	}
+	return b, len(b.Metrics) > 0
+}
+
+// stripBase removes the "Benchmark" prefix for compact names.
+func stripBase(name string) string { return strings.TrimPrefix(name, "Benchmark") }
+
+func parse(in io.Reader, out io.Writer, note string) error {
+	f := File{GoVersion: runtime.Version(), Note: note}
+	sc := bufio.NewScanner(in)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		if b, ok := parseLine(sc.Text()); ok {
+			f.Benchmarks = append(f.Benchmarks, b)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return err
+	}
+	if len(f.Benchmarks) == 0 {
+		return fmt.Errorf("no benchmark lines found on stdin")
+	}
+	sort.Slice(f.Benchmarks, func(i, j int) bool { return f.Benchmarks[i].Name < f.Benchmarks[j].Name })
+	enc := json.NewEncoder(out)
+	enc.SetIndent("", "  ")
+	return enc.Encode(f)
+}
+
+func load(path string) (*File, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var f File
+	if err := json.Unmarshal(data, &f); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return &f, nil
+}
+
+func compare(out io.Writer, oldPath, newPath, metric string, threshold float64) error {
+	oldF, err := load(oldPath)
+	if err != nil {
+		return err
+	}
+	newF, err := load(newPath)
+	if err != nil {
+		return err
+	}
+	// Exact names first; a stripped-name alias map bridges runs whose
+	// GOMAXPROCS tag differs (or is absent on single-proc runners).
+	// Ambiguous aliases (two names stripping to the same key) are dropped
+	// rather than guessed.
+	oldBy := make(map[string]Benchmark, len(oldF.Benchmarks))
+	oldStripped := make(map[string]*Benchmark, len(oldF.Benchmarks))
+	for _, b := range oldF.Benchmarks {
+		oldBy[b.Name] = b
+		key := cpuSuffix.ReplaceAllString(b.Name, "")
+		if key == b.Name {
+			continue
+		}
+		if _, dup := oldStripped[key]; dup {
+			oldStripped[key] = nil
+		} else {
+			b := b
+			oldStripped[key] = &b
+		}
+	}
+	lookup := func(name string) (Benchmark, bool) {
+		if b, ok := oldBy[name]; ok {
+			return b, true
+		}
+		// Untagged new vs tagged old ("x-1" vs "x-1-8" stripped to "x-1").
+		if b := oldStripped[name]; b != nil {
+			return *b, true
+		}
+		// Tagged new vs old with a different (or no) tag.
+		if s := cpuSuffix.ReplaceAllString(name, ""); s != name {
+			if b, ok := oldBy[s]; ok {
+				return b, true
+			}
+			if b := oldStripped[s]; b != nil {
+				return *b, true
+			}
+		}
+		return Benchmark{}, false
+	}
+	fmt.Fprintf(out, "benchdiff: %s (old: %s, new: %s; warn above %.2fx)\n",
+		metric, oldF.GoVersion, newF.GoVersion, threshold)
+	fmt.Fprintf(out, "%-58s %14s %14s %8s\n", "benchmark", "old", "new", "delta")
+	warns := 0
+	for _, nb := range newF.Benchmarks {
+		ob, ok := lookup(nb.Name)
+		if !ok {
+			fmt.Fprintf(out, "%-58s %14s %14s %8s\n", nb.Name, "-", format(nb.Metrics[metric]), "new")
+			continue
+		}
+		ov, nv := ob.Metrics[metric], nb.Metrics[metric]
+		if ov == 0 || nv == 0 {
+			continue
+		}
+		ratio := nv / ov
+		mark := ""
+		if ratio > threshold {
+			mark = "  WARN"
+			warns++
+		}
+		fmt.Fprintf(out, "%-58s %14s %14s %+7.1f%%%s\n", nb.Name, format(ov), format(nv), (ratio-1)*100, mark)
+	}
+	if warns > 0 {
+		fmt.Fprintf(out, "WARN: %d benchmark(s) above the %.2fx threshold on %s (warn-only, not failing)\n",
+			warns, threshold, metric)
+	} else {
+		fmt.Fprintf(out, "no regressions above the %.2fx threshold\n", threshold)
+	}
+	return nil
+}
+
+// format renders a metric compactly with unit-free SI-ish scaling.
+func format(v float64) string {
+	switch {
+	case v >= 1e9:
+		return fmt.Sprintf("%.2fG", v/1e9)
+	case v >= 1e6:
+		return fmt.Sprintf("%.2fM", v/1e6)
+	case v >= 1e3:
+		return fmt.Sprintf("%.1fk", v/1e3)
+	case v >= 1:
+		return fmt.Sprintf("%.1f", v)
+	}
+	return fmt.Sprintf("%.3f", v)
+}

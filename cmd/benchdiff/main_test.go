@@ -1,0 +1,120 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+const sampleBench = `goos: linux
+goarch: amd64
+pkg: github.com/nectar-repro/nectar
+BenchmarkFig6DroneScale/n=30/d=0-8         	       3	 65954200 ns/op	        69.22 KB/node	       999.9 KB/node-unicast	54384021 B/op	  253229 allocs/op
+BenchmarkDeliver/duplicate-lazy-8          	90000000	        12.59 ns/op	       0 B/op	       0 allocs/op
+PASS
+ok  	github.com/nectar-repro/nectar	4.2s
+`
+
+func TestParseLine(t *testing.T) {
+	b, ok := parseLine("BenchmarkFig6DroneScale/n=30/d=0-8 \t 3\t 65954200 ns/op\t 69.22 KB/node\t 54384021 B/op\t 253229 allocs/op")
+	if !ok {
+		t.Fatal("valid line not parsed")
+	}
+	// The -GOMAXPROCS tag is kept verbatim: a name like "rounds=n-1" from
+	// a single-proc runner carries no tag, so stripping here would corrupt
+	// it. compare() bridges differing tags instead.
+	if b.Name != "Fig6DroneScale/n=30/d=0-8" {
+		t.Errorf("name %q, want Benchmark prefix stripped and nothing else", b.Name)
+	}
+	if b.Iterations != 3 || b.Metrics["ns/op"] != 65954200 || b.Metrics["KB/node"] != 69.22 {
+		t.Errorf("parsed %+v", b)
+	}
+	for _, junk := range []string{"PASS", "ok  \tpkg\t1.2s", "goos: linux", ""} {
+		if _, ok := parseLine(junk); ok {
+			t.Errorf("non-benchmark line %q parsed", junk)
+		}
+	}
+}
+
+// TestCompareBridgesCPUSuffixes: a baseline from an 8-core machine must
+// match a run from a machine with a different GOMAXPROCS tag — including
+// the untagged single-proc case where a trailing "-1" is part of the real
+// benchmark name.
+func TestCompareBridgesCPUSuffixes(t *testing.T) {
+	dir := t.TempDir()
+	write := func(name, content string) string {
+		p := filepath.Join(dir, name)
+		var buf bytes.Buffer
+		if err := parse(strings.NewReader(content), &buf, ""); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(p, buf.Bytes(), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return p
+	}
+	oldP := write("old.json", "BenchmarkAblation/rounds=n-1-8\t5\t100 ns/op\nBenchmarkPlain-8\t5\t100 ns/op\n")
+	newP := write("new.json", "BenchmarkAblation/rounds=n-1\t5\t100 ns/op\nBenchmarkPlain-2\t5\t100 ns/op\n")
+	var out bytes.Buffer
+	if err := compare(&out, oldP, newP, "ns/op", 1.30); err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(out.String(), "new") && strings.Contains(out.String(), " - ") {
+		t.Errorf("cross-tag benchmarks not matched:\n%s", out.String())
+	}
+	if !strings.Contains(out.String(), "+0.0%") {
+		t.Errorf("matched rows missing:\n%s", out.String())
+	}
+}
+
+func TestParseAndCompareRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	oldPath := filepath.Join(dir, "old.json")
+	newPath := filepath.Join(dir, "new.json")
+
+	var buf bytes.Buffer
+	if err := parse(strings.NewReader(sampleBench), &buf, "unit test"); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(oldPath, buf.Bytes(), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	// A "new" run 2x slower on Fig6: must WARN above the default 1.30x.
+	slower := strings.Replace(sampleBench, "65954200 ns/op", "131908400 ns/op", 1)
+	buf.Reset()
+	if err := parse(strings.NewReader(slower), &buf, ""); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(newPath, buf.Bytes(), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	var table bytes.Buffer
+	if err := compare(&table, oldPath, newPath, "ns/op", 1.30); err != nil {
+		t.Fatal(err)
+	}
+	out := table.String()
+	if !strings.Contains(out, "WARN") || !strings.Contains(out, "+100.0%") {
+		t.Errorf("2x regression not flagged:\n%s", out)
+	}
+	if !strings.Contains(out, "Deliver/duplicate-lazy") {
+		t.Errorf("missing benchmark row:\n%s", out)
+	}
+
+	// Identical files: no warnings (the warn-only contract's happy path).
+	table.Reset()
+	if err := compare(&table, oldPath, oldPath, "ns/op", 1.30); err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(table.String(), "WARN") {
+		t.Errorf("self-compare warned:\n%s", table.String())
+	}
+}
+
+func TestParseRejectsEmptyInput(t *testing.T) {
+	if err := parse(strings.NewReader("no benchmarks here\n"), &bytes.Buffer{}, ""); err == nil {
+		t.Error("empty input accepted")
+	}
+}

@@ -153,6 +153,12 @@ func run(args []string) error {
 			"rounds":        res.Rounds,
 			"active_rounds": res.ActiveRounds,
 			"bytes_sent":    res.BytesSent,
+			"fast_path": map[string]int64{
+				"verify_cache_hits":   res.VerifyCacheHits,
+				"verify_cache_misses": res.VerifyCacheMisses,
+				"lazy_discards":       res.LazyDiscards,
+				"decide_cache_hits":   res.DecideCacheHits,
+			},
 		})
 	}
 	fmt.Printf("topology      %s (n=%d, m=%d, κ=%d)\n", topo.Kind, g.N(), g.M(), g.Connectivity())
@@ -165,6 +171,11 @@ func run(args []string) error {
 	}
 	fmt.Printf("traffic       %.1f KB total, %.1f KB/node (unicast)\n",
 		float64(total)/1000, float64(total)/1000/float64(g.N()))
+	if checks := res.VerifyCacheHits + res.VerifyCacheMisses; checks > 0 {
+		fmt.Printf("fast path     %.0f%% verify-cache hit rate (%d/%d), %d lazy discards, %d shared decisions\n",
+			100*float64(res.VerifyCacheHits)/float64(checks),
+			res.VerifyCacheHits, checks, res.LazyDiscards, res.DecideCacheHits)
+	}
 	if !res.Agreement {
 		for id, o := range res.Outcomes {
 			fmt.Printf("  node %v: %v (confirmed=%v, reachable=%d)\n", id, o.Decision, o.Confirmed, o.Reachable)

@@ -184,12 +184,18 @@ func SimulateDynamic(cfg DynamicConfig) (*DynamicResult, error) {
 	}
 	var perEpoch []*epochNodes
 
+	// The decision memo is scheme-independent (a pure graph predicate), so
+	// one cache serves every epoch — repeated views across quiet epochs
+	// share a single connectivity computation. The verification memo is
+	// scoped per epoch below: each epoch derives a fresh key set, and a
+	// memo must never outlive its scheme.
+	dc := NewDecideCache()
 	build := func(epoch int, g *graph.Graph, absent ids.Set, seed int64) (*dynamic.Stack, error) {
 		scheme, err := resolveScheme(cfg.SchemeName, n, seed)
 		if err != nil {
 			return nil, err
 		}
-		nodes, err := BuildNodes(g, cfg.T, scheme, cfg.EpochRounds)
+		nodes, err := BuildNodes(g, cfg.T, scheme, cfg.EpochRounds, WithVerifyCache(NewVerifyCache()))
 		if err != nil {
 			return nil, err
 		}
@@ -250,7 +256,7 @@ func SimulateDynamic(cfg DynamicConfig) (*DynamicResult, error) {
 				en.outcomes = make(map[NodeID]Outcome, len(en.correct))
 				out := make(map[ids.NodeID]dynamic.Verdict, len(en.correct))
 				for _, id := range en.correct {
-					o := nodes[id].Decide()
+					o := nodes[id].DecideShared(dc)
 					en.outcomes[id] = o
 					out[id] = dynamic.Verdict{
 						Partitionable: o.Decision == Partitionable,

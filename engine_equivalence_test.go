@@ -8,6 +8,7 @@ package nectar
 // Byzantine behaviour Simulate supports, and several seeds.
 
 import (
+	"fmt"
 	"math/rand"
 	"reflect"
 	"testing"
@@ -125,6 +126,99 @@ func TestEngineV2EquivalenceProperty(t *testing.T) {
 	}
 }
 
+// assertSimEquivalent fails the test unless two SimulationResults are
+// byte-identical in every output the evaluation consumes.
+func assertSimEquivalent(t *testing.T, label string, ref, got *SimulationResult) {
+	t.Helper()
+	if !reflect.DeepEqual(got.Outcomes, ref.Outcomes) {
+		t.Errorf("%s: outcomes diverge:\ngot: %+v\nref: %+v", label, got.Outcomes, ref.Outcomes)
+	}
+	if got.Decision != ref.Decision || got.Agreement != ref.Agreement || got.Confirmed != ref.Confirmed {
+		t.Errorf("%s: decision diverges: got=%v/%v/%v ref=%v/%v/%v",
+			label, got.Decision, got.Agreement, got.Confirmed,
+			ref.Decision, ref.Agreement, ref.Confirmed)
+	}
+	if !reflect.DeepEqual(got.BytesSent, ref.BytesSent) {
+		t.Errorf("%s: BytesSent diverge", label)
+	}
+	if !reflect.DeepEqual(got.BytesBroadcast, ref.BytesBroadcast) {
+		t.Errorf("%s: BytesBroadcast diverge", label)
+	}
+	if got.ActiveRounds != ref.ActiveRounds {
+		t.Errorf("%s: ActiveRounds diverge: got=%d ref=%d", label, got.ActiveRounds, ref.ActiveRounds)
+	}
+}
+
+// TestVerifyCacheEquivalenceProperty: the signature-verification memo and
+// the lazy header-first decode are pure wall-clock optimizations — for
+// every scenario of the matrix, runs with the cache on and off, in both
+// the default and the literal-Alg.-1 (paranoid) check order, must produce
+// byte-identical results (DESIGN.md §9). The cached+default configuration
+// is Simulate's production fast path; uncached+paranoid is the slowest,
+// most literal reference.
+func TestVerifyCacheEquivalenceProperty(t *testing.T) {
+	variants := []struct {
+		name     string
+		mut      func(*SimulationConfig)
+		wantHits bool // the memo must actually fire, not silently no-op
+	}{
+		{"cached/paranoid", func(c *SimulationConfig) { c.ParanoidVerify = true }, true},
+		{"uncached/default", func(c *SimulationConfig) { c.NoVerifyCache = true }, false},
+		{"uncached/paranoid", func(c *SimulationConfig) { c.NoVerifyCache = true; c.ParanoidVerify = true }, false},
+	}
+	for _, seed := range []int64{1, 7} {
+		for _, tc := range equivalenceCases(t, seed) {
+			ref, err := Simulate(tc.cfg) // cached + default order: the fast path
+			if err != nil {
+				t.Fatalf("seed %d %s: %v", seed, tc.name, err)
+			}
+			if ref.VerifyCacheHits == 0 {
+				t.Errorf("seed %d %s: verify cache never hit", seed, tc.name)
+			}
+			for _, v := range variants {
+				cfg := tc.cfg
+				v.mut(&cfg)
+				got, err := Simulate(cfg)
+				if err != nil {
+					t.Fatalf("seed %d %s/%s: %v", seed, tc.name, v.name, err)
+				}
+				assertSimEquivalent(t, fmt.Sprintf("seed %d %s/%s", seed, tc.name, v.name), ref, got)
+				if hit := got.VerifyCacheHits > 0; hit != v.wantHits {
+					t.Errorf("seed %d %s/%s: VerifyCacheHits=%d, want hits=%v",
+						seed, tc.name, v.name, got.VerifyCacheHits, v.wantHits)
+				}
+			}
+		}
+	}
+}
+
+// TestLazyDiscardFires: flooding re-delivers every edge many times, so the
+// header-first lazy decode must actually short-circuit duplicates — a
+// regression guard against the fast path silently decoding everything.
+func TestLazyDiscardFires(t *testing.T) {
+	res, err := Simulate(SimulationConfig{Graph: Ring(12), T: 1, Seed: 5, SchemeName: "hmac"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.LazyDiscards == 0 {
+		t.Error("no duplicate was discarded from the header alone")
+	}
+	if res.DecideCacheHits == 0 {
+		t.Error("identical views did not share a connectivity computation")
+	}
+	// Paranoid mode decodes fully before the duplicate check, so the lazy
+	// counter must stay zero there.
+	res, err = Simulate(SimulationConfig{
+		Graph: Ring(12), T: 1, Seed: 5, SchemeName: "hmac", ParanoidVerify: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.LazyDiscards != 0 {
+		t.Errorf("paranoid run reported %d lazy discards", res.LazyDiscards)
+	}
+}
+
 // TestEngineV2EarlyExitFires: on quiescence-friendly scenarios the engine
 // must actually fast-forward (ActiveRounds < Rounds) — a regression guard
 // so the optimization cannot silently turn into a no-op.
@@ -173,6 +267,7 @@ func TestExperimentEquivalence(t *testing.T) {
 		}{
 			{"full-horizon", func(s *ExperimentSpec) { s.FullHorizon = true }},
 			{"engine-parallel", func(s *ExperimentSpec) { s.EngineParallel = true }},
+			{"no-verify-cache", func(s *ExperimentSpec) { s.NoVerifyCache = true }},
 		} {
 			spec := base
 			variant.mut(&spec)

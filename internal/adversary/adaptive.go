@@ -196,7 +196,10 @@ func (a *Adaptive) Emit(round int) []rounds.Send {
 		return nil
 	case ActStale:
 		prev := a.held
-		a.held = out
+		// Held across one or more round boundaries (a later ActSilent can
+		// extend the delay): copy, since the inner protocol reuses its
+		// encode arena (rounds.Protocol buffer contract).
+		a.held = copySends(out)
 		return prev
 	case ActEquivocate:
 		all := append(a.flush(), out...)

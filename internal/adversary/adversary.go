@@ -36,6 +36,31 @@ func (Silent) Deliver(int, ids.NodeID, []byte) {}
 // Quiescent implements rounds.Quiescer: a crashed node never speaks.
 func (Silent) Quiescent() bool { return true }
 
+// copySends deep-copies a batch of sends. The engine contract bounds
+// Send.Data lifetime to the emitting round (protocols reuse encode
+// arenas), so wrappers that hold a batch back for a later round — the
+// stale-replay family — must own the bytes they retain. Fan-out batches
+// share one buffer across consecutive sends; the copy preserves that
+// sharing (one copy per distinct buffer), which also keeps the router's
+// identity-based broadcast-dedup fast path effective on replay.
+func copySends(in []rounds.Send) []rounds.Send {
+	if len(in) == 0 {
+		return nil
+	}
+	out := make([]rounds.Send, len(in))
+	var lastSrc, lastCopy []byte
+	for i, s := range in {
+		if len(s.Data) > 0 && len(lastSrc) == len(s.Data) && &lastSrc[0] == &s.Data[0] {
+			out[i] = rounds.Send{To: s.To, Data: lastCopy}
+			continue
+		}
+		lastSrc = s.Data
+		lastCopy = append([]byte(nil), s.Data...)
+		out[i] = rounds.Send{To: s.To, Data: lastCopy}
+	}
+	return out
+}
+
 // OutFilter wraps an inner protocol and drops every outgoing message the
 // Keep predicate rejects. Incoming traffic reaches the inner protocol
 // unchanged. It is the building block for "behaves correctly except

@@ -123,7 +123,9 @@ func NewNectarStaleReplay(inner *nectar.Node) *NectarStaleReplay {
 // Emit implements rounds.Protocol.
 func (a *NectarStaleReplay) Emit(round int) []rounds.Send {
 	out := a.prev
-	a.prev = a.inner.Emit(round)
+	// Held across a round boundary: copy, since the inner node's encode
+	// arena is reused at its next Emit (rounds.Protocol buffer contract).
+	a.prev = copySends(a.inner.Emit(round))
 	return out
 }
 

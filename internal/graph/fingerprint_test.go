@@ -1,0 +1,66 @@
+package graph
+
+import (
+	"testing"
+
+	"github.com/nectar-repro/nectar/internal/ids"
+)
+
+func TestFingerprintEqualGraphsMatch(t *testing.T) {
+	g := New(9)
+	h := New(9)
+	edges := [][2]ids.NodeID{{0, 1}, {1, 2}, {3, 7}, {2, 8}, {4, 5}}
+	for _, e := range edges {
+		g.AddEdge(e[0], e[1])
+	}
+	// Same edge set inserted in a different order.
+	for i := len(edges) - 1; i >= 0; i-- {
+		h.AddEdge(edges[i][1], edges[i][0])
+	}
+	if g.Fingerprint() != h.Fingerprint() {
+		t.Error("equal graphs produced different fingerprints")
+	}
+	if !g.Equal(h) {
+		t.Fatal("test fixture broken: graphs differ")
+	}
+}
+
+func TestFingerprintDistinguishes(t *testing.T) {
+	base := New(9)
+	base.AddEdge(0, 1)
+	fp := base.Fingerprint()
+
+	oneMore := base.Clone()
+	oneMore.AddEdge(5, 6)
+	if oneMore.Fingerprint() == fp {
+		t.Error("extra edge not reflected in fingerprint")
+	}
+	otherEdge := New(9)
+	otherEdge.AddEdge(0, 2)
+	if otherEdge.Fingerprint() == fp {
+		t.Error("different edge not reflected in fingerprint")
+	}
+	// Same (empty) edge set, different vertex count.
+	if New(8).Fingerprint() == New(9).Fingerprint() {
+		t.Error("vertex count not reflected in fingerprint")
+	}
+	// Bit packing must not smear edges across row boundaries: two
+	// single-edge graphs whose edges land in adjacent bit positions.
+	a, b := New(20), New(20)
+	a.AddEdge(0, 18)
+	b.AddEdge(0, 19)
+	if a.Fingerprint() == b.Fingerprint() {
+		t.Error("adjacent bit positions collide")
+	}
+}
+
+func TestFingerprintMutationTracksState(t *testing.T) {
+	g := New(6)
+	g.AddEdge(1, 4)
+	fp1 := g.Fingerprint()
+	g.AddEdge(2, 3)
+	g.RemoveEdge(2, 3)
+	if g.Fingerprint() != fp1 {
+		t.Error("add+remove did not restore the fingerprint")
+	}
+}

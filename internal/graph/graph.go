@@ -11,6 +11,8 @@
 package graph
 
 import (
+	"crypto/sha256"
+	"encoding/binary"
 	"fmt"
 	"sort"
 	"strings"
@@ -205,6 +207,46 @@ func (g *Graph) Equal(h *Graph) bool {
 		}
 	}
 	return true
+}
+
+// Fingerprint returns a canonical digest of the graph: two graphs have
+// equal fingerprints iff they have the same vertex count and edge set
+// (up to SHA-256 collisions). NECTAR's decision memoization keys the
+// expensive connectivity predicate by view fingerprint (DESIGN.md §9);
+// a collision-resistant hash is required there because Byzantine nodes
+// influence the views being compared.
+func (g *Graph) Fingerprint() [32]byte {
+	h := sha256.New()
+	var hdr [8]byte
+	binary.BigEndian.PutUint64(hdr[:], uint64(g.n))
+	h.Write(hdr[:])
+	// Pack the upper triangle of the adjacency matrix row-major, eight
+	// cells per byte.
+	var acc byte
+	nbits := 0
+	flush := func(bit byte) {
+		acc = acc<<1 | bit
+		nbits++
+		if nbits == 8 {
+			h.Write([]byte{acc})
+			acc, nbits = 0, 0
+		}
+	}
+	for u := 0; u < g.n; u++ {
+		for v := u + 1; v < g.n; v++ {
+			if g.adj[u][v] {
+				flush(1)
+			} else {
+				flush(0)
+			}
+		}
+	}
+	if nbits > 0 {
+		h.Write([]byte{acc << (8 - nbits)})
+	}
+	var out [32]byte
+	h.Sum(out[:0])
+	return out
 }
 
 // RemoveVertices returns a copy of g in which every vertex in drop has all

@@ -110,10 +110,19 @@ type nodeDecision struct {
 	confirmed bool
 }
 
+// perfCounters aggregates one trial's fast-path observability counters
+// (DESIGN.md §9). NECTAR only; always zero for the baselines.
+type perfCounters struct {
+	verifyCacheHits   int64
+	verifyCacheMisses int64
+	lazyDiscards      int64
+	decideCacheHits   int64
+}
+
 // buildTrial wires one trial: a protocol stack per vertex (correct nodes
 // plus wrapped Byzantine behaviours) and a finish function reading every
 // node's decision after the run (entries for Byzantine nodes are zero).
-func buildTrial(spec *Spec, sc *Scenario, scheme sig.Scheme, trialSeed int64) ([]rounds.Protocol, func() []nodeDecision, error) {
+func buildTrial(spec *Spec, sc *Scenario, scheme sig.Scheme, trialSeed int64) ([]rounds.Protocol, func() ([]nodeDecision, perfCounters), error) {
 	switch spec.Protocol {
 	case ProtoNectar:
 		return buildNectar(spec, sc, scheme, trialSeed)
@@ -125,37 +134,51 @@ func buildTrial(spec *Spec, sc *Scenario, scheme sig.Scheme, trialSeed int64) ([
 	return nil, nil, fmt.Errorf("harness: unknown protocol %q", spec.Protocol)
 }
 
-func buildNectar(spec *Spec, sc *Scenario, scheme sig.Scheme, trialSeed int64) ([]rounds.Protocol, func() []nodeDecision, error) {
-	protos, nodes, err := nectarStack(spec, sc, scheme, trialSeed)
+func buildNectar(spec *Spec, sc *Scenario, scheme sig.Scheme, trialSeed int64) ([]rounds.Protocol, func() ([]nodeDecision, perfCounters), error) {
+	protos, nodes, vcache, err := nectarStack(spec, sc, scheme, trialSeed)
 	if err != nil {
 		return nil, nil, err
 	}
-	finish := func() []nodeDecision {
+	finish := func() ([]nodeDecision, perfCounters) {
+		// Near-identical views across nodes (Lemma 2) share one
+		// connectivity computation via the per-trial decision memo.
+		dc := nectar.NewDecideCache()
 		out := make([]nodeDecision, sc.Graph.N())
+		var pc perfCounters
 		for i, nd := range nodes {
 			if sc.Byz.Has(ids.NodeID(i)) {
 				continue
 			}
-			o := nd.Decide()
+			o := nd.DecideShared(dc)
 			out[i] = nodeDecision{
 				detected:  o.Decision == nectar.Partitionable,
 				key:       o.Decision.String(),
 				confirmed: o.Confirmed,
 			}
+			pc.lazyDiscards += int64(nd.Stats().LazyDiscards)
 		}
-		return out
+		pc.verifyCacheHits, pc.verifyCacheMisses = vcache.Stats()
+		pc.decideCacheHits = dc.Hits()
+		return out, pc
 	}
 	return protos, finish, nil
 }
 
 // nectarStack builds the per-vertex protocol stack (correct NECTAR nodes
 // plus wrapped Byzantine behaviours) and returns the underlying nodes for
-// white-box inspection.
-func nectarStack(spec *Spec, sc *Scenario, scheme sig.Scheme, trialSeed int64) ([]rounds.Protocol, []*nectar.Node, error) {
+// white-box inspection, plus the per-trial verification memo (nil when
+// disabled by Spec.NoVerifyCache).
+func nectarStack(spec *Spec, sc *Scenario, scheme sig.Scheme, trialSeed int64) ([]rounds.Protocol, []*nectar.Node, *sig.VerifyCache, error) {
 	g := sc.Graph
-	nodes, err := nectar.BuildNodes(g, spec.T, scheme, spec.Rounds)
+	var opts []nectar.BuildOption
+	var vcache *sig.VerifyCache
+	if !spec.NoVerifyCache {
+		vcache = sig.NewVerifyCache()
+		opts = append(opts, nectar.WithVerifyCache(vcache))
+	}
+	nodes, err := nectar.BuildNodes(g, spec.T, scheme, spec.Rounds, opts...)
 	if err != nil {
-		return nil, nil, err
+		return nil, nil, nil, err
 	}
 	protos := make([]rounds.Protocol, g.N())
 	for i, nd := range nodes {
@@ -208,13 +231,13 @@ func nectarStack(spec *Spec, sc *Scenario, scheme sig.Scheme, trialSeed int64) (
 		case AttackPhased:
 			protos[b] = coord.Join(inner, b, nbrs, adversary.StaleThenEquivocate(adversary.PhasedSwitchRound(horizon)))
 		default:
-			return nil, nil, fmt.Errorf("harness: attack %q not defined for NECTAR", spec.Attack)
+			return nil, nil, nil, fmt.Errorf("harness: attack %q not defined for NECTAR", spec.Attack)
 		}
 	}
-	return protos, nodes, nil
+	return protos, nodes, vcache, nil
 }
 
-func buildMtG(spec *Spec, sc *Scenario, scheme sig.Scheme, trialSeed int64) ([]rounds.Protocol, func() []nodeDecision, error) {
+func buildMtG(spec *Spec, sc *Scenario, scheme sig.Scheme, trialSeed int64) ([]rounds.Protocol, func() ([]nodeDecision, perfCounters), error) {
 	g := sc.Graph
 	protos := make([]rounds.Protocol, g.N())
 	nodes := make([]*mtg.Node, g.N())
@@ -248,7 +271,7 @@ func buildMtG(spec *Spec, sc *Scenario, scheme sig.Scheme, trialSeed int64) ([]r
 			return nil, nil, fmt.Errorf("harness: attack %q not defined for MtG", spec.Attack)
 		}
 	}
-	finish := func() []nodeDecision {
+	finish := func() ([]nodeDecision, perfCounters) {
 		out := make([]nodeDecision, g.N())
 		for i, nd := range nodes {
 			if sc.Byz.Has(ids.NodeID(i)) {
@@ -257,12 +280,12 @@ func buildMtG(spec *Spec, sc *Scenario, scheme sig.Scheme, trialSeed int64) ([]r
 			o := nd.Decide()
 			out[i] = nodeDecision{detected: o.Partitioned, key: fmt.Sprintf("partitioned=%v", o.Partitioned)}
 		}
-		return out
+		return out, perfCounters{}
 	}
 	return protos, finish, nil
 }
 
-func buildMtGv2(spec *Spec, sc *Scenario, scheme sig.Scheme, trialSeed int64) ([]rounds.Protocol, func() []nodeDecision, error) {
+func buildMtGv2(spec *Spec, sc *Scenario, scheme sig.Scheme, trialSeed int64) ([]rounds.Protocol, func() ([]nodeDecision, perfCounters), error) {
 	g := sc.Graph
 	protos := make([]rounds.Protocol, g.N())
 	nodes := make([]*mtg.NodeV2, g.N())
@@ -295,7 +318,7 @@ func buildMtGv2(spec *Spec, sc *Scenario, scheme sig.Scheme, trialSeed int64) ([
 			return nil, nil, fmt.Errorf("harness: attack %q not defined for MtGv2", spec.Attack)
 		}
 	}
-	finish := func() []nodeDecision {
+	finish := func() ([]nodeDecision, perfCounters) {
 		out := make([]nodeDecision, g.N())
 		for i, nd := range nodes {
 			if sc.Byz.Has(ids.NodeID(i)) {
@@ -304,7 +327,7 @@ func buildMtGv2(spec *Spec, sc *Scenario, scheme sig.Scheme, trialSeed int64) ([
 			o := nd.Decide()
 			out[i] = nodeDecision{detected: o.Partitioned, key: fmt.Sprintf("partitioned=%v", o.Partitioned)}
 		}
-		return out
+		return out, perfCounters{}
 	}
 	return protos, finish, nil
 }

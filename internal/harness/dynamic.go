@@ -139,12 +139,16 @@ func runDynamicTrial(spec *DynamicSpec, trial int) (DynamicTrial, error) {
 	}
 	n := sched.Base.N()
 
+	// One decision memo per trial (scheme-independent); one verification
+	// memo per epoch (a memo must never outlive its scheme's key set).
+	dc := nectar.NewDecideCache()
 	build := func(epoch int, g *graph.Graph, absent ids.Set, seed int64) (*dynamic.Stack, error) {
 		scheme := sig.ByName(spec.SchemeName, n, seed)
 		if scheme == nil {
 			return nil, fmt.Errorf("unknown scheme %q", spec.SchemeName)
 		}
-		nodes, err := nectar.BuildNodes(g, spec.T, scheme, spec.EpochRounds)
+		nodes, err := nectar.BuildNodes(g, spec.T, scheme, spec.EpochRounds,
+			nectar.WithVerifyCache(sig.NewVerifyCache()))
 		if err != nil {
 			return nil, err
 		}
@@ -164,7 +168,7 @@ func runDynamicTrial(spec *DynamicSpec, trial int) (DynamicTrial, error) {
 					if absent.Has(id) {
 						continue
 					}
-					o := nd.Decide()
+					o := nd.DecideShared(dc)
 					out[id] = dynamic.Verdict{
 						Partitionable: o.Decision == nectar.Partitionable,
 						Key:           o.Decision.String() + "/" + strconv.FormatBool(o.Confirmed),

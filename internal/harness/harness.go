@@ -50,6 +50,11 @@ type Spec struct {
 	// every trial through all rounds. Results are identical either way;
 	// used by equivalence tests and round-complexity ablations.
 	FullHorizon bool
+	// NoVerifyCache disables the per-trial signature-verification memo
+	// (NECTAR only, see DESIGN.md §9). Verification is deterministic, so
+	// results are identical either way; the knob exists for equivalence
+	// tests and crypto-cost ablations.
+	NoVerifyCache bool
 }
 
 // Truth is the scenario's ground truth, computed from the generated graph
@@ -100,6 +105,16 @@ type Trial struct {
 	// (equal to Rounds when no early exit happened).
 	Rounds       int
 	ActiveRounds int
+	// VerifyCacheHits / VerifyCacheMisses count signature verifications
+	// served from / delegated by the per-trial memo (NECTAR only, 0 when
+	// disabled or for baselines). LazyDiscards counts duplicates discarded
+	// from the edge header alone, before any chain decode. DecideCacheHits
+	// counts decision-phase connectivity computations shared across nodes
+	// with identical views. See DESIGN.md §9.
+	VerifyCacheHits   int64
+	VerifyCacheMisses int64
+	LazyDiscards      int64
+	DecideCacheHits   int64
 }
 
 // Result aggregates all trials of a Spec.
@@ -117,6 +132,11 @@ type Result struct {
 	// ActiveRounds summarizes per-trial engine rounds actually executed
 	// (quiescence early exit makes this < the horizon on most topologies).
 	ActiveRounds stats.Summary
+	// VerifyCacheHitRate summarizes the per-trial fraction of signature
+	// verifications served from the memo (0 when the cache is disabled);
+	// LazyDiscards summarizes per-trial header-only duplicate discards.
+	VerifyCacheHitRate stats.Summary
+	LazyDiscards       stats.Summary
 }
 
 // KBPerNode returns the mean unicast data sent per node in kilobytes.
@@ -209,11 +229,12 @@ func runTrial(spec *Spec, trial int) (Trial, error) {
 	if err != nil {
 		return Trial{}, err
 	}
-	return score(spec, sc, finish(), metrics), nil
+	decisions, pc := finish()
+	return score(spec, sc, decisions, pc, metrics), nil
 }
 
 // score computes the trial metrics over correct nodes.
-func score(spec *Spec, sc *Scenario, decisions []nodeDecision, m *rounds.Metrics) Trial {
+func score(spec *Spec, sc *Scenario, decisions []nodeDecision, pc perfCounters, m *rounds.Metrics) Trial {
 	truth := Truth{
 		GraphPartitioned:   sc.Graph.IsPartitioned(),
 		CorrectPartitioned: !sc.Graph.InducedSubgraphConnected(sc.Byz),
@@ -239,7 +260,13 @@ func score(spec *Spec, sc *Scenario, decisions []nodeDecision, m *rounds.Metrics
 		expected = truth.TByzPartitionable
 	}
 
-	t := Trial{Truth: truth, Agreement: true, Rounds: m.Rounds, ActiveRounds: m.ActiveRounds}
+	t := Trial{
+		Truth: truth, Agreement: true, Rounds: m.Rounds, ActiveRounds: m.ActiveRounds,
+		VerifyCacheHits:   pc.verifyCacheHits,
+		VerifyCacheMisses: pc.verifyCacheMisses,
+		LazyDiscards:      pc.lazyDiscards,
+		DecideCacheHits:   pc.decideCacheHits,
+	}
 	var correct, detected, confirmed, accurate int
 	var bytesSum, bytesMax, bcastSum int64
 	firstKey := ""
@@ -305,5 +332,12 @@ func aggregate(spec Spec, trials []Trial) *Result {
 		MaxBytes:       stats.Summarize(pick(func(t Trial) float64 { return t.MaxBytesPerNode })),
 		BroadcastBytes: stats.Summarize(pick(func(t Trial) float64 { return t.MeanBroadcastBytes })),
 		ActiveRounds:   stats.Summarize(pick(func(t Trial) float64 { return float64(t.ActiveRounds) })),
+		VerifyCacheHitRate: stats.Summarize(pick(func(t Trial) float64 {
+			if total := t.VerifyCacheHits + t.VerifyCacheMisses; total > 0 {
+				return float64(t.VerifyCacheHits) / float64(total)
+			}
+			return 0
+		})),
+		LazyDiscards: stats.Summarize(pick(func(t Trial) float64 { return float64(t.LazyDiscards) })),
 	}
 }

@@ -33,7 +33,7 @@ func buildForInspection(spec *Spec) (*Scenario, []rounds.Protocol, []*nectar.Nod
 	if scheme == nil {
 		return nil, nil, nil, fmt.Errorf("harness: unknown scheme %q", spec.SchemeName)
 	}
-	protos, nodes, err := nectarStack(spec, sc, scheme, trialSeed)
+	protos, nodes, _, err := nectarStack(spec, sc, scheme, trialSeed)
 	if err != nil {
 		return nil, nil, nil, err
 	}

@@ -18,6 +18,13 @@ func WithParanoidVerify() BuildOption {
 	return func(c *Config) { c.ParanoidVerify = true }
 }
 
+// WithVerifyCache shares a signature-verification memo across every node
+// built — the per-trial cache of the fast path (DESIGN.md §9). Outcomes
+// are bit-identical with and without it; see Config.VerifyCache.
+func WithVerifyCache(cache *sig.VerifyCache) BuildOption {
+	return func(c *Config) { c.VerifyCache = cache }
+}
+
 // BuildNodes constructs one correct NECTAR node per vertex of g, with
 // setup-time proofs of neighborhood built under scheme. t is the assumed
 // Byzantine bound handed to every node; roundsOverride (0 = default n-1)

@@ -4,6 +4,7 @@ import (
 	"errors"
 	"fmt"
 
+	"github.com/nectar-repro/nectar/internal/graph"
 	"github.com/nectar-repro/nectar/internal/ids"
 	"github.com/nectar-repro/nectar/internal/sig"
 	"github.com/nectar-repro/nectar/internal/wire"
@@ -21,9 +22,30 @@ type EdgeMsg struct {
 // Encode serializes the message with fixed-width signatures.
 func (m EdgeMsg) Encode(sigSize int) []byte {
 	w := wire.NewWriter(proofWireSize(sigSize) + 2 + len(m.Chain)*sig.HopWireSize(sigSize))
+	m.encodeTo(w, sigSize)
+	return w.Bytes()
+}
+
+// encodeTo appends the encoded message to w — the arena-reuse entry point
+// of the emit path: Node encodes a whole round into one scratch Writer and
+// hands out sub-slices (DESIGN.md §9).
+func (m EdgeMsg) encodeTo(w *wire.Writer, sigSize int) {
 	m.Proof.encode(w, sigSize)
 	sig.EncodeHops(w, m.Chain, sigSize)
-	return w.Bytes()
+}
+
+// Copy returns a deep copy of the message whose signature slices own their
+// memory. Decoding with decodeEdgeMsgNoCopy aliases the delivered buffer;
+// a node that accepts (and therefore retains) the message copies it first.
+func (m EdgeMsg) Copy() EdgeMsg {
+	m.Proof.SigU = append([]byte(nil), m.Proof.SigU...)
+	m.Proof.SigV = append([]byte(nil), m.Proof.SigV...)
+	chain := make([]sig.Hop, len(m.Chain))
+	for i, h := range m.Chain {
+		chain[i] = sig.Hop{Signer: h.Signer, Sig: append([]byte(nil), h.Sig...)}
+	}
+	m.Chain = chain
+	return m
 }
 
 // MsgWireSize returns the encoded size of an EdgeMsg whose chain has the
@@ -32,16 +54,45 @@ func MsgWireSize(sigSize, hops int) int {
 	return proofWireSize(sigSize) + 2 + hops*sig.HopWireSize(sigSize)
 }
 
+// DecodeEdgeHeader reads only the leading edge endpoints of an encoded
+// EdgeMsg, validating their structure (in range, canonical U < V order)
+// and nothing else. It is the allocation-free first step of the lazy
+// header-first decode (DESIGN.md §9): a flood delivers every edge many
+// times, and duplicates are identified from these 8 bytes alone — no
+// signature bytes are touched, no hop slice is allocated.
+func DecodeEdgeHeader(data []byte, n int) (graph.Edge, error) {
+	r := wire.ReaderOf(data)
+	u, v := r.NodeID(), r.NodeID()
+	if err := r.Err(); err != nil {
+		return graph.Edge{}, err
+	}
+	if u >= v || int(v) >= n {
+		return graph.Edge{}, errBadProof
+	}
+	return graph.Edge{U: u, V: v}, nil
+}
+
 // DecodeEdgeMsg parses an EdgeMsg, validating structure only (framing,
 // endpoint ranges, full consumption). Signature validity, chain length and
-// signer policy are checked separately by Node.acceptable.
+// signer policy are checked separately by checkMsg. The result owns its
+// memory; the hot path uses decodeEdgeMsgNoCopy and copies only accepted
+// messages.
 func DecodeEdgeMsg(data []byte, sigSize, n int) (EdgeMsg, error) {
-	r := wire.NewReader(data)
-	p, err := decodeProof(r, sigSize, n)
+	m, err := decodeEdgeMsgNoCopy(data, sigSize, n)
 	if err != nil {
 		return EdgeMsg{}, err
 	}
-	chain := sig.DecodeHops(r, sigSize)
+	return m.Copy(), nil
+}
+
+// decodeEdgeMsgNoCopy parses an EdgeMsg whose signature slices alias data.
+func decodeEdgeMsgNoCopy(data []byte, sigSize, n int) (EdgeMsg, error) {
+	r := wire.ReaderOf(data)
+	p, err := decodeProofNoCopy(&r, sigSize, n)
+	if err != nil {
+		return EdgeMsg{}, err
+	}
+	chain := sig.DecodeHopsNoCopy(&r, sigSize)
 	if err := r.Close(); err != nil {
 		return EdgeMsg{}, err
 	}

@@ -7,7 +7,28 @@ import (
 	"github.com/nectar-repro/nectar/internal/ids"
 	"github.com/nectar-repro/nectar/internal/rounds"
 	"github.com/nectar-repro/nectar/internal/sig"
+	"github.com/nectar-repro/nectar/internal/wire"
 )
+
+// countingVerifier routes a node's verifications through the shared
+// VerifyCache while attributing hits to the node's own Stats. Nodes are
+// single-goroutine (see Node), so the unsynchronized counter is safe; the
+// cache itself is concurrency-safe.
+type countingVerifier struct {
+	v    sig.Verifier
+	c    *sig.VerifyCache
+	hits *int
+}
+
+func (cv countingVerifier) Verify(signer ids.NodeID, msg, sg []byte) bool {
+	ok, hit := cv.c.Verify(cv.v, signer, msg, sg)
+	if hit {
+		*cv.hits++
+	}
+	return ok
+}
+
+func (cv countingVerifier) SigSize() int { return cv.v.SigSize() }
 
 // Decision is NECTAR's output (§III-D).
 type Decision int
@@ -79,6 +100,12 @@ type Config struct {
 	// O(m·deg) to O(m) chains per node (DESIGN.md §2). Exposed as an
 	// ablation knob; decisions are identical either way.
 	ParanoidVerify bool
+	// VerifyCache, when non-nil, memoizes signature verifications.
+	// Verification is deterministic for every provided scheme, so the memo
+	// is semantics-preserving; share one cache across the nodes of a trial
+	// so signatures re-verified at every recipient of a flood are checked
+	// once (DESIGN.md §9). Nil disables memoization.
+	VerifyCache *sig.VerifyCache
 }
 
 // Stats counts a node's message-handling outcomes; useful to tests and
@@ -87,10 +114,20 @@ type Stats struct {
 	// Accepted counts first-reception edges stored and scheduled for relay.
 	Accepted int
 	// Duplicates counts messages discarded because the edge was already
-	// known (no verification spent, see DESIGN.md §2).
+	// known (no verification spent, see DESIGN.md §2). In the default
+	// (non-paranoid) mode duplicates are classified from the edge header
+	// alone, so a duplicate with a malformed tail still counts here, not
+	// under Rejected — honest senders never produce such messages.
 	Duplicates int
 	// Rejected counts structurally invalid or signature-failing messages.
 	Rejected int
+	// LazyDiscards counts duplicates discarded by the header-first lazy
+	// decode before the chain was parsed or any hop allocated (DESIGN.md
+	// §9). Always 0 in paranoid mode, which fully decodes first.
+	LazyDiscards int
+	// VerifyCacheHits counts signature verifications this node served from
+	// the shared VerifyCache (0 when no cache is configured).
+	VerifyCacheHits int
 }
 
 // relayItem is a first-received edge message queued for relay in the next
@@ -109,10 +146,18 @@ type relayItem struct {
 type Node struct {
 	cfg     Config
 	nRounds int
+	ver     sig.Verifier // effective verifier: cfg.Verifier, cache-wrapped when configured
 	view    *graph.Graph // Gi: the discovered adjacency
 	queue   []relayItem  // filled in Deliver(r), drained by Emit(r+1)
 	started bool         // round-1 neighborhood announcement has been emitted
 	stats   Stats
+	// Emit-side allocation reuse (DESIGN.md §9): every message of a round
+	// is encoded into one scratch arena and the send headers into one
+	// reusable slice. Both are reset at the next Emit — safe because the
+	// engine contract bounds Data lifetime to the round, and the Deliver
+	// side copies what it retains.
+	enc     wire.Writer
+	sendBuf []rounds.Send
 }
 
 var _ rounds.Protocol = (*Node)(nil)
@@ -142,6 +187,10 @@ func NewNode(cfg Config) (*Node, error) {
 	if nd.nRounds == 0 {
 		nd.nRounds = cfg.N - 1
 	}
+	nd.ver = cfg.Verifier
+	if cfg.VerifyCache != nil {
+		nd.ver = countingVerifier{v: cfg.Verifier, c: cfg.VerifyCache, hits: &nd.stats.VerifyCacheHits}
+	}
 	seen := make(ids.Set, len(cfg.Neighbors))
 	for _, nb := range cfg.Neighbors {
 		if nb == cfg.Me || int(nb) >= cfg.N {
@@ -158,7 +207,7 @@ func NewNode(cfg Config) (*Node, error) {
 		if p.Edge != graph.NewEdge(cfg.Me, nb) {
 			return nil, fmt.Errorf("nectar: proof for %v has edge %v", nb, p.Edge)
 		}
-		if !p.Verify(cfg.Verifier) {
+		if !p.Verify(nd.ver) {
 			return nil, fmt.Errorf("nectar: proof for neighbor %v does not verify", nb)
 		}
 		nd.view.AddEdge(cfg.Me, nb)
@@ -177,28 +226,32 @@ func (nd *Node) Rounds() int { return nd.nRounds }
 // (ll. 9-12).
 func (nd *Node) Emit(round int) []rounds.Send {
 	nd.started = true
+	// Reset the per-round scratch: the previous round's sends have been
+	// delivered (and copied by any retainer), so arena and send headers
+	// are free for reuse — zero steady-state allocation on the emit path.
+	nd.enc.Reset()
+	out := nd.sendBuf[:0]
 	if round == 1 {
-		out := make([]rounds.Send, 0, len(nd.cfg.Neighbors)*len(nd.cfg.Neighbors))
 		for _, j := range nd.cfg.Neighbors {
 			p := nd.cfg.Proofs[j]
 			msg := EdgeMsg{
 				Proof: p,
 				Chain: sig.AppendHop(nd.cfg.Signer, proofStatement(p.Edge), nil),
 			}
-			data := msg.Encode(nd.cfg.Verifier.SigSize())
+			data := nd.encodeMsg(msg)
 			for _, dest := range nd.cfg.Neighbors {
 				out = append(out, rounds.Send{To: dest, Data: data})
 			}
 		}
+		nd.sendBuf = out
 		return out
 	}
-	var out []rounds.Send
 	for _, item := range nd.queue {
 		relay := EdgeMsg{
 			Proof: item.msg.Proof,
 			Chain: sig.AppendHop(nd.cfg.Signer, proofStatement(item.msg.Proof.Edge), item.msg.Chain),
 		}
-		data := relay.Encode(nd.cfg.Verifier.SigSize())
+		data := nd.encodeMsg(relay)
 		for _, dest := range nd.cfg.Neighbors {
 			if dest != item.from {
 				out = append(out, rounds.Send{To: dest, Data: data})
@@ -206,38 +259,80 @@ func (nd *Node) Emit(round int) []rounds.Send {
 		}
 	}
 	nd.queue = nd.queue[:0]
+	nd.sendBuf = out
 	return out
+}
+
+// encodeMsg appends m to the node's encode arena and returns the encoded
+// sub-slice. A mid-round arena growth leaves earlier sub-slices pointing
+// into the old backing array — still intact, since Reset only truncates
+// the current one at the next Emit.
+func (nd *Node) encodeMsg(m EdgeMsg) []byte {
+	start := nd.enc.Len()
+	m.encodeTo(&nd.enc, nd.cfg.Verifier.SigSize())
+	return nd.enc.Bytes()[start:]
 }
 
 // Deliver implements rounds.Protocol (Alg. 1 ll. 13-15). Invalid messages
 // are ignored; an edge already in Gi is discarded before any signature
 // work; a first-seen valid edge is recorded and queued for relay in the
 // next round.
+//
+// The default mode decodes lazily, header first (DESIGN.md §9): the edge
+// endpoints live in the first 8 bytes, and duplicates — the dominant case
+// in a flood — are discarded from them alone, before the chain is parsed
+// or a single hop allocated. Only messages that survive the duplicate
+// check are fully decoded (zero-copy, aliasing data) and verified; only
+// accepted messages are copied into owned memory for relay.
 func (nd *Node) Deliver(round int, from ids.NodeID, data []byte) {
-	m, err := DecodeEdgeMsg(data, nd.cfg.Verifier.SigSize(), nd.cfg.N)
+	sigSize := nd.cfg.Verifier.SigSize()
+	if nd.cfg.ParanoidVerify {
+		// Literal Alg. 1 order: full decode and verification first, then
+		// the duplicate check.
+		m, err := decodeEdgeMsgNoCopy(data, sigSize, nd.cfg.N)
+		if err != nil {
+			nd.stats.Rejected++
+			return
+		}
+		if err := checkMsg(nd.ver, m, from, round); err != nil {
+			nd.stats.Rejected++
+			return
+		}
+		if nd.view.HasEdge(m.Proof.Edge.U, m.Proof.Edge.V) {
+			nd.stats.Duplicates++
+			return
+		}
+		nd.accept(m, from)
+		return
+	}
+	e, err := DecodeEdgeHeader(data, nd.cfg.N)
 	if err != nil {
 		nd.stats.Rejected++
 		return
 	}
-	if nd.cfg.ParanoidVerify {
-		if err := checkMsg(nd.cfg.Verifier, m, from, round); err != nil {
-			nd.stats.Rejected++
-			return
-		}
-		if nd.view.HasEdge(m.Proof.Edge.U, m.Proof.Edge.V) {
-			nd.stats.Duplicates++
-			return
-		}
-	} else {
-		if nd.view.HasEdge(m.Proof.Edge.U, m.Proof.Edge.V) {
-			nd.stats.Duplicates++
-			return
-		}
-		if err := checkMsg(nd.cfg.Verifier, m, from, round); err != nil {
-			nd.stats.Rejected++
-			return
-		}
+	if nd.view.HasEdge(e.U, e.V) {
+		nd.stats.Duplicates++
+		nd.stats.LazyDiscards++
+		return
 	}
+	m, err := decodeEdgeMsgNoCopy(data, sigSize, nd.cfg.N)
+	if err != nil {
+		nd.stats.Rejected++
+		return
+	}
+	if err := checkMsg(nd.ver, m, from, round); err != nil {
+		nd.stats.Rejected++
+		return
+	}
+	nd.accept(m, from)
+}
+
+// accept records a first-seen valid edge and queues the message for relay.
+// The message aliases the delivered buffer, whose lifetime ends with the
+// round, so it is copied into owned memory here — the only copy on the
+// deliver path, paid once per distinct edge.
+func (nd *Node) accept(m EdgeMsg, from ids.NodeID) {
+	m = m.Copy()
 	nd.view.AddEdge(m.Proof.Edge.U, m.Proof.Edge.V)
 	nd.queue = append(nd.queue, relayItem{msg: m, from: from})
 	nd.stats.Accepted++
@@ -252,9 +347,18 @@ func (nd *Node) Quiescent() bool { return nd.started && len(nd.queue) == 0 }
 // graph: NOT_PARTITIONABLE iff κ(Gi) > t and all n nodes are reachable;
 // otherwise PARTITIONABLE, with confirmed = true exactly when some node
 // is unreachable.
-func (nd *Node) Decide() Outcome {
+func (nd *Node) Decide() Outcome { return nd.DecideShared(nil) }
+
+// DecideShared is Decide with the connectivity predicate memoized through
+// c (nil runs it directly). By Lemma 2 correct nodes converge to identical
+// views, so the expensive κ(Gi) > t max-flow — identical for identical
+// views — runs once per distinct view per trial instead of once per node
+// (DESIGN.md §9). The per-node reachability BFS (which depends on the
+// local identity) is always computed directly; outcomes are bit-identical
+// with and without a cache.
+func (nd *Node) DecideShared(c *DecideCache) Outcome {
 	r := nd.view.CountReachable(nd.cfg.Me)
-	kOverT := nd.view.ConnectivityAtLeast(nd.cfg.T + 1)
+	kOverT := c.connectivityAtLeast(nd.view, nd.cfg.T+1)
 	out := Outcome{Reachable: r, ConnectivityOverT: kOverT}
 	if kOverT && r == nd.cfg.N {
 		out.Decision = NotPartitionable

@@ -79,9 +79,11 @@ func (p Proof) encode(w *wire.Writer, sigSize int) {
 // errBadProof reports structurally invalid proofs (range, canonical order).
 var errBadProof = errors.New("nectar: structurally invalid proof")
 
-// decodeProof reads a proof written by encode, validating structure: both
-// endpoints in [0, n), distinct, and in canonical U < V order.
-func decodeProof(r *wire.Reader, sigSize, n int) (Proof, error) {
+// decodeProofNoCopy reads a proof written by encode, validating structure:
+// both endpoints in [0, n), distinct, and in canonical U < V order. The
+// signature slices alias the reader's input — callers that retain the
+// proof past the input's lifetime must copy (EdgeMsg.Copy).
+func decodeProofNoCopy(r *wire.Reader, sigSize, n int) (Proof, error) {
 	u, v := r.NodeID(), r.NodeID()
 	sigU := r.Raw(sigSize)
 	sigV := r.Raw(sigSize)
@@ -93,8 +95,8 @@ func decodeProof(r *wire.Reader, sigSize, n int) (Proof, error) {
 	}
 	return Proof{
 		Edge: graph.Edge{U: u, V: v},
-		SigU: append([]byte(nil), sigU...),
-		SigV: append([]byte(nil), sigV...),
+		SigU: sigU,
+		SigV: sigV,
 	}, nil
 }
 

@@ -62,7 +62,7 @@ func TestProofEncodeDecodeRoundTrip(t *testing.T) {
 		t.Errorf("encoded %d bytes, want %d", w.Len(), proofWireSize(v.SigSize()))
 	}
 	r := wire.NewReader(w.Bytes())
-	got, err := decodeProof(r, v.SigSize(), 6)
+	got, err := decodeProofNoCopy(r, v.SigSize(), 6)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -92,7 +92,7 @@ func TestDecodeProofRejectsStructuralGarbage(t *testing.T) {
 	for _, tc := range tests {
 		t.Run(tc.name, func(t *testing.T) {
 			r := wire.NewReader(tc.data)
-			if _, err := decodeProof(r, sigSize, 8); err == nil {
+			if _, err := decodeProofNoCopy(r, sigSize, 8); err == nil {
 				t.Error("structurally invalid proof accepted")
 			}
 		})

@@ -46,6 +46,14 @@ type Send struct {
 // delivers each emitted message to its recipient via Deliver(r, ...).
 // Implementations need not be safe for concurrent use; the engine never
 // calls a single node concurrently.
+//
+// Buffer ownership (DESIGN.md §9): Send.Data and the slice returned by
+// Emit stay owned by the emitting node and must remain unmodified only
+// until the end of the round's delivery phase — the engine retains
+// neither, so nodes may encode into per-round scratch arenas. Conversely,
+// the data handed to Deliver is only valid for the duration of the call;
+// a protocol (or wrapper) that retains messages across rounds — to relay,
+// delay, or replay them — must copy them.
 type Protocol interface {
 	// Emit returns the messages the node sends in round r.
 	Emit(round int) []Send
@@ -245,6 +253,7 @@ type engine struct {
 	outboxes  [][]Send
 	shards    []*routeShard
 	inboxes   [][]delivery // per-recipient merged+shuffled inbox, reused
+	rngs      []*rand.Rand // per-worker shuffle RNGs, reseeded per recipient
 }
 
 // Run drives nodes through cfg.Rounds synchronous rounds and returns the
@@ -303,6 +312,14 @@ func Run(cfg Config, nodes []Protocol) (*Metrics, error) {
 			inbox: make([][]delivery, n),
 			seen:  make(map[uint64]bool),
 		}
+	}
+	// One reusable shuffle RNG per worker: delivery used to allocate a
+	// fresh rand.Rand per recipient per round; reseeding reproduces the
+	// exact same stream (Rand.Seed resets the source to NewSource state),
+	// so delivery orders are byte-identical to the allocating version.
+	e.rngs = make([]*rand.Rand, workers)
+	for w := range e.rngs {
+		e.rngs[w] = rand.New(rand.NewSource(0))
 	}
 	// Early exit is sound only when every node can attest quiescence;
 	// one opaque protocol forces the full horizon.
@@ -368,9 +385,9 @@ func (e *engine) run() {
 		// order), then shuffled with a round/recipient-specific seed so
 		// protocols cannot accidentally rely on sender-ordered delivery,
 		// yet runs stay reproducible.
-		parallelChunks(e.n, e.workers, func(_, lo, hi int) {
+		parallelChunks(e.n, e.workers, func(w, lo, hi int) {
 			for i := lo; i < hi; i++ {
-				e.deliver(i, r)
+				e.deliver(w, i, r)
 			}
 		})
 
@@ -395,8 +412,20 @@ func (e *engine) run() {
 func (e *engine) route(sh *routeShard, round, lo, hi int) {
 	m := e.m
 	for i := lo; i < hi; i++ {
+		if len(e.outboxes[i]) == 0 {
+			// Quiescent sender: skip the map clear (most nodes are silent
+			// on most rounds once discovery finishes).
+			e.outboxes[i] = nil
+			continue
+		}
 		from := ids.NodeID(i)
 		clear(sh.seen)
+		// Fan-out sends share one encoded buffer per payload, so the
+		// broadcast-dedup hash of consecutive sends over the same slice is
+		// memoized by identity (same pointer and length imply same content
+		// — never a behaviour change). The seen map still catches
+		// non-consecutive or re-encoded repeats by content.
+		var lastData []byte
 		for k, s := range e.outboxes[i] {
 			if s.To == from || int(s.To) >= e.n || !e.g.HasEdge(from, s.To) {
 				sh.droppedNonEdge++
@@ -406,9 +435,15 @@ func (e *engine) route(sh *routeShard, round, lo, hi int) {
 			m.BytesSent[i] += size
 			sh.bytesThisRound += size
 			m.MsgsSent[i]++
-			if h := fnv64(s.Data); !sh.seen[h] {
-				sh.seen[h] = true
-				m.BytesBroadcast[i] += size
+			if len(s.Data) > 0 && len(lastData) == len(s.Data) && &lastData[0] == &s.Data[0] {
+				// Same payload as the previous routed send: its hash is in
+				// seen and BytesBroadcast already counted it this round.
+			} else {
+				if h := fnv64(s.Data); !sh.seen[h] {
+					sh.seen[h] = true
+					m.BytesBroadcast[i] += size
+				}
+				lastData = s.Data
 			}
 			if e.cfg.LossRate > 0 && lossDraw(e.cfg.Seed, round, i, k) < e.cfg.LossRate {
 				sh.droppedLoss++
@@ -422,7 +457,8 @@ func (e *engine) route(sh *routeShard, round, lo, hi int) {
 
 // deliver merges recipient i's staged messages, shuffles, and delivers.
 // Only this call touches shard entry i, so truncating it here is safe.
-func (e *engine) deliver(i, round int) {
+// w selects the calling worker's reusable shuffle RNG.
+func (e *engine) deliver(w, i, round int) {
 	inbox := e.inboxes[i][:0]
 	for _, sh := range e.shards {
 		inbox = append(inbox, sh.inbox[i]...)
@@ -432,7 +468,8 @@ func (e *engine) deliver(i, round int) {
 	if len(inbox) == 0 {
 		return
 	}
-	rng := rand.New(rand.NewSource(e.cfg.Seed ^ int64(round)<<20 ^ int64(i)))
+	rng := e.rngs[w]
+	rng.Seed(e.cfg.Seed ^ int64(round)<<20 ^ int64(i))
 	rng.Shuffle(len(inbox), func(a, b int) {
 		inbox[a], inbox[b] = inbox[b], inbox[a]
 	})

@@ -17,15 +17,43 @@ type Hop struct {
 	Sig    []byte
 }
 
+// chainTag is the domain-separation prefix of every chain signing input.
+var chainTag = []byte("chain-v1")
+
+// chainInputSize returns the encoded size of the signing input for hop
+// #len(prefix): the domain tag, the length-prefixed payload, and every
+// previous hop.
+func chainInputSize(payload []byte, prefix []Hop) int {
+	n := len(chainTag) + 4 + len(payload)
+	for _, h := range prefix {
+		n += 8 + len(h.Sig)
+	}
+	return n
+}
+
+// chainInputStart seeds a signing-input buffer with the domain tag and the
+// length-prefixed payload; hops are appended with chainInputHop. Building
+// the input incrementally keeps chain verification O(total bytes) instead
+// of re-concatenating the payload‖prefix per hop — O(R²) for an R-hop
+// chain (DESIGN.md §9).
+func chainInputStart(w *wire.Writer, payload []byte) {
+	w.Raw(chainTag)
+	w.LenBytes(payload)
+}
+
+// chainInputHop appends one hop to a signing-input buffer.
+func chainInputHop(w *wire.Writer, h Hop) {
+	w.NodeID(h.Signer)
+	w.LenBytes(h.Sig)
+}
+
 // chainInput builds the byte string hop #len(prefix) signs: a domain tag,
 // the payload, and every previous hop.
 func chainInput(payload []byte, prefix []Hop) []byte {
-	w := wire.NewWriter(16 + len(payload) + len(prefix)*(4+Ed25519SigSize))
-	w.Raw([]byte("chain-v1"))
-	w.LenBytes(payload)
+	w := wire.MakeWriter(chainInputSize(payload, prefix))
+	chainInputStart(&w, payload)
 	for _, h := range prefix {
-		w.NodeID(h.Signer)
-		w.LenBytes(h.Sig)
+		chainInputHop(&w, h)
 	}
 	return w.Bytes()
 }
@@ -44,10 +72,23 @@ func AppendHop(s Signer, payload []byte, chain []Hop) []Hop {
 // VerifyChain reports whether every hop of the chain carries a valid
 // signature over the payload and its prefix. An empty chain verifies
 // trivially.
+//
+// The signing input grows by one hop per link, so the chain is verified
+// against a single incrementally extended buffer: one allocation total
+// instead of one quadratically sized rebuild per hop. The bytes handed to
+// v for hop i are exactly chainInput(payload, chain[:i]).
 func VerifyChain(v Verifier, payload []byte, chain []Hop) bool {
+	if len(chain) == 0 {
+		return true
+	}
+	w := wire.MakeWriter(chainInputSize(payload, chain[:len(chain)-1]))
+	chainInputStart(&w, payload)
 	for i, h := range chain {
-		if !v.Verify(h.Signer, chainInput(payload, chain[:i]), h.Sig) {
+		if !v.Verify(h.Signer, w.Bytes(), h.Sig) {
 			return false
+		}
+		if i < len(chain)-1 {
+			chainInputHop(&w, h)
 		}
 	}
 	return true
@@ -87,8 +128,20 @@ func EncodeHops(w *wire.Writer, chain []Hop, sigSize int) {
 }
 
 // DecodeHops reads a chain written by EncodeHops. On malformed input the
-// reader's error state is set and nil is returned.
+// reader's error state is set and nil is returned. Hop signatures own
+// their memory; the hot path uses DecodeHopsNoCopy.
 func DecodeHops(r *wire.Reader, sigSize int) []Hop {
+	chain := DecodeHopsNoCopy(r, sigSize)
+	for i := range chain {
+		chain[i].Sig = append([]byte(nil), chain[i].Sig...)
+	}
+	return chain
+}
+
+// DecodeHopsNoCopy reads a chain written by EncodeHops with hop signatures
+// aliasing the reader's input — callers that retain the chain past the
+// input's lifetime must copy the signatures.
+func DecodeHopsNoCopy(r *wire.Reader, sigSize int) []Hop {
 	count := int(r.U16())
 	if r.Err() != nil {
 		return nil
@@ -100,11 +153,10 @@ func DecodeHops(r *wire.Reader, sigSize int) []Hop {
 	chain := make([]Hop, 0, count)
 	for i := 0; i < count; i++ {
 		h := Hop{Signer: r.NodeID()}
-		raw := r.Raw(sigSize)
+		h.Sig = r.Raw(sigSize)
 		if r.Err() != nil {
 			return nil
 		}
-		h.Sig = append([]byte(nil), raw...)
 		chain = append(chain, h)
 	}
 	return chain

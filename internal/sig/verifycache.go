@@ -1,0 +1,128 @@
+package sig
+
+import (
+	"bytes"
+	"sync"
+	"sync/atomic"
+
+	"github.com/nectar-repro/nectar/internal/ids"
+)
+
+// maxCachedSigSize bounds the fixed-width signature slot of a cache key.
+// Every provided scheme fits (Ed25519 and HMAC tags are 64 bytes); larger
+// signatures simply bypass the cache.
+const maxCachedSigSize = 64
+
+// verifyKey identifies a (signer, signature) pair. The signed message is
+// not part of the key — it is compared byte-for-byte against the stored
+// entry on lookup, which is both cheaper than hashing the message into the
+// key and immune to hash collisions an adversary might engineer.
+type verifyKey struct {
+	signer ids.NodeID
+	sigLen uint8
+	sig    [maxCachedSigSize]byte
+}
+
+// verifyEntry records one memoized verification: the exact message the
+// signature was checked against and the verifier's verdict.
+type verifyEntry struct {
+	msg []byte
+	ok  bool
+}
+
+// VerifyCache memoizes signature verifications. Verification is a pure
+// function of (signer, message, signature) for every deterministic scheme
+// (Ed25519, HMAC, and the insecure ablation all qualify), so returning a
+// recorded verdict is semantics-preserving — flooding protocols re-verify
+// the same hop signatures at every recipient, and the memo collapses that
+// Θ(n·deg) repetition to one real verification per distinct signature
+// (DESIGN.md §9).
+//
+// VerifyCache is safe for concurrent use; share one per simulated trial
+// (trial-level parallelism then stays contention-free, since distinct
+// trials use distinct caches). Soundness does not depend on hashing: a
+// hit requires the stored message to equal the queried message exactly,
+// so colliding keys merely fall through to the real verifier.
+type VerifyCache struct {
+	mu     sync.RWMutex
+	m      map[verifyKey]verifyEntry
+	hits   atomic.Int64
+	misses atomic.Int64
+}
+
+// NewVerifyCache returns an empty cache.
+func NewVerifyCache() *VerifyCache {
+	return &VerifyCache{m: make(map[verifyKey]verifyEntry)}
+}
+
+// Verify checks sg over msg by signer, consulting the memo first. It
+// reports the verdict and whether it was served from the cache. A nil
+// receiver always delegates to v, so call sites can plumb an optional
+// cache without branching.
+func (c *VerifyCache) Verify(v Verifier, signer ids.NodeID, msg, sg []byte) (ok, hit bool) {
+	if c == nil || len(sg) > maxCachedSigSize {
+		return v.Verify(signer, msg, sg), false
+	}
+	k := verifyKey{signer: signer, sigLen: uint8(len(sg))}
+	copy(k.sig[:], sg)
+	c.mu.RLock()
+	e, found := c.m[k]
+	c.mu.RUnlock()
+	if found && bytes.Equal(e.msg, msg) {
+		c.hits.Add(1)
+		return e.ok, true
+	}
+	ok = v.Verify(signer, msg, sg)
+	c.misses.Add(1)
+	if !found {
+		// First verdict for this (signer, sig) wins the slot; the message
+		// must be copied — verification inputs are built in reusable
+		// buffers (VerifyChain extends one in place).
+		c.mu.Lock()
+		if _, exists := c.m[k]; !exists {
+			c.m[k] = verifyEntry{msg: append([]byte(nil), msg...), ok: ok}
+		}
+		c.mu.Unlock()
+	}
+	return ok, false
+}
+
+// Stats returns the cumulative hit and miss counts.
+func (c *VerifyCache) Stats() (hits, misses int64) {
+	if c == nil {
+		return 0, 0
+	}
+	return c.hits.Load(), c.misses.Load()
+}
+
+// Len returns the number of memoized verdicts.
+func (c *VerifyCache) Len() int {
+	if c == nil {
+		return 0
+	}
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return len(c.m)
+}
+
+// cachedVerifier decorates a Verifier with a VerifyCache.
+type cachedVerifier struct {
+	v Verifier
+	c *VerifyCache
+}
+
+func (cv cachedVerifier) Verify(signer ids.NodeID, msg, sg []byte) bool {
+	ok, _ := cv.c.Verify(cv.v, signer, msg, sg)
+	return ok
+}
+
+func (cv cachedVerifier) SigSize() int { return cv.v.SigSize() }
+
+// Cached returns a Verifier that consults c before delegating to v. A nil
+// cache returns v unchanged.
+func Cached(v Verifier, c *VerifyCache) Verifier {
+	if c == nil {
+		return v
+	}
+	return cachedVerifier{v: v, c: c}
+}

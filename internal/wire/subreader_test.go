@@ -1,0 +1,86 @@
+package wire
+
+import (
+	"bytes"
+	"testing"
+)
+
+func TestReaderOfIsAllocationFree(t *testing.T) {
+	w := NewWriter(16)
+	w.U32(7)
+	w.U32(9)
+	data := w.Bytes()
+	allocs := testing.AllocsPerRun(100, func() {
+		r := ReaderOf(data)
+		if r.U32() != 7 || r.U32() != 9 || r.Err() != nil {
+			t.Fatal("value reader decoded wrong values")
+		}
+	})
+	if allocs != 0 {
+		t.Errorf("value Reader allocates %.1f objects/op, want 0", allocs)
+	}
+}
+
+func TestReaderSub(t *testing.T) {
+	w := NewWriter(32)
+	w.U32(0xAABBCCDD)
+	w.Raw([]byte("inner"))
+	w.U16(0x1234)
+	r := ReaderOf(w.Bytes())
+	if r.U32() != 0xAABBCCDD {
+		t.Fatal("prefix decode failed")
+	}
+	sub := r.Sub(5)
+	if got := sub.Raw(5); !bytes.Equal(got, []byte("inner")) {
+		t.Errorf("sub reader read %q", got)
+	}
+	if err := sub.Close(); err != nil {
+		t.Errorf("sub close: %v", err)
+	}
+	// The outer reader advanced past the sub-slice.
+	if r.U16() != 0x1234 {
+		t.Error("outer reader did not advance past Sub")
+	}
+	if err := r.Close(); err != nil {
+		t.Errorf("outer close: %v", err)
+	}
+}
+
+func TestReaderSubTruncated(t *testing.T) {
+	r := ReaderOf([]byte{1, 2})
+	sub := r.Sub(5)
+	if r.Err() == nil {
+		t.Error("outer reader not failed on oversized Sub")
+	}
+	if sub.Err() == nil {
+		t.Error("sub reader of truncated input reports no error")
+	}
+}
+
+func TestWriterReset(t *testing.T) {
+	w := MakeWriter(8)
+	w.U32(1)
+	w.U32(2)
+	if w.Len() != 8 {
+		t.Fatalf("len %d, want 8", w.Len())
+	}
+	w.Reset()
+	if w.Len() != 0 {
+		t.Fatalf("len after Reset %d, want 0", w.Len())
+	}
+	w.U32(3)
+	r := ReaderOf(w.Bytes())
+	if r.U32() != 3 || r.Close() != nil {
+		t.Error("writer unusable after Reset")
+	}
+	// Reset keeps capacity: appending within it must not reallocate.
+	w.Reset()
+	allocs := testing.AllocsPerRun(100, func() {
+		w.Reset()
+		w.U32(4)
+		w.U32(5)
+	})
+	if allocs != 0 {
+		t.Errorf("reset-reuse allocates %.1f objects/op, want 0", allocs)
+	}
+}

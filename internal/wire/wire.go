@@ -35,6 +35,17 @@ func NewWriter(capacity int) *Writer {
 	return &Writer{buf: make([]byte, 0, capacity)}
 }
 
+// MakeWriter returns a by-value Writer with the given capacity hint. Value
+// writers let hot paths encode without heap-allocating the Writer itself
+// (only the byte buffer escapes, and only if the caller retains it).
+func MakeWriter(capacity int) Writer {
+	return Writer{buf: make([]byte, 0, capacity)}
+}
+
+// Reset truncates the Writer to empty while keeping its capacity, so one
+// Writer can serve as a reusable encode arena across rounds.
+func (w *Writer) Reset() { w.buf = w.buf[:0] }
+
 // Bytes returns the encoded bytes. The slice is owned by the Writer until
 // the Writer is discarded.
 func (w *Writer) Bytes() []byte { return w.buf }
@@ -84,6 +95,24 @@ type Reader struct {
 
 // NewReader returns a Reader over data. The Reader does not copy data.
 func NewReader(data []byte) *Reader { return &Reader{data: data} }
+
+// ReaderOf returns a by-value Reader over data. Value readers decode
+// sub-slices of a message without any heap allocation — the header-first
+// lazy decode of the NECTAR hot path peeks at message prefixes this way
+// (DESIGN.md §9). The Reader does not copy data.
+func ReaderOf(data []byte) Reader { return Reader{data: data} }
+
+// Sub returns a by-value Reader over the next n bytes and advances r past
+// them, allowing a framed sub-message to be decoded without copying. On
+// truncation r enters its sticky error state and the returned Reader
+// reports the same error.
+func (r *Reader) Sub(n int) Reader {
+	b := r.take(n)
+	if b == nil {
+		return Reader{err: r.err}
+	}
+	return Reader{data: b}
+}
 
 // Err returns the first decoding error, if any.
 func (r *Reader) Err() error { return r.err }

@@ -131,3 +131,23 @@ func WithParanoidVerify() BuildOption { return inectar.WithParanoidVerify() }
 func BuildNodes(g *Graph, t int, scheme Scheme, roundsOverride int, opts ...BuildOption) ([]*Node, error) {
 	return inectar.BuildNodes(g, t, scheme, roundsOverride, opts...)
 }
+
+// VerifyCache memoizes signature verifications across the nodes of a run
+// (DESIGN.md §9). Verification is deterministic for every provided
+// scheme, so sharing verdicts is semantics-preserving; Simulate and the
+// experiment harness create one per trial by default.
+type VerifyCache = sig.VerifyCache
+
+// NewVerifyCache returns an empty verification memo.
+func NewVerifyCache() *VerifyCache { return sig.NewVerifyCache() }
+
+// WithVerifyCache shares a verification memo across every node built.
+func WithVerifyCache(c *VerifyCache) BuildOption { return inectar.WithVerifyCache(c) }
+
+// DecideCache memoizes the decision phase's connectivity predicate across
+// nodes with identical discovered views (DESIGN.md §9). Pass it to
+// Node.DecideShared; outcomes are bit-identical with and without it.
+type DecideCache = inectar.DecideCache
+
+// NewDecideCache returns an empty decision memo.
+func NewDecideCache() *DecideCache { return inectar.NewDecideCache() }

@@ -1,0 +1,26 @@
+#!/usr/bin/env bash
+# Regenerate BENCH_baseline.json — the committed perf trajectory of the
+# paper's evaluation benchmarks (Figs. 3-7) plus the hot-path
+# micro-benchmarks (BenchmarkDeliver, BenchmarkVerifyChain, DESIGN.md §9).
+#
+# Future PRs compare against this file with:
+#   go run ./cmd/benchdiff compare BENCH_baseline.json new.json
+# (CI does this automatically, warn-only; see .github/workflows/ci.yml.)
+#
+# Usage: scripts/bench.sh            # 3 iterations per benchmark
+#        BENCHTIME=10x scripts/bench.sh
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+BENCHTIME="${BENCHTIME:-3x}"
+PATTERN='^(BenchmarkFig[34567]|BenchmarkDeliver$|BenchmarkEmitRelay$|BenchmarkVerifyChain$)'
+OUT="${OUT:-BENCH_baseline.json}"
+RAW="$(mktemp)"
+trap 'rm -f "$RAW"' EXIT
+
+go test -run='^$' -bench "$PATTERN" -benchmem -benchtime "$BENCHTIME" -count 1 \
+  . ./internal/nectar ./internal/sig | tee "$RAW"
+
+go run ./cmd/benchdiff parse -note "scripts/bench.sh -benchtime $BENCHTIME" \
+  < "$RAW" > "$OUT"
+echo "wrote $OUT ($(grep -c '"name"' "$OUT") benchmarks)"

@@ -86,6 +86,16 @@ type SimulationConfig struct {
 	// all rounds to execute. Results are identical either way; the knob
 	// exists for equivalence testing and round-complexity ablations.
 	FullHorizon bool
+	// NoVerifyCache disables the run-wide signature-verification memo
+	// (DESIGN.md §9). Verification is deterministic, so results are
+	// identical either way; the knob exists for equivalence testing and
+	// crypto-cost ablations.
+	NoVerifyCache bool
+	// ParanoidVerify applies the literal Alg. 1 check order on every node
+	// (signature verification before the duplicate discard) instead of the
+	// default lazy header-first decode. Decisions are identical either
+	// way; see Config.ParanoidVerify.
+	ParanoidVerify bool
 }
 
 // SimulationResult reports the decisions and traffic of one execution.
@@ -111,6 +121,16 @@ type SimulationResult struct {
 	// less than Rounds when every node went quiescent early (§IV-E), in
 	// which case the remaining rounds were provably silent and skipped.
 	ActiveRounds int
+	// VerifyCacheHits / VerifyCacheMisses count signature verifications
+	// served from / delegated by the run's memo (both 0 with
+	// NoVerifyCache). LazyDiscards counts duplicates correct nodes
+	// discarded from the edge header alone; DecideCacheHits counts
+	// decision-phase connectivity computations shared across nodes with
+	// identical views. See DESIGN.md §9.
+	VerifyCacheHits   int64
+	VerifyCacheMisses int64
+	LazyDiscards      int64
+	DecideCacheHits   int64
 }
 
 // Simulate runs NECTAR on cfg.Graph with goroutine-per-core lockstep
@@ -132,7 +152,16 @@ func Simulate(cfg SimulationConfig) (*SimulationResult, error) {
 		return nil, err
 	}
 
-	nodes, err := BuildNodes(cfg.Graph, cfg.T, scheme, cfg.Rounds)
+	var opts []BuildOption
+	var vcache *sig.VerifyCache
+	if !cfg.NoVerifyCache {
+		vcache = sig.NewVerifyCache()
+		opts = append(opts, WithVerifyCache(vcache))
+	}
+	if cfg.ParanoidVerify {
+		opts = append(opts, WithParanoidVerify())
+	}
+	nodes, err := BuildNodes(cfg.Graph, cfg.T, scheme, cfg.Rounds, opts...)
 	if err != nil {
 		return nil, err
 	}
@@ -170,14 +199,16 @@ func Simulate(cfg SimulationConfig) (*SimulationResult, error) {
 		Rounds:         r,
 		ActiveRounds:   metrics.ActiveRounds,
 	}
+	dc := NewDecideCache()
 	first := true
 	for i, nd := range nodes {
 		id := NodeID(i)
 		if byz.Has(id) {
 			continue
 		}
-		o := nd.Decide()
+		o := nd.DecideShared(dc)
 		res.Outcomes[id] = o
+		res.LazyDiscards += int64(nd.Stats().LazyDiscards)
 		if o.Confirmed {
 			res.Confirmed = true
 		}
@@ -188,6 +219,8 @@ func Simulate(cfg SimulationConfig) (*SimulationResult, error) {
 			res.Agreement = false
 		}
 	}
+	res.VerifyCacheHits, res.VerifyCacheMisses = vcache.Stats()
+	res.DecideCacheHits = dc.Hits()
 	return res, nil
 }
 
