@@ -3,10 +3,18 @@
 // Byzantine-resilience tables. Results are printed as ASCII plots/tables
 // and written as CSV files for external plotting.
 //
+// All requested experiments run as ONE scheduled plan (DESIGN.md §10):
+// trial units from every figure and table share a single bounded worker
+// pool (-jobs), per-trial records can stream to a JSONL checkpoint
+// (-stream), and an interrupted sweep resumes from it (-resume) — with
+// aggregates bit-identical regardless of parallelism or resume point.
+//
 // Usage:
 //
 //	nectar-bench [flags] <experiment>...
 //	nectar-bench -quick all
+//	nectar-bench -jobs 8 -stream results/trials.jsonl all
+//	nectar-bench -jobs 8 -stream results/trials.jsonl -resume all
 //
 // Experiments: fig3 fig4 fig5 fig6 fig7 fig8 fig8-n20 fig8-n50
 // topo-cost byz-topo loss churn redteam all
@@ -22,6 +30,7 @@ import (
 	"strings"
 	"time"
 
+	"github.com/nectar-repro/nectar/internal/exp"
 	"github.com/nectar-repro/nectar/internal/report"
 	"github.com/nectar-repro/nectar/internal/sig"
 )
@@ -40,8 +49,11 @@ func run(args []string) error {
 	quick := fs.Bool("quick", false, "shrink grids and trial counts for a fast pass")
 	scheme := fs.String("scheme", "hmac", "signature scheme: hmac|ed25519|insecure")
 	out := fs.String("out", "results", "output directory for CSV files")
+	jobs := fs.Int("jobs", 0, "parallelism budget shared by all experiments (0 = GOMAXPROCS)")
+	stream := fs.String("stream", "", "stream per-trial records to this JSONL checkpoint file")
+	resume := fs.Bool("resume", false, "resume from the -stream checkpoint (skip completed trials)")
 	noASCII := fs.Bool("no-ascii", false, "suppress terminal plots")
-	verbose := fs.Bool("v", false, "print per-point progress")
+	verbose := fs.Bool("v", false, "print live per-trial progress")
 	list := fs.Bool("list", false, "print valid experiments and schemes and exit")
 	cpuProfile := fs.String("cpuprofile", "", "write a CPU profile of the experiment runs to this file")
 	memProfile := fs.String("memprofile", "", "write a heap profile (after the runs) to this file")
@@ -78,6 +90,9 @@ func run(args []string) error {
 		fmt.Printf("schemes:     %s\n", strings.Join(sig.Names(), " "))
 		return nil
 	}
+	if *resume && *stream == "" {
+		return fmt.Errorf("-resume needs -stream (the checkpoint to resume from)")
+	}
 	targets := fs.Args()
 	if len(targets) == 0 {
 		return fmt.Errorf("no experiments given; try: nectar-bench -quick all (or -list)")
@@ -90,22 +105,87 @@ func run(args []string) error {
 		opts.Progress = func(line string) { fmt.Fprintln(os.Stderr, "  "+line) }
 	}
 
+	// Expand "all" and de-duplicate while preserving request order (the
+	// plan rejects duplicate spec keys).
 	var expanded []string
+	seen := map[string]bool{}
 	for _, tgt := range targets {
+		ts := []string{tgt}
 		if tgt == "all" {
-			expanded = append(expanded, allExperiments()...)
+			ts = allExperiments()
+		}
+		for _, t := range ts {
+			if !seen[t] {
+				seen[t] = true
+				expanded = append(expanded, t)
+			}
+		}
+	}
+
+	cfg := report.RunConfig{Jobs: *jobs, Stream: *stream, Resume: *resume}
+	if *verbose {
+		cfg.OnUnit = func(ev exp.UnitEvent) {
+			switch {
+			case ev.Err != nil:
+				fmt.Fprintf(os.Stderr, "  [%d/%d] %s: FAILED: %v\n", ev.Done, ev.Total, ev.Key, ev.Err)
+			case ev.Resumed:
+				fmt.Fprintf(os.Stderr, "  [%d/%d] %s #%d (resumed)\n", ev.Done, ev.Total, ev.Key, ev.Unit)
+			default:
+				fmt.Fprintf(os.Stderr, "  [%d/%d] %s #%d (%v)\n",
+					ev.Done, ev.Total, ev.Key, ev.Unit, ev.Elapsed.Round(time.Millisecond))
+			}
+		}
+	}
+
+	start := time.Now()
+	rep, runErr := report.RunExperiments(expanded, opts, cfg)
+	if rep == nil {
+		return runErr
+	}
+
+	// Flush every completed output — even after a failure elsewhere in
+	// the plan — then report the first error.
+	for _, er := range rep.Experiments {
+		if er.Output == nil {
 			continue
 		}
-		expanded = append(expanded, tgt)
-	}
-	for _, tgt := range expanded {
-		start := time.Now()
-		if err := runOne(tgt, opts, *out, !*noASCII); err != nil {
-			return fmt.Errorf("%s: %w", tgt, err)
+		path := filepath.Join(*out, er.Output.ID()+".csv")
+		if err := os.WriteFile(path, []byte(er.Output.CSV()), 0o644); err != nil {
+			if runErr == nil {
+				runErr = err
+			}
+			continue
 		}
-		fmt.Printf("%s done in %v\n\n", tgt, time.Since(start).Round(time.Millisecond))
+		if !*noASCII {
+			fmt.Println(er.Output.ASCII())
+		}
+		fmt.Printf("wrote %s\n", path)
 	}
-	return nil
+
+	// Per-experiment summary: unit-time is each experiment's summed trial
+	// compute — its cost independent of how the global scheduler
+	// interleaved it with the others.
+	fmt.Println()
+	for _, er := range rep.Experiments {
+		status := "ok"
+		if er.Err != nil {
+			status = "FAILED: " + er.Err.Error()
+		}
+		resumed := ""
+		if er.Resumed > 0 {
+			resumed = fmt.Sprintf(", %d resumed", er.Resumed)
+		}
+		fmt.Printf("%-10s %3d trial units%s, unit-time %v — %s\n",
+			er.ID, er.Units, resumed, er.UnitTime.Round(time.Millisecond), status)
+	}
+	speedup := 0.0
+	if rep.Wall > 0 {
+		speedup = float64(rep.UnitTime) / float64(rep.Wall)
+	}
+	fmt.Printf("total: %v wall, %v unit-time (%.1fx parallelism, jobs=%d, %d run, %d resumed) in %v\n",
+		rep.Wall.Round(time.Millisecond), rep.UnitTime.Round(time.Millisecond),
+		speedup, rep.Jobs, rep.UnitsRun, rep.UnitsResumed, time.Since(start).Round(time.Millisecond))
+	return runErr
 }
 
 // allExperiments lists what "all" expands to.
@@ -114,76 +194,8 @@ func allExperiments() []string {
 		"topo-cost", "byz-topo", "loss", "churn", "redteam"}
 }
 
-// experiments lists every runnable target for -list (the "all" set plus
-// the named variants).
+// experiments lists every runnable target for -list (the registry plus
+// the "all" alias).
 func experiments() []string {
-	return append(allExperiments(), "fig8-n20", "fig8-n50", "all")
-}
-
-func runOne(target string, opts report.Options, outDir string, ascii bool) error {
-	switch target {
-	case "fig3":
-		return emitFigure(report.Fig3, opts, outDir, ascii)
-	case "fig4":
-		return emitFigure(report.Fig4, opts, outDir, ascii)
-	case "fig5":
-		return emitFigure(report.Fig5, opts, outDir, ascii)
-	case "fig6":
-		return emitFigure(report.Fig6, opts, outDir, ascii)
-	case "fig7":
-		return emitFigure(report.Fig7, opts, outDir, ascii)
-	case "fig8":
-		return emitFigure(report.Fig8, opts, outDir, ascii)
-	case "fig8-n20":
-		return emitFigure(func(o report.Options) (*report.Figure, error) {
-			return report.Fig8N(20, o)
-		}, opts, outDir, ascii)
-	case "fig8-n50":
-		return emitFigure(func(o report.Options) (*report.Figure, error) {
-			return report.Fig8N(50, o)
-		}, opts, outDir, ascii)
-	case "topo-cost":
-		return emitTable(report.TopoCost, opts, outDir, ascii)
-	case "byz-topo":
-		return emitTable(report.ByzTopo, opts, outDir, ascii)
-	case "loss":
-		return emitTable(report.LossTable, opts, outDir, ascii)
-	case "churn":
-		return emitTable(report.ChurnTable, opts, outDir, ascii)
-	case "redteam":
-		return emitTable(report.FrontierTable, opts, outDir, ascii)
-	}
-	return fmt.Errorf("unknown experiment %q (valid: %s)", target, strings.Join(experiments(), ", "))
-}
-
-func emitFigure(build func(report.Options) (*report.Figure, error), opts report.Options, outDir string, ascii bool) error {
-	fig, err := build(opts)
-	if err != nil {
-		return err
-	}
-	path := filepath.Join(outDir, fig.ID+".csv")
-	if err := os.WriteFile(path, []byte(fig.CSV()), 0o644); err != nil {
-		return err
-	}
-	if ascii {
-		fmt.Println(fig.ASCII(72, 18))
-	}
-	fmt.Printf("wrote %s\n", path)
-	return nil
-}
-
-func emitTable(build func(report.Options) (*report.Table, error), opts report.Options, outDir string, ascii bool) error {
-	tbl, err := build(opts)
-	if err != nil {
-		return err
-	}
-	path := filepath.Join(outDir, tbl.ID+".csv")
-	if err := os.WriteFile(path, []byte(tbl.CSV()), 0o644); err != nil {
-		return err
-	}
-	if ascii {
-		fmt.Println(tbl.ASCII())
-	}
-	fmt.Printf("wrote %s\n", path)
-	return nil
+	return append(report.ExperimentIDs(), "all")
 }

@@ -47,6 +47,7 @@ func run(args []string, out *os.File) error {
 	seed := fs.Int64("seed", 1, "random seed (the whole run reproduces from it)")
 	scheme := fs.String("scheme", "hmac", "signature scheme: hmac|ed25519|insecure")
 	rounds := fs.Int("rounds", 0, "engine horizon override (0 = n-1)")
+	jobs := fs.Int("jobs", 0, "parallelism budget for candidate evaluations (0 = GOMAXPROCS; never changes results)")
 	asJSON := fs.Bool("json", false, "emit JSON instead of text")
 	verbose := fs.Bool("v", false, "print the full search trace")
 	list := fs.Bool("list", false, "print valid attacks, objectives, optimizers, topologies, schemes and exit")
@@ -71,6 +72,7 @@ func run(args []string, out *os.File) error {
 		Seed:            *seed,
 		SchemeName:      *scheme,
 		Rounds:          *rounds,
+		Jobs:            *jobs,
 	})
 	if err != nil {
 		return err

@@ -55,6 +55,7 @@ func run(args []string) error {
 	churnRate := fs.Float64("churn-rate", 0.02,
 		"per-round link down probability (flap) or node leave probability (nodes)")
 	drift := fs.Float64("drift", 0.5, "barycenter separation added per epoch (mobility)")
+	workers := fs.Int("workers", 0, "engine worker cap (0 = GOMAXPROCS; never changes results)")
 	asJSON := fs.Bool("json", false, "emit JSON instead of text")
 	list := fs.Bool("list", false, "print valid behaviors, schemes, topologies, churn workloads and exit")
 	if err := fs.Parse(args); err != nil {
@@ -118,7 +119,7 @@ func run(args []string) error {
 			kind: *churn, t: *t, seed: *seed, scheme: *scheme,
 			epochRounds: *rounds, epochs: *epochs, rate: *churnRate,
 			drift: *drift, byzantine: byzantine, blocked: blockedMap,
-			asJSON: *asJSON,
+			workers: *workers, asJSON: *asJSON,
 		})
 	}
 
@@ -135,6 +136,7 @@ func run(args []string) error {
 		Rounds:     *rounds,
 		Byzantine:  byzantine,
 		Blocked:    blockedMap,
+		Workers:    *workers,
 	})
 	if err != nil {
 		return err
@@ -194,6 +196,7 @@ type dynFlags struct {
 	epochs      int
 	rate        float64
 	drift       float64
+	workers     int
 	byzantine   map[nectar.NodeID]nectar.Behavior
 	blocked     map[nectar.NodeID][]nectar.NodeID
 	asJSON      bool
@@ -261,6 +264,7 @@ func runDynamic(topo *cliutil.TopologyFlags, f dynFlags) error {
 		Epochs:      f.epochs,
 		Byzantine:   f.byzantine,
 		Blocked:     f.blocked,
+		Workers:     f.workers,
 	})
 	if err != nil {
 		return err

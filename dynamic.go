@@ -98,6 +98,9 @@ type DynamicConfig struct {
 	Blocked map[NodeID][]NodeID
 	// FullHorizon disables the engine's quiescence early exit.
 	FullHorizon bool
+	// Workers caps each epoch's engine parallelism (0 = GOMAXPROCS).
+	// Results are identical for any worker count (DESIGN.md §6, §10).
+	Workers int
 }
 
 // EpochResult reports one epoch of a dynamic run.
@@ -275,6 +278,7 @@ func SimulateDynamic(cfg DynamicConfig) (*DynamicResult, error) {
 		EpochRounds: cfg.EpochRounds,
 		Epochs:      cfg.Epochs,
 		FullHorizon: cfg.FullHorizon,
+		Workers:     cfg.Workers,
 	}, build)
 	if err != nil {
 		return nil, err

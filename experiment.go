@@ -50,8 +50,20 @@ const (
 
 // RunExperiment executes the spec's trials and aggregates accuracy,
 // agreement and network-cost statistics with 95% confidence intervals.
+// Trials run through the plan/scheduler pipeline (DESIGN.md §10) under
+// the spec's Jobs budget (0 = GOMAXPROCS), split between trial-level and
+// engine-level workers; results are identical for any budget.
 func RunExperiment(spec ExperimentSpec) (*ExperimentResult, error) {
 	return harness.Run(spec)
+}
+
+// RunExperiments executes many specs through ONE scheduler: trial units
+// from every spec share a single bounded worker pool (cross-spec
+// parallelism — a slow spec no longer serializes the sweep), and results
+// come back in spec order, bit-identical to running each spec alone.
+// jobs = 0 means GOMAXPROCS. See DESIGN.md §10.
+func RunExperiments(specs []ExperimentSpec, jobs int) ([]*ExperimentResult, error) {
+	return harness.RunAll(specs, jobs)
 }
 
 // PlainScenario wraps a topology generator into a Byzantine-free scenario.

@@ -53,6 +53,9 @@ type Config struct {
 	Epochs int
 	// FullHorizon disables the engine's quiescence early exit.
 	FullHorizon bool
+	// Workers caps each epoch's engine parallelism (0 = GOMAXPROCS); see
+	// rounds.Config.Workers. Results are identical for any worker count.
+	Workers int
 }
 
 // EpochReport scores one epoch.
@@ -195,6 +198,7 @@ func Run(cfg Config, build BuildFn) (*Result, error) {
 			Rounds:      epochRounds,
 			Seed:        seed,
 			FullHorizon: cfg.FullHorizon,
+			Workers:     cfg.Workers,
 		}, stack.Protos)
 		if err != nil {
 			return nil, fmt.Errorf("dynamic: epoch %d: %w", e, err)

@@ -1,0 +1,319 @@
+package exp
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"runtime"
+	"sync"
+	"time"
+)
+
+// ErrInterrupted reports that Execute stopped early because
+// Options.Interrupt fired; completed units are checkpointed and the run
+// can be resumed.
+var ErrInterrupted = errors.New("exp: interrupted")
+
+// Options parameterize one Execute call.
+type Options struct {
+	// Jobs is the total parallelism budget, split between unit-level
+	// workers and each unit's engine workers by SplitBudget
+	// (0 = GOMAXPROCS, negative is invalid).
+	Jobs int
+	// UnitWorkers / EngineWorkers, when both positive, override the
+	// SplitBudget rule (the harness uses this to honor the legacy
+	// EngineParallel knob: all budget to the engine). Worker counts never
+	// change results, only wall-clock.
+	UnitWorkers, EngineWorkers int
+	// Collector, when non-nil, streams completed units to its JSONL
+	// checkpoint and serves previously completed units back (resume).
+	Collector *Collector
+	// OnUnit, when non-nil, receives one event per finished unit
+	// (possibly from concurrent workers — the callback is serialized).
+	OnUnit func(UnitEvent)
+	// Interrupt, when non-nil and closed, stops dispatching new units;
+	// in-flight units finish and are checkpointed, then Execute returns
+	// ErrInterrupted. Used for graceful kill-then-resume.
+	Interrupt <-chan struct{}
+}
+
+// UnitEvent reports one finished (or resumed) unit to Options.OnUnit.
+type UnitEvent struct {
+	// Key is the unit's spec plan key; Unit its index within the spec.
+	Key  string
+	Unit int
+	// Done / Total count finished units across the whole plan.
+	Done, Total int
+	// Resumed reports the unit was served from the checkpoint.
+	Resumed bool
+	// Elapsed is the unit's execution time (0 when resumed).
+	Elapsed time.Duration
+	// Err is the unit's failure, if any.
+	Err error
+}
+
+// SpecResult is one spec's outcome.
+type SpecResult struct {
+	Key string
+	// Aggregate is the runner's Finalize output (nil when Err is set).
+	Aggregate any
+	// Err is the spec's first unit (or finalize) error, or an
+	// incompleteness marker after an interrupt or a failure elsewhere in
+	// the plan.
+	Err error
+	// Units is the spec's unit count; Resumed how many were served from
+	// the checkpoint.
+	Units, Resumed int
+	// UnitTime sums the executed units' durations — the spec's cost
+	// independent of how the scheduler interleaved it.
+	UnitTime time.Duration
+}
+
+// Results is the outcome of one Execute call.
+type Results struct {
+	// Specs holds one result per plan spec, in plan order.
+	Specs []SpecResult
+	// Wall is the end-to-end scheduling time; UnitTime the summed
+	// execution time of all units run (Wall ≪ UnitTime under effective
+	// cross-spec parallelism).
+	Wall     time.Duration
+	UnitTime time.Duration
+	// UnitsRun / UnitsResumed count executed vs checkpoint-served units.
+	UnitsRun, UnitsResumed int
+	// Jobs, UnitWorkers, EngineWorkers echo the resolved budget split.
+	Jobs, UnitWorkers, EngineWorkers int
+
+	byKey map[string]*SpecResult
+}
+
+// Get returns the result for a plan key (nil if absent).
+func (r *Results) Get(key string) *SpecResult {
+	return r.byKey[key]
+}
+
+// unit is one schedulable work item.
+type unit struct {
+	spec int // index into plan.Specs
+	idx  int // unit index within the spec
+}
+
+// specState tracks one spec's progress during Execute.
+type specState struct {
+	fp      string // fingerprint hash
+	records []any  // per-unit decoded records
+	done    []bool
+	err     error
+	resumed int
+	unitDur time.Duration
+}
+
+// Execute runs every unit of the plan through one bounded worker pool and
+// finalizes each spec's aggregate from its records in unit order. The
+// first unit error stops dispatch (in-flight units drain and checkpoint);
+// fully completed specs still finalize, so callers can flush what
+// succeeded. Results are bit-identical for any Jobs value, any
+// interleaving, and any resume point: units are pure functions of
+// (spec, index), and every record — fresh or resumed — is normalized
+// through one JSON round trip before aggregation.
+func Execute(plan *Plan, opts Options) (*Results, error) {
+	if plan == nil || len(plan.Specs) == 0 {
+		return nil, fmt.Errorf("exp: empty plan")
+	}
+	if opts.Jobs < 0 {
+		return nil, fmt.Errorf("exp: negative Jobs %d", opts.Jobs)
+	}
+	jobs := opts.Jobs
+	if jobs == 0 {
+		jobs = runtime.GOMAXPROCS(0)
+	}
+	start := time.Now()
+
+	// Resolve states and serve resumable units from the checkpoint before
+	// sizing the pool: the budget split should reflect the units actually
+	// left to run.
+	states := make([]*specState, len(plan.Specs))
+	var pending []unit
+	total := 0
+	for si, sp := range plan.Specs {
+		n := sp.Runner.Units()
+		if n < 1 {
+			return nil, fmt.Errorf("exp: spec %q has %d units", sp.Key, n)
+		}
+		st := &specState{
+			fp:      fingerprintHash(sp.Runner.Fingerprint()),
+			records: make([]any, n),
+			done:    make([]bool, n),
+		}
+		states[si] = st
+		total += n
+		for i := 0; i < n; i++ {
+			if opts.Collector != nil {
+				if data, ok := opts.Collector.Lookup(sp.Key, st.fp, i, sp.Runner.UnitSeed(i)); ok {
+					if rec, err := sp.Runner.Decode(data); err == nil {
+						st.records[i] = rec
+						st.done[i] = true
+						st.resumed++
+						continue
+					}
+					// Undecodable checkpoint record: fall through and
+					// re-run the unit rather than poisoning the aggregate.
+				}
+			}
+			pending = append(pending, unit{spec: si, idx: i})
+		}
+	}
+	unitWorkers, engineWorkers := SplitBudget(jobs, len(pending))
+	if opts.UnitWorkers > 0 && opts.EngineWorkers > 0 {
+		unitWorkers, engineWorkers = opts.UnitWorkers, opts.EngineWorkers
+	}
+
+	res := &Results{
+		Jobs:          jobs,
+		UnitWorkers:   unitWorkers,
+		EngineWorkers: engineWorkers,
+		// Fixed capacity: byKey takes pointers into Specs as it grows.
+		Specs: make([]SpecResult, 0, len(plan.Specs)),
+		byKey: make(map[string]*SpecResult, len(plan.Specs)),
+	}
+
+	var (
+		mu       sync.Mutex
+		wg       sync.WaitGroup
+		firstErr error
+		done     int
+	)
+	emit := func(ev UnitEvent) {
+		if opts.OnUnit != nil {
+			opts.OnUnit(ev)
+		}
+	}
+	// Report resumed units up front so progress counts are monotone.
+	for si, sp := range plan.Specs {
+		st := states[si]
+		for i, ok := range st.done {
+			if ok {
+				done++
+				emit(UnitEvent{Key: sp.Key, Unit: i, Done: done, Total: total, Resumed: true})
+			}
+		}
+	}
+	res.UnitsResumed = done
+
+	work := make(chan unit)
+	wg.Add(unitWorkers)
+	for w := 0; w < unitWorkers; w++ {
+		go func() {
+			defer wg.Done()
+			for u := range work {
+				sp := plan.Specs[u.spec]
+				st := states[u.spec]
+				t0 := time.Now()
+				rec, err := sp.Runner.Run(u.idx, engineWorkers)
+				elapsed := time.Since(t0)
+				var decoded any
+				var data json.RawMessage
+				if err == nil {
+					// Normalize through JSON: the aggregate must not
+					// depend on whether a record came from memory or from
+					// a checkpoint.
+					if data, err = json.Marshal(rec); err == nil {
+						decoded, err = sp.Runner.Decode(data)
+					}
+				}
+				if err == nil && opts.Collector != nil {
+					err = opts.Collector.Append(sp.Key, st.fp, u.idx, sp.Runner.UnitSeed(u.idx), data)
+				}
+				mu.Lock()
+				st.unitDur += elapsed
+				res.UnitTime += elapsed
+				res.UnitsRun++
+				if err != nil {
+					err = fmt.Errorf("%s: unit %d: %w", sp.Key, u.idx, err)
+					if st.err == nil {
+						st.err = err
+					}
+					if firstErr == nil {
+						firstErr = err
+					}
+				} else {
+					st.records[u.idx] = decoded
+					st.done[u.idx] = true
+				}
+				done++
+				// Emitted under mu: OnUnit is documented as serialized,
+				// and Done counts must arrive monotone.
+				emit(UnitEvent{Key: sp.Key, Unit: u.idx, Done: done, Total: total, Elapsed: elapsed, Err: err})
+				mu.Unlock()
+			}
+		}()
+	}
+
+dispatch:
+	for _, u := range pending {
+		mu.Lock()
+		failed := firstErr != nil
+		mu.Unlock()
+		if failed {
+			break
+		}
+		if opts.Interrupt != nil {
+			select {
+			case <-opts.Interrupt:
+				mu.Lock()
+				if firstErr == nil {
+					firstErr = ErrInterrupted
+				}
+				mu.Unlock()
+				break dispatch
+			case work <- u:
+			}
+		} else {
+			work <- u
+		}
+	}
+	close(work)
+	wg.Wait()
+	res.Wall = time.Since(start)
+
+	// Finalize every fully completed spec; mark the rest.
+	for si, sp := range plan.Specs {
+		st := states[si]
+		sr := SpecResult{Key: sp.Key, Units: len(st.done), Resumed: st.resumed, UnitTime: st.unitDur}
+		switch {
+		case st.err != nil:
+			sr.Err = st.err
+		case !allDone(st.done):
+			sr.Err = fmt.Errorf("%s: incomplete (%w)", sp.Key, firstErrOr(firstErr))
+		default:
+			agg, err := sp.Runner.Finalize(st.records)
+			if err != nil {
+				err = fmt.Errorf("%s: finalize: %w", sp.Key, err)
+				if firstErr == nil {
+					firstErr = err
+				}
+				sr.Err = err
+			} else {
+				sr.Aggregate = agg
+			}
+		}
+		res.Specs = append(res.Specs, sr)
+		res.byKey[sp.Key] = &res.Specs[len(res.Specs)-1]
+	}
+	return res, firstErr
+}
+
+func allDone(done []bool) bool {
+	for _, d := range done {
+		if !d {
+			return false
+		}
+	}
+	return true
+}
+
+func firstErrOr(err error) error {
+	if err != nil {
+		return err
+	}
+	return ErrInterrupted
+}

@@ -3,9 +3,7 @@ package harness
 import (
 	"fmt"
 	"math/rand"
-	"runtime"
 	"strconv"
-	"sync"
 
 	"github.com/nectar-repro/nectar/internal/adversary"
 	"github.com/nectar-repro/nectar/internal/dynamic"
@@ -42,6 +40,27 @@ type DynamicSpec struct {
 	// Epochs is the number of detection epochs per trial (0 = cover the
 	// schedule horizon plus one fresh epoch).
 	Epochs int
+	// Jobs is the spec's total parallelism budget, split between
+	// trial-level workers and each trial's per-epoch engine workers
+	// exactly like Spec.Jobs (0 = GOMAXPROCS; see DESIGN.md §10).
+	Jobs int
+}
+
+// validate checks the spec and returns a copy with defaults resolved.
+func (s DynamicSpec) validate() (DynamicSpec, error) {
+	if s.Trials <= 0 {
+		return s, fmt.Errorf("harness: Trials must be positive, got %d", s.Trials)
+	}
+	if s.Schedule == nil {
+		return s, fmt.Errorf("harness: Schedule generator is required")
+	}
+	if s.Jobs < 0 {
+		return s, fmt.Errorf("harness: Jobs must be non-negative, got %d", s.Jobs)
+	}
+	if s.SchemeName == "" {
+		s.SchemeName = "hmac"
+	}
+	return s, nil
 }
 
 // DynamicTrial is the scored outcome of one dynamic run.
@@ -87,51 +106,8 @@ type DynamicResult struct {
 	ActiveRounds stats.Summary
 }
 
-// RunDynamic executes the experiment: each trial generates a schedule,
-// re-runs NECTAR epoch by epoch over it, and scores agreement, accuracy
-// against the per-epoch ground truth, and detection latency.
-func RunDynamic(spec DynamicSpec) (*DynamicResult, error) {
-	if spec.Trials <= 0 {
-		return nil, fmt.Errorf("harness: Trials must be positive, got %d", spec.Trials)
-	}
-	if spec.Schedule == nil {
-		return nil, fmt.Errorf("harness: Schedule generator is required")
-	}
-	if spec.SchemeName == "" {
-		spec.SchemeName = "hmac"
-	}
-	trials := make([]DynamicTrial, spec.Trials)
-	errs := make([]error, spec.Trials)
-	workers := runtime.GOMAXPROCS(0)
-	if workers > spec.Trials {
-		workers = spec.Trials
-	}
-	var wg sync.WaitGroup
-	next := make(chan int)
-	wg.Add(workers)
-	for w := 0; w < workers; w++ {
-		go func() {
-			defer wg.Done()
-			for i := range next {
-				trials[i], errs[i] = runDynamicTrial(&spec, i)
-			}
-		}()
-	}
-	for i := 0; i < spec.Trials; i++ {
-		next <- i
-	}
-	close(next)
-	wg.Wait()
-	for i, err := range errs {
-		if err != nil {
-			return nil, fmt.Errorf("harness: dynamic trial %d: %w", i, err)
-		}
-	}
-	return aggregateDynamic(spec, trials), nil
-}
-
-func runDynamicTrial(spec *DynamicSpec, trial int) (DynamicTrial, error) {
-	trialSeed := spec.Seed + int64(trial)*0x9E3779B9
+func runDynamicTrial(spec *DynamicSpec, trial, engineWorkers int) (DynamicTrial, error) {
+	trialSeed := trialSeedOf(spec.Seed, trial)
 	rng := rand.New(rand.NewSource(trialSeed))
 	sched, err := spec.Schedule(rng)
 	if err != nil {
@@ -185,6 +161,7 @@ func runDynamicTrial(spec *DynamicSpec, trial int) (DynamicTrial, error) {
 		Seed:        trialSeed ^ 0x5F5F5F5F,
 		EpochRounds: spec.EpochRounds,
 		Epochs:      spec.Epochs,
+		Workers:     engineWorkers,
 	}, build)
 	if err != nil {
 		return DynamicTrial{}, err

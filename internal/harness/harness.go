@@ -3,8 +3,6 @@ package harness
 import (
 	"fmt"
 	"math/rand"
-	"runtime"
-	"sync"
 
 	"github.com/nectar-repro/nectar/internal/ids"
 	"github.com/nectar-repro/nectar/internal/rounds"
@@ -39,8 +37,18 @@ type Spec struct {
 	Rounds int
 	// Fanout is the per-round gossip fanout of the baselines (0 = 1).
 	Fanout int
-	// EngineParallel parallelizes node stepping inside each trial instead
-	// of running trials in parallel. Use for single very large topologies.
+	// Jobs is the spec's total parallelism budget, split between
+	// trial-level workers and each trial's engine workers (DESIGN.md
+	// §10): trials win while there are enough of them to fill the
+	// budget, leftover budget goes to the engine. 0 means GOMAXPROCS;
+	// negative is invalid. The budget never changes results, only
+	// wall-clock.
+	Jobs int
+	// EngineParallel hands the entire Jobs budget to the engine inside
+	// each trial (trials then run one at a time). Use for single very
+	// large topologies where per-trial latency matters more than sweep
+	// throughput; ignored when the spec runs inside a multi-spec plan,
+	// whose global scheduler subsumes it.
 	EngineParallel bool
 	// LossRate injects independent message loss (violating the paper's
 	// reliable-channel assumption) — for baseline robustness studies and
@@ -147,59 +155,43 @@ func (r *Result) KBPerNode() float64 { return r.BytesPerNode.Mean / 1000 }
 // §5).
 func (r *Result) KBPerNodeBroadcast() float64 { return r.BroadcastBytes.Mean / 1000 }
 
-// Run executes the experiment and aggregates its metrics.
-func Run(spec Spec) (*Result, error) {
-	if spec.Trials <= 0 {
-		return nil, fmt.Errorf("harness: Trials must be positive, got %d", spec.Trials)
+// validate checks the spec and returns a copy with defaults resolved.
+func (s Spec) validate() (Spec, error) {
+	if s.Trials <= 0 {
+		return s, fmt.Errorf("harness: Trials must be positive, got %d", s.Trials)
 	}
-	if spec.Scenario == nil {
-		return nil, fmt.Errorf("harness: Scenario generator is required")
+	if s.Scenario == nil {
+		return s, fmt.Errorf("harness: Scenario generator is required")
 	}
-	if spec.SchemeName == "" {
-		spec.SchemeName = "hmac"
+	if s.Jobs < 0 {
+		return s, fmt.Errorf("harness: Jobs must be non-negative, got %d", s.Jobs)
 	}
-	if !attackSupported(spec.Protocol, spec.Attack) {
-		return nil, fmt.Errorf("harness: attack %q not defined for protocol %q", spec.Attack, spec.Protocol)
+	if s.SchemeName == "" {
+		s.SchemeName = "hmac"
 	}
-	trials := make([]Trial, spec.Trials)
-	errs := make([]error, spec.Trials)
+	if !attackSupported(s.Protocol, s.Attack) {
+		return s, fmt.Errorf("harness: attack %q not defined for protocol %q", s.Attack, s.Protocol)
+	}
+	return s, nil
+}
 
-	workers := runtime.GOMAXPROCS(0)
-	if spec.EngineParallel {
-		workers = 1
-	}
-	if workers > spec.Trials {
-		workers = spec.Trials
-	}
-	var wg sync.WaitGroup
-	next := make(chan int)
-	wg.Add(workers)
-	for w := 0; w < workers; w++ {
-		go func() {
-			defer wg.Done()
-			for i := range next {
-				trials[i], errs[i] = runTrial(&spec, i)
-			}
-		}()
-	}
-	for i := 0; i < spec.Trials; i++ {
-		next <- i
-	}
-	close(next)
-	wg.Wait()
+// trialSeedStride spaces per-trial seeds; the dynamic driver and the
+// epoch stride (internal/dynamic) use the same constant so epoch 0 of
+// trial 0 reproduces a static run bit for bit.
+const trialSeedStride = 0x9E3779B9
 
-	for i, err := range errs {
-		if err != nil {
-			return nil, fmt.Errorf("harness: trial %d: %w", i, err)
-		}
-	}
-	return aggregate(spec, trials), nil
+// trialSeedOf derives the seed that fully determines trial i of a spec
+// seeded with base; it doubles as the trial's checkpoint resume key
+// (DESIGN.md §10).
+func trialSeedOf(base int64, trial int) int64 {
+	return base + int64(trial)*trialSeedStride
 }
 
 // runTrial generates the scenario, wires the protocol stacks, drives the
-// rounds engine, and scores the outcome.
-func runTrial(spec *Spec, trial int) (Trial, error) {
-	trialSeed := spec.Seed + int64(trial)*0x9E3779B9
+// rounds engine with the given intra-trial worker allowance, and scores
+// the outcome.
+func runTrial(spec *Spec, trial, engineWorkers int) (Trial, error) {
+	trialSeed := trialSeedOf(spec.Seed, trial)
 	rng := rand.New(rand.NewSource(trialSeed))
 	sc, err := spec.Scenario(rng)
 	if err != nil {
@@ -222,7 +214,7 @@ func runTrial(spec *Spec, trial int) (Trial, error) {
 		Graph:       sc.Graph,
 		Rounds:      r,
 		Seed:        trialSeed,
-		Sequential:  !spec.EngineParallel,
+		Workers:     engineWorkers,
 		FullHorizon: spec.FullHorizon,
 		LossRate:    spec.LossRate,
 	}, protos)

@@ -51,6 +51,11 @@ type RedTeamSpec struct {
 	SchemeName string
 	// Rounds overrides the engine horizon (0 = n-1).
 	Rounds int
+	// Jobs is the parallelism budget for the per-candidate evaluation
+	// trials (0 = GOMAXPROCS). The search itself is sequential — every
+	// proposal depends on previous scores — so the budget flows into
+	// each candidate's trials. Never changes results (see DESIGN.md §10).
+	Jobs int
 }
 
 // withDefaults resolves the zero-value knobs.
@@ -113,8 +118,11 @@ type RedTeamResult struct {
 // how much the optimizer's adversary outperforms aleatory placement.
 func (r *RedTeamResult) Gain() float64 { return r.Best.Damage - r.Baseline.Mean }
 
-// RunRedTeam executes the search described by spec.
-func RunRedTeam(spec RedTeamSpec) (*RedTeamResult, error) {
+// runRedTeamSearch executes the search described by spec (already
+// defaults-resolved and validated by NewRedTeamRunner; re-validated here
+// for internal callers). engineWorkers is the per-candidate evaluation
+// budget handed down by the scheduler.
+func runRedTeamSearch(spec RedTeamSpec, engineWorkers int) (*RedTeamResult, error) {
 	spec = spec.withDefaults()
 	if spec.Topology == nil {
 		return nil, fmt.Errorf("harness: RedTeamSpec.Topology is required")
@@ -165,7 +173,7 @@ func RunRedTeam(spec RedTeamSpec) (*RedTeamResult, error) {
 		if m, ok := metricsCache[key]; ok {
 			return m, nil
 		}
-		m, err := redTeamMetrics(&spec, g, p)
+		m, err := redTeamMetrics(&spec, g, p, engineWorkers)
 		if err == nil {
 			metricsCache[key] = m
 		}
@@ -216,8 +224,9 @@ func RunRedTeam(spec RedTeamSpec) (*RedTeamResult, error) {
 }
 
 // redTeamMetrics scores one placement: builds the scenario, runs the
-// trials, and folds the result into the objective's input metrics.
-func redTeamMetrics(spec *RedTeamSpec, g *graph.Graph, p redteam.Placement) (redteam.EvalMetrics, error) {
+// trials under the evaluation parallelism budget, and folds the result
+// into the objective's input metrics.
+func redTeamMetrics(spec *RedTeamSpec, g *graph.Graph, p redteam.Placement, jobs int) (redteam.EvalMetrics, error) {
 	// The per-placement seed decouples trial randomness from the search
 	// path: a placement scores identically whether the optimizer visits
 	// it first or last, and identically across optimizers.
@@ -233,6 +242,7 @@ func redTeamMetrics(spec *RedTeamSpec, g *graph.Graph, p redteam.Placement) (red
 		Seed:       pSeed,
 		SchemeName: spec.SchemeName,
 		Rounds:     spec.Rounds,
+		Jobs:       jobs,
 	})
 	if err != nil {
 		return redteam.EvalMetrics{}, err

@@ -102,11 +102,11 @@ func TestRedTeamEvaluationIsSearchPathIndependent(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	m1, err := redTeamMetrics(&spec, g, redteam.NewPlacement(0, 1))
+	m1, err := redTeamMetrics(&spec, g, redteam.NewPlacement(0, 1), 1)
 	if err != nil {
 		t.Fatal(err)
 	}
-	m2, err := redTeamMetrics(&spec, g, redteam.NewPlacement(1, 0)) // same placement, reordered
+	m2, err := redTeamMetrics(&spec, g, redteam.NewPlacement(1, 0), 2) // same placement, reordered; budget never changes scores
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -10,31 +10,23 @@ import (
 	"github.com/nectar-repro/nectar/internal/topology"
 )
 
-// ChurnTable sweeps the dynamic-network workloads (DESIGN.md §7): link
-// flapping, Poisson node churn, and drone mobility over a Harary / drone
-// base, reporting per-epoch agreement, decision accuracy against the
-// evolving ground truth, flip-detection rate, and the mean detection
-// latency in epochs. There is no paper counterpart — the paper's
-// evaluation is static — so the table extends §V to the mobile setting
-// the drone scenario implies.
-func ChurnTable(opts Options) (*Table, error) {
-	trials := opts.trials(20, 4)
-	const (
-		n      = 20
-		tByz   = 2
-		epochs = 6
-	)
-	epochRounds := n - 1
-	horizon := epochs * epochRounds
+// churnRow is one workload row of the churn table.
+type churnRow struct {
+	workload string
+	param    string
+	schedule func(rng *rand.Rand) (*dynamic.EdgeSchedule, error)
+}
 
+func (r churnRow) key() string { return r.workload + "/" + r.param }
+
+// churnRows enumerates the dynamic-network workloads (DESIGN.md §7):
+// link flapping, Poisson node churn, partition/heal, and drone mobility
+// over a Harary / drone base.
+func churnRows(opts Options, n, epochs, epochRounds int) []churnRow {
+	horizon := epochs * epochRounds
 	hararyBase := func() (*graph.Graph, error) { return topology.Harary(6, n) }
 
-	type row struct {
-		workload string
-		param    string
-		schedule func(rng *rand.Rand) (*dynamic.EdgeSchedule, error)
-	}
-	var rows []row
+	var rows []churnRow
 	flapRates := []float64{0, 0.01, 0.05, 0.1}
 	churnRates := []float64{0.005, 0.02, 0.05}
 	drifts := []float64{0.5, 1.0}
@@ -45,7 +37,7 @@ func ChurnTable(opts Options) (*Table, error) {
 	}
 	for _, p := range flapRates {
 		p := p
-		rows = append(rows, row{"flapping", fmt.Sprintf("down=%.3g/round", p),
+		rows = append(rows, churnRow{"flapping", fmt.Sprintf("down=%.3g/round", p),
 			func(rng *rand.Rand) (*dynamic.EdgeSchedule, error) {
 				g, err := hararyBase()
 				if err != nil {
@@ -56,7 +48,7 @@ func ChurnTable(opts Options) (*Table, error) {
 	}
 	for _, lam := range churnRates {
 		lam := lam
-		rows = append(rows, row{"node-churn", fmt.Sprintf("leave=%.3g/round", lam),
+		rows = append(rows, churnRow{"node-churn", fmt.Sprintf("leave=%.3g/round", lam),
 			func(rng *rand.Rand) (*dynamic.EdgeSchedule, error) {
 				g, err := hararyBase()
 				if err != nil {
@@ -65,7 +57,7 @@ func ChurnTable(opts Options) (*Table, error) {
 				return dynamic.PoissonChurn(g, lam, float64(epochRounds), horizon, rng)
 			}})
 	}
-	rows = append(rows, row{"partition-heal", "cut@2 heal@4",
+	rows = append(rows, churnRow{"partition-heal", "cut@2 heal@4",
 		func(rng *rand.Rand) (*dynamic.EdgeSchedule, error) {
 			g, err := hararyBase()
 			if err != nil {
@@ -75,7 +67,7 @@ func ChurnTable(opts Options) (*Table, error) {
 		}})
 	for _, v := range drifts {
 		v := v
-		rows = append(rows, row{"drone-mobility", fmt.Sprintf("drift=%.1f/epoch", v),
+		rows = append(rows, churnRow{"drone-mobility", fmt.Sprintf("drift=%.1f/epoch", v),
 			func(rng *rand.Rand) (*dynamic.EdgeSchedule, error) {
 				return dynamic.DroneMobility(dynamic.MobilityConfig{
 					N:          n,
@@ -87,48 +79,77 @@ func ChurnTable(opts Options) (*Table, error) {
 				}, rng)
 			}})
 	}
-
-	tbl := &Table{
-		ID:    "churn",
-		Title: fmt.Sprintf("Dynamic networks: NECTAR re-detection under churn (n=%d, t=%d, %d epochs)", n, tByz, epochs),
-		Columns: []string{"workload", "param", "agreement", "agreement_ci95",
-			"accuracy", "accuracy_ci95",
-			"flips_detected", "latency_epochs", "kb_per_node_epoch", "active_rounds"},
-	}
-	for _, r := range rows {
-		res, err := harness.RunDynamic(harness.DynamicSpec{
-			Name:     r.workload + " " + r.param,
-			Schedule: r.schedule,
-			T:        tByz,
-			Trials:   trials,
-			Seed:     opts.Seed,
-			Epochs:   epochs,
-		})
-		if err != nil {
-			return nil, fmt.Errorf("churn %s %s: %w", r.workload, r.param, err)
-		}
-		latency := "-"
-		if res.Latency.N > 0 {
-			latency = fmt.Sprintf("%.2f", res.Latency.Mean)
-		}
-		detected := "-"
-		if res.DetectedRate.N > 0 {
-			detected = fmt.Sprintf("%.2f", res.DetectedRate.Mean)
-		}
-		tbl.Rows = append(tbl.Rows, []string{
-			r.workload,
-			r.param,
-			fmt.Sprintf("%.2f", res.Agreement.Mean),
-			fmt.Sprintf("%.2f", res.Agreement.CI95),
-			fmt.Sprintf("%.2f", res.Accuracy.Mean),
-			fmt.Sprintf("%.2f", res.Accuracy.CI95),
-			detected,
-			latency,
-			fmt.Sprintf("%.1f", res.BytesPerNode.Mean/1000),
-			fmt.Sprintf("%.1f", res.ActiveRounds.Mean),
-		})
-		opts.progress("churn %s %s: agreement=%.2f accuracy=%.2f latency=%s",
-			r.workload, r.param, res.Agreement.Mean, res.Accuracy.Mean, latency)
-	}
-	return tbl, nil
+	return rows
 }
+
+// churnExperiment sweeps the dynamic-network workloads, reporting
+// per-epoch agreement, decision accuracy against the evolving ground
+// truth, flip-detection rate, and the mean detection latency in epochs.
+// There is no paper counterpart — the paper's evaluation is static — so
+// the table extends §V to the mobile setting the drone scenario implies.
+func churnExperiment() Experiment {
+	const (
+		n      = 20
+		tByz   = 2
+		epochs = 6
+	)
+	epochRounds := n - 1
+	return Experiment{
+		ID: "churn",
+		Declare: func(opts Options, b *Batch) error {
+			trials := opts.trials(20, 4)
+			for _, r := range churnRows(opts, n, epochs, epochRounds) {
+				b.Dynamic(r.key(), harness.DynamicSpec{
+					Name:     r.workload + " " + r.param,
+					Schedule: r.schedule,
+					T:        tByz,
+					Trials:   trials,
+					Seed:     opts.Seed,
+					Epochs:   epochs,
+				})
+			}
+			return nil
+		},
+		Render: func(opts Options, res *Results) (*Output, error) {
+			tbl := &Table{
+				ID:    "churn",
+				Title: fmt.Sprintf("Dynamic networks: NECTAR re-detection under churn (n=%d, t=%d, %d epochs)", n, tByz, epochs),
+				Columns: []string{"workload", "param", "agreement", "agreement_ci95",
+					"accuracy", "accuracy_ci95",
+					"flips_detected", "latency_epochs", "kb_per_node_epoch", "active_rounds"},
+			}
+			for _, r := range churnRows(opts, n, epochs, epochRounds) {
+				dres, err := res.Dynamic(r.key())
+				if err != nil {
+					return nil, fmt.Errorf("churn %s %s: %w", r.workload, r.param, err)
+				}
+				latency := "-"
+				if dres.Latency.N > 0 {
+					latency = fmt.Sprintf("%.2f", dres.Latency.Mean)
+				}
+				detected := "-"
+				if dres.DetectedRate.N > 0 {
+					detected = fmt.Sprintf("%.2f", dres.DetectedRate.Mean)
+				}
+				tbl.Rows = append(tbl.Rows, []string{
+					r.workload,
+					r.param,
+					fmt.Sprintf("%.2f", dres.Agreement.Mean),
+					fmt.Sprintf("%.2f", dres.Agreement.CI95),
+					fmt.Sprintf("%.2f", dres.Accuracy.Mean),
+					fmt.Sprintf("%.2f", dres.Accuracy.CI95),
+					detected,
+					latency,
+					fmt.Sprintf("%.1f", dres.BytesPerNode.Mean/1000),
+					fmt.Sprintf("%.1f", dres.ActiveRounds.Mean),
+				})
+				opts.progress("churn %s %s: agreement=%.2f accuracy=%.2f latency=%s",
+					r.workload, r.param, dres.Agreement.Mean, dres.Accuracy.Mean, latency)
+			}
+			return &Output{Table: tbl}, nil
+		},
+	}
+}
+
+// ChurnTable regenerates the churn sweep through the pipeline.
+func ChurnTable(opts Options) (*Table, error) { return singleTable("churn", opts) }

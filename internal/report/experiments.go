@@ -1,0 +1,22 @@
+package report
+
+// registry lists every runnable experiment. IDs double as CSV base names
+// and nectar-bench targets; fig8 variants at other system sizes are
+// registered so the whole paper reproduction can run as one plan.
+func registry() []Experiment {
+	return []Experiment{
+		lazyCostExperiment("fig3", fig3Def),
+		lazyCostExperiment("fig4", fig4Def),
+		lazyCostExperiment("fig5", fig5Def),
+		lazyCostExperiment("fig6", fig6Def),
+		lazyCostExperiment("fig7", fig7Def),
+		fig8Experiment("fig8", 35),
+		fig8Experiment("fig8-n20", 20),
+		fig8Experiment("fig8-n50", 50),
+		topoCostExperiment(),
+		byzTopoExperiment(),
+		lossExperiment(),
+		churnExperiment(),
+		frontierExperiment(),
+	}
+}

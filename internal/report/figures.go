@@ -9,34 +9,11 @@ import (
 	"github.com/nectar-repro/nectar/internal/topology"
 )
 
-// costPoint runs a Byzantine-free cost experiment and returns the
-// multicast-accounted KB/node as a Point at x, with unicast KB and the
-// per-node maximum as extra CSV columns.
-func costPoint(x float64, proto harness.ProtocolKind, scen harness.ScenarioFn, trials int, seed int64, opts Options, bigTopology bool) (Point, error) {
-	res, err := harness.Run(harness.Spec{
-		Protocol:       proto,
-		Attack:         harness.AttackNone,
-		Scenario:       scen,
-		T:              1,
-		Trials:         trials,
-		Seed:           seed,
-		SchemeName:     opts.Scheme,
-		EngineParallel: bigTopology,
-	})
-	if err != nil {
-		return Point{}, err
-	}
-	return Point{
-		X:  x,
-		Y:  res.KBPerNodeBroadcast(),
-		CI: res.BroadcastBytes.CI95 / 1000,
-		Extra: map[string]float64{
-			"unicast_kb":    res.KBPerNode(),
-			"max_kb":        res.MaxBytes.Mean / 1000,
-			"active_rounds": res.ActiveRounds.Mean,
-		},
-	}, nil
-}
+// Figures 3-8 are declared as spec grids (DESIGN.md §10): each figure
+// enumerates its cells — one Byzantine-free cost spec or one attack spec
+// per point — and a separate render phase folds the finished results
+// into Series/Points. The scheduler between the phases runs cells from
+// *all* requested figures in one pool.
 
 func hararyGen(k, n int) harness.ScenarioFn {
 	return harness.Plain(func(*rand.Rand) (*graph.Graph, error) { return topology.Harary(k, n) })
@@ -49,187 +26,260 @@ func droneGen(n int, d, radius float64) harness.ScenarioFn {
 	})
 }
 
-// Fig3 regenerates Fig. 3: data sent per node vs n for k-regular
+// costCell is one (series, x) point of a cost figure.
+type costCell struct {
+	series string
+	x      float64
+	proto  harness.ProtocolKind
+	scen   harness.ScenarioFn
+}
+
+func (c costCell) key() string { return fmt.Sprintf("%s/x=%g", c.series, c.x) }
+
+// costFigure is a figure whose every point is a Byzantine-free cost
+// experiment reporting multicast-accounted KB/node (Figs. 3-7).
+type costFigure struct {
+	id, title, xlabel, ylabel string
+	trials                    int
+	cells                     []costCell
+}
+
+func (f *costFigure) declare(opts Options, b *Batch) error {
+	for _, c := range f.cells {
+		b.Static(c.key(), harness.Spec{
+			Name:       c.key(),
+			Protocol:   c.proto,
+			Attack:     harness.AttackNone,
+			Scenario:   c.scen,
+			T:          1,
+			Trials:     f.trials,
+			Seed:       opts.Seed,
+			SchemeName: opts.Scheme,
+		})
+	}
+	return nil
+}
+
+// costPointOf folds a cost result into a figure point: multicast KB/node
+// as Y, with unicast/max KB and engine rounds as extra CSV columns.
+func costPointOf(res *harness.Result, x float64) Point {
+	return Point{
+		X:  x,
+		Y:  res.KBPerNodeBroadcast(),
+		CI: res.BroadcastBytes.CI95 / 1000,
+		Extra: map[string]float64{
+			"unicast_kb":    res.KBPerNode(),
+			"max_kb":        res.MaxBytes.Mean / 1000,
+			"active_rounds": res.ActiveRounds.Mean,
+		},
+	}
+}
+
+func (f *costFigure) render(opts Options, r *Results) (*Figure, error) {
+	fig := &Figure{ID: f.id, Title: f.title, XLabel: f.xlabel, YLabel: f.ylabel}
+	index := map[string]int{}
+	for _, c := range f.cells {
+		res, err := r.Static(c.key())
+		if err != nil {
+			return nil, fmt.Errorf("%s %s: %w", f.id, c.key(), err)
+		}
+		p := costPointOf(res, c.x)
+		si, ok := index[c.series]
+		if !ok {
+			si = len(fig.Series)
+			index[c.series] = si
+			fig.Series = append(fig.Series, Series{Name: c.series})
+		}
+		fig.Series[si].Points = append(fig.Series[si].Points, p)
+		opts.progress("%s %s x=%g: %.2f KB/node (%.0f rounds)",
+			f.id, c.series, c.x, p.Y, p.Extra["active_rounds"])
+	}
+	return fig, nil
+}
+
+// fig3Def declares Fig. 3: data sent per node vs n for k-regular
 // k-connected (Harary) graphs, k ∈ {2,10,18,26,34}. Deterministic
 // topologies make trial variance zero, so few trials suffice.
-func Fig3(opts Options) (*Figure, error) {
-	trials := opts.trials(2, 1)
+func fig3Def(opts Options) *costFigure {
+	f := &costFigure{
+		id:     "fig3",
+		title:  "Data sent per node vs n, k-regular graphs (NECTAR)",
+		xlabel: "number of nodes n",
+		ylabel: "data sent per node (KB)",
+		trials: opts.trials(2, 1),
+	}
 	ks := []int{2, 10, 18, 26, 34}
 	ns := []int{20, 40, 60, 80, 100}
 	if opts.Quick {
 		ns = []int{20, 40, 60}
 	}
-	fig := &Figure{
-		ID:     "fig3",
-		Title:  "Data sent per node vs n, k-regular graphs (NECTAR)",
-		XLabel: "number of nodes n",
-		YLabel: "data sent per node (KB)",
-	}
 	for _, k := range ks {
-		s := Series{Name: fmt.Sprintf("nectar k=%d", k)}
 		for _, n := range ns {
 			if k >= n {
 				continue
 			}
-			p, err := costPoint(float64(n), harness.ProtoNectar, hararyGen(k, n),
-				trials, opts.Seed, opts, n >= 60)
-			if err != nil {
-				return nil, fmt.Errorf("fig3 k=%d n=%d: %w", k, n, err)
-			}
-			s.Points = append(s.Points, p)
-			opts.progress("fig3 k=%d n=%d: %.1f KB/node (%.0f/%d rounds)",
-				k, n, p.Y, p.Extra["active_rounds"], n-1)
+			f.cells = append(f.cells, costCell{
+				series: fmt.Sprintf("nectar k=%d", k),
+				x:      float64(n),
+				proto:  harness.ProtoNectar,
+				scen:   hararyGen(k, n),
+			})
 		}
-		fig.Series = append(fig.Series, s)
 	}
-	return fig, nil
+	return f
 }
 
-// droneCostFigure sweeps the drone scenario over d for the three radius
-// values (Figs. 4 and 5 share this shape).
-func droneCostFigure(id, title string, proto harness.ProtocolKind, n int, opts Options, trials int) (*Figure, error) {
+// droneCostDef declares the Figs. 4/5 shape: drone cost vs d for three
+// radii, plus the flat MtG reference line.
+func droneCostDef(id, title string, proto harness.ProtocolKind, n int, opts Options, trials int) *costFigure {
+	f := &costFigure{
+		id:     id,
+		title:  title,
+		xlabel: "distance between barycenters d",
+		ylabel: "data sent per node (KB)",
+		trials: trials,
+	}
 	radii := []float64{1.2, 1.8, 2.4}
 	ds := []float64{0, 1, 2, 3, 4, 5, 6}
 	if opts.Quick {
 		ds = []float64{0, 2, 4, 6}
 	}
-	fig := &Figure{
-		ID:     id,
-		Title:  title,
-		XLabel: "distance between barycenters d",
-		YLabel: "data sent per node (KB)",
-	}
 	for _, radius := range radii {
-		s := Series{Name: fmt.Sprintf("%s radius=%.1f", proto, radius)}
 		for _, d := range ds {
-			p, err := costPoint(d, proto, droneGen(n, d, radius), trials, opts.Seed, opts, false)
-			if err != nil {
-				return nil, fmt.Errorf("%s radius=%.1f d=%.1f: %w", id, radius, d, err)
-			}
-			s.Points = append(s.Points, p)
-			opts.progress("%s radius=%.1f d=%.1f: %.2f KB/node", id, radius, d, p.Y)
+			f.cells = append(f.cells, costCell{
+				series: fmt.Sprintf("%s radius=%.1f", proto, radius),
+				x:      d,
+				proto:  proto,
+				scen:   droneGen(n, d, radius),
+			})
 		}
-		fig.Series = append(fig.Series, s)
 	}
-	mtg, err := mtgReferenceSeries(n, ds, trials, opts)
-	if err != nil {
-		return nil, err
-	}
-	fig.Series = append(fig.Series, mtg)
-	return fig, nil
-}
-
-// mtgReferenceSeries is the flat MtG line of Figs. 4-7 (its cost depends
-// on neither d nor radius).
-func mtgReferenceSeries(n int, ds []float64, trials int, opts Options) (Series, error) {
-	s := Series{Name: "mtg (reference)"}
+	// The MtG reference line of Figs. 4-7: its cost depends on neither d
+	// nor radius.
 	for _, d := range ds {
-		p, err := costPoint(d, harness.ProtoMtG, droneGen(n, d, 1.8), trials, opts.Seed, opts, false)
-		if err != nil {
-			return Series{}, fmt.Errorf("mtg reference d=%.1f: %w", d, err)
-		}
-		s.Points = append(s.Points, p)
+		f.cells = append(f.cells, costCell{
+			series: "mtg (reference)",
+			x:      d,
+			proto:  harness.ProtoMtG,
+			scen:   droneGen(n, d, 1.8),
+		})
 	}
-	return s, nil
+	return f
 }
 
-// Fig4 regenerates Fig. 4: NECTAR drone cost vs d (n = 20), with the MtG
-// reference line.
-func Fig4(opts Options) (*Figure, error) {
-	return droneCostFigure("fig4",
-		"Drone scenario: data sent per node vs d (NECTAR, n=20)",
-		harness.ProtoNectar, 20, opts, opts.trials(30, 5))
-}
-
-// Fig5 regenerates Fig. 5: MtGv2 drone cost vs d (n = 20).
-func Fig5(opts Options) (*Figure, error) {
-	return droneCostFigure("fig5",
-		"Drone scenario: data sent per node vs d (MtGv2, n=20)",
-		harness.ProtoMtGv2, 20, opts, opts.trials(30, 5))
-}
-
-// droneScaleFigure sweeps the drone scenario over n at radius 1.2 for
-// d ∈ {0, 2.5, 5} (Figs. 6 and 7 share this shape).
-func droneScaleFigure(id, title string, proto harness.ProtocolKind, opts Options, trials int) (*Figure, error) {
+// droneScaleDef declares the Figs. 6/7 shape: drone cost vs n at radius
+// 1.2 for d ∈ {0, 2.5, 5}, plus the MtG reference.
+func droneScaleDef(id, title string, proto harness.ProtocolKind, opts Options, trials int) *costFigure {
+	f := &costFigure{
+		id:     id,
+		title:  title,
+		xlabel: "number of nodes n",
+		ylabel: "data sent per node (KB)",
+		trials: trials,
+	}
 	ds := []float64{0, 2.5, 5}
 	ns := []int{10, 20, 30, 40, 50}
 	if opts.Quick {
 		ns = []int{10, 20, 30}
 	}
-	fig := &Figure{
-		ID:     id,
-		Title:  title,
-		XLabel: "number of nodes n",
-		YLabel: "data sent per node (KB)",
-	}
 	for _, d := range ds {
-		s := Series{Name: fmt.Sprintf("%s d=%.1f", proto, d)}
 		for _, n := range ns {
-			p, err := costPoint(float64(n), proto, droneGen(n, d, 1.2), trials, opts.Seed, opts, n >= 40)
-			if err != nil {
-				return nil, fmt.Errorf("%s d=%.1f n=%d: %w", id, d, n, err)
-			}
-			s.Points = append(s.Points, p)
-			opts.progress("%s d=%.1f n=%d: %.2f KB/node", id, d, n, p.Y)
+			f.cells = append(f.cells, costCell{
+				series: fmt.Sprintf("%s d=%.1f", proto, d),
+				x:      float64(n),
+				proto:  proto,
+				scen:   droneGen(n, d, 1.2),
+			})
 		}
-		fig.Series = append(fig.Series, s)
 	}
-	mtgSeries := Series{Name: "mtg (reference)"}
 	for _, n := range ns {
-		p, err := costPoint(float64(n), harness.ProtoMtG, droneGen(n, 2.5, 1.2), trials, opts.Seed, opts, false)
-		if err != nil {
-			return nil, fmt.Errorf("%s mtg n=%d: %w", id, n, err)
-		}
-		mtgSeries.Points = append(mtgSeries.Points, p)
+		f.cells = append(f.cells, costCell{
+			series: "mtg (reference)",
+			x:      float64(n),
+			proto:  harness.ProtoMtG,
+			scen:   droneGen(n, 2.5, 1.2),
+		})
 	}
-	fig.Series = append(fig.Series, mtgSeries)
-	return fig, nil
+	return f
 }
 
-// Fig6 regenerates Fig. 6: NECTAR drone cost vs n (radius = 1.2).
-func Fig6(opts Options) (*Figure, error) {
-	return droneScaleFigure("fig6",
+func fig4Def(opts Options) *costFigure {
+	return droneCostDef("fig4",
+		"Drone scenario: data sent per node vs d (NECTAR, n=20)",
+		harness.ProtoNectar, 20, opts, opts.trials(30, 5))
+}
+
+func fig5Def(opts Options) *costFigure {
+	return droneCostDef("fig5",
+		"Drone scenario: data sent per node vs d (MtGv2, n=20)",
+		harness.ProtoMtGv2, 20, opts, opts.trials(30, 5))
+}
+
+func fig6Def(opts Options) *costFigure {
+	return droneScaleDef("fig6",
 		"Drone scenario: data sent per node vs n (NECTAR, radius=1.2)",
 		harness.ProtoNectar, opts, opts.trials(10, 3))
 }
 
-// Fig7 regenerates Fig. 7: MtGv2 drone cost vs n (radius = 1.2).
-func Fig7(opts Options) (*Figure, error) {
-	return droneScaleFigure("fig7",
+func fig7Def(opts Options) *costFigure {
+	return droneScaleDef("fig7",
 		"Drone scenario: data sent per node vs n (MtGv2, radius=1.2)",
 		harness.ProtoMtGv2, opts, opts.trials(30, 5))
 }
 
-// Fig8 regenerates Fig. 8: decision success rate vs the number of
-// Byzantine nodes in the drone bridge scenario (n = 35): NECTAR and MtGv2
-// face the split-brain bridge attack, MtG faces Bloom poisoning.
-func Fig8(opts Options) (*Figure, error) {
-	return fig8At("fig8", 35, opts)
+// lazyCostExperiment registers a figure whose cell grid depends on
+// Options (trial counts, Quick grids).
+func lazyCostExperiment(id string, def func(Options) *costFigure) Experiment {
+	return Experiment{
+		ID: id,
+		Declare: func(opts Options, b *Batch) error {
+			return def(opts).declare(opts, b)
+		},
+		Render: func(opts Options, r *Results) (*Output, error) {
+			fig, err := def(opts).render(opts, r)
+			if err != nil {
+				return nil, err
+			}
+			return &Output{Figure: fig}, nil
+		},
+	}
 }
 
-// Fig8N regenerates the Fig. 8 experiment at another system size (the
-// paper reports the same tendencies for 20 and 50 nodes).
-func Fig8N(n int, opts Options) (*Figure, error) {
-	return fig8At(fmt.Sprintf("fig8-n%d", n), n, opts)
+// Fig3 regenerates Fig. 3 through the pipeline (single-figure plan).
+func Fig3(opts Options) (*Figure, error) { return singleFigure("fig3", opts) }
+
+// Fig4 regenerates Fig. 4: NECTAR drone cost vs d (n = 20), with the MtG
+// reference line.
+func Fig4(opts Options) (*Figure, error) { return singleFigure("fig4", opts) }
+
+// Fig5 regenerates Fig. 5: MtGv2 drone cost vs d (n = 20).
+func Fig5(opts Options) (*Figure, error) { return singleFigure("fig5", opts) }
+
+// Fig6 regenerates Fig. 6: NECTAR drone cost vs n (radius = 1.2).
+func Fig6(opts Options) (*Figure, error) { return singleFigure("fig6", opts) }
+
+// Fig7 regenerates Fig. 7: MtGv2 drone cost vs n (radius = 1.2).
+func Fig7(opts Options) (*Figure, error) { return singleFigure("fig7", opts) }
+
+// fig8Cell is one (protocol, t) cell of the Fig. 8 resilience figure.
+type fig8Cell struct {
+	series  string
+	proto   harness.ProtocolKind
+	attack  harness.AttackKind
+	bridges int
+	t       int
 }
 
-func fig8At(id string, n int, opts Options) (*Figure, error) {
-	trials := opts.trials(50, 8)
+func (c fig8Cell) key() string { return fmt.Sprintf("%s/t=%d", c.series, c.t) }
+
+// fig8Cells enumerates the §V-D comparison at system size n: NECTAR and
+// MtGv2 face split-brain Byzantine bridges; MtG faces Bloom poisoning on
+// the partitioned graph (no bridges).
+func fig8Cells(opts Options) []fig8Cell {
 	ts := []int{0, 1, 2, 3, 4, 5, 6}
 	if opts.Quick {
 		ts = []int{0, 1, 2, 4, 6}
 	}
-	fig := &Figure{
-		ID:     id,
-		Title:  fmt.Sprintf("Decision success rate vs Byzantine nodes (drone bridge, n=%d)", n),
-		XLabel: "number of Byzantine nodes t",
-		YLabel: "success rate of correct decision",
-	}
-	// NECTAR and MtGv2 face split-brain Byzantine bridges; MtG faces Bloom
-	// poisoning on the partitioned graph (no bridges), matching §V-D.
-	// radius = 1.8 keeps each scatter internally connected (radius 1.2
-	// occasionally fragments small scatters, which only blurs the attack).
-	const radius = 1.8
 	protocols := []struct {
 		name    string
 		proto   harness.ProtocolKind
@@ -240,34 +290,87 @@ func fig8At(id string, n int, opts Options) (*Figure, error) {
 		{"mtg", harness.ProtoMtG, harness.AttackPoison, 0},
 		{"mtgv2", harness.ProtoMtGv2, harness.AttackSplitBrain, 2},
 	}
+	var cells []fig8Cell
 	for _, pr := range protocols {
-		s := Series{Name: pr.name}
 		for _, t := range ts {
-			res, err := harness.Run(harness.Spec{
-				Protocol:   pr.proto,
-				Attack:     pr.attack,
-				Scenario:   harness.Bridge(n, t, 6, radius, pr.bridges),
-				T:          t,
-				Trials:     trials,
-				Seed:       opts.Seed,
-				SchemeName: opts.Scheme,
+			cells = append(cells, fig8Cell{
+				series: pr.name, proto: pr.proto, attack: pr.attack,
+				bridges: pr.bridges, t: t,
 			})
-			if err != nil {
-				return nil, fmt.Errorf("%s %s t=%d: %w", id, pr.name, t, err)
-			}
-			s.Points = append(s.Points, Point{
-				X:  float64(t),
-				Y:  res.Accuracy.Mean,
-				CI: res.Accuracy.CI95,
-				Extra: map[string]float64{
-					"agreement": res.Agreement.Mean,
-					"detect":    res.DetectRate.Mean,
-				},
-			})
-			opts.progress("%s %s t=%d: accuracy=%.2f agreement=%.2f",
-				id, pr.name, t, res.Accuracy.Mean, res.Agreement.Mean)
 		}
-		fig.Series = append(fig.Series, s)
 	}
-	return fig, nil
+	return cells
+}
+
+// fig8Experiment declares/renders the Fig. 8 experiment at system size n.
+// radius = 1.8 keeps each scatter internally connected (radius 1.2
+// occasionally fragments small scatters, which only blurs the attack).
+func fig8Experiment(id string, n int) Experiment {
+	const radius = 1.8
+	return Experiment{
+		ID: id,
+		Declare: func(opts Options, b *Batch) error {
+			trials := opts.trials(50, 8)
+			for _, c := range fig8Cells(opts) {
+				b.Static(c.key(), harness.Spec{
+					Name:       c.key(),
+					Protocol:   c.proto,
+					Attack:     c.attack,
+					Scenario:   harness.Bridge(n, c.t, 6, radius, c.bridges),
+					T:          c.t,
+					Trials:     trials,
+					Seed:       opts.Seed,
+					SchemeName: opts.Scheme,
+				})
+			}
+			return nil
+		},
+		Render: func(opts Options, r *Results) (*Output, error) {
+			fig := &Figure{
+				ID:     id,
+				Title:  fmt.Sprintf("Decision success rate vs Byzantine nodes (drone bridge, n=%d)", n),
+				XLabel: "number of Byzantine nodes t",
+				YLabel: "success rate of correct decision",
+			}
+			index := map[string]int{}
+			for _, c := range fig8Cells(opts) {
+				res, err := r.Static(c.key())
+				if err != nil {
+					return nil, fmt.Errorf("%s %s t=%d: %w", id, c.series, c.t, err)
+				}
+				si, ok := index[c.series]
+				if !ok {
+					si = len(fig.Series)
+					index[c.series] = si
+					fig.Series = append(fig.Series, Series{Name: c.series})
+				}
+				fig.Series[si].Points = append(fig.Series[si].Points, Point{
+					X:  float64(c.t),
+					Y:  res.Accuracy.Mean,
+					CI: res.Accuracy.CI95,
+					Extra: map[string]float64{
+						"agreement": res.Agreement.Mean,
+						"detect":    res.DetectRate.Mean,
+					},
+				})
+				opts.progress("%s %s t=%d: accuracy=%.2f agreement=%.2f",
+					id, c.series, c.t, res.Accuracy.Mean, res.Agreement.Mean)
+			}
+			return &Output{Figure: fig}, nil
+		},
+	}
+}
+
+// Fig8 regenerates Fig. 8: decision success rate vs the number of
+// Byzantine nodes in the drone bridge scenario (n = 35).
+func Fig8(opts Options) (*Figure, error) { return singleFigure("fig8", opts) }
+
+// Fig8N regenerates the Fig. 8 experiment at another system size (the
+// paper reports the same tendencies for 20 and 50 nodes).
+func Fig8N(n int, opts Options) (*Figure, error) {
+	out, err := runSingleExperiment(fig8Experiment(fmt.Sprintf("fig8-n%d", n), n), opts)
+	if err != nil {
+		return nil, err
+	}
+	return out.Figure, nil
 }

@@ -55,10 +55,19 @@ func TestFig8ReproducesThePaperShape(t *testing.T) {
 }
 
 func TestCostPointMetersBothAccountings(t *testing.T) {
-	p, err := costPoint(10, harness.ProtoNectar, hararyGen(2, 10), 2, 1, Options{}, false)
+	res, err := harness.Run(harness.Spec{
+		Protocol:   harness.ProtoNectar,
+		Attack:     harness.AttackNone,
+		Scenario:   hararyGen(2, 10),
+		T:          1,
+		Trials:     2,
+		Seed:       1,
+		SchemeName: "hmac",
+	})
 	if err != nil {
 		t.Fatal(err)
 	}
+	p := costPointOf(res, 10)
 	if p.Y <= 0 {
 		t.Error("no broadcast-accounted traffic")
 	}
@@ -74,11 +83,13 @@ func TestDroneCostShapeMtGFlat(t *testing.T) {
 	// Fig. 4's defining features at miniature scale: NECTAR's cost falls
 	// as d grows (fewer edges), MtG's reference line stays flat, and
 	// NECTAR costs much more than MtG at d=0.
-	fig, err := droneCostFigure("fig4-test", "t", harness.ProtoNectar, 12,
-		Options{Quick: true, Seed: 5}, 4)
+	out, err := runSingleExperiment(lazyCostExperiment("fig4-test", func(o Options) *costFigure {
+		return droneCostDef("fig4-test", "t", harness.ProtoNectar, 12, o, 4)
+	}), Options{Quick: true, Seed: 5})
 	if err != nil {
 		t.Fatal(err)
 	}
+	fig := out.Figure
 	var nectar24, mtgLine []Point
 	for _, s := range fig.Series {
 		switch s.Name {

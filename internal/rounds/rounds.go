@@ -132,6 +132,13 @@ type Config struct {
 	// Sequential disables per-node parallelism. Results are identical
 	// either way; sequential mode is mainly for debugging.
 	Sequential bool
+	// Workers caps the engine's intra-run parallelism (emit / route /
+	// deliver stripes): 0 means GOMAXPROCS, negative is invalid.
+	// Sequential takes precedence (forces 1). Worker count never changes
+	// results — routing is sender-striped and merged in sender-major
+	// order — so schedulers (internal/exp) are free to split one machine
+	// budget between concurrent trials and each trial's engine.
+	Workers int
 	// FullHorizon disables quiescence early exit: all Rounds rounds run
 	// even when every node is quiescent. Results are identical either
 	// way (the skipped rounds are provably silent); the knob exists for
@@ -277,8 +284,14 @@ func Run(cfg Config, nodes []Protocol) (*Metrics, error) {
 	if cfg.LossRate < 0 || cfg.LossRate >= 1 {
 		return nil, fmt.Errorf("rounds: LossRate must be in [0,1), got %v", cfg.LossRate)
 	}
+	if cfg.Workers < 0 {
+		return nil, fmt.Errorf("rounds: negative Workers %d", cfg.Workers)
+	}
 	n := g.N()
 	workers := runtime.GOMAXPROCS(0)
+	if cfg.Workers > 0 {
+		workers = cfg.Workers
+	}
 	if cfg.Sequential {
 		workers = 1
 	}

@@ -96,6 +96,10 @@ type SimulationConfig struct {
 	// default lazy header-first decode. Decisions are identical either
 	// way; see Config.ParanoidVerify.
 	ParanoidVerify bool
+	// Workers caps the engine's intra-run parallelism (0 = GOMAXPROCS).
+	// Results are identical for any worker count (DESIGN.md §6, §10);
+	// bound it when sharing a machine with other runs.
+	Workers int
 }
 
 // SimulationResult reports the decisions and traffic of one execution.
@@ -186,6 +190,7 @@ func Simulate(cfg SimulationConfig) (*SimulationResult, error) {
 		Rounds:      r,
 		Seed:        cfg.Seed,
 		FullHorizon: cfg.FullHorizon,
+		Workers:     cfg.Workers,
 	}, protos)
 	if err != nil {
 		return nil, err
