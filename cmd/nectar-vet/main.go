@@ -1,0 +1,72 @@
+// Command nectar-vet statically enforces the repository's determinism,
+// RNG-discipline, and buffer-lifetime invariants (DESIGN.md §11). It
+// runs the five-analyzer suite from internal/analysis over the given
+// package patterns and exits non-zero on any diagnostic, so CI can use
+// it as a hard gate:
+//
+//	go run ./cmd/nectar-vet ./...
+//
+// A finding that is intentionally out of contract is waived in the
+// source with a justified directive on (or directly above) the line:
+//
+//	//nectar:allow-<analyzer> <one-line justification>
+package main
+
+import (
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"github.com/nectar-repro/nectar/internal/analysis"
+)
+
+// errViolations distinguishes "invariants broken" (exit 1) from "vet
+// itself failed" (exit 2).
+var errViolations = errors.New("invariant violations")
+
+func main() {
+	err := run(os.Args[1:], os.Stdout)
+	switch {
+	case err == nil:
+	case errors.Is(err, errViolations):
+		fmt.Fprintln(os.Stderr, "nectar-vet:", err)
+		os.Exit(1)
+	default:
+		fmt.Fprintln(os.Stderr, "nectar-vet:", err)
+		os.Exit(2)
+	}
+}
+
+func run(args []string, w io.Writer) error {
+	fs := flag.NewFlagSet("nectar-vet", flag.ContinueOnError)
+	list := fs.Bool("list", false, "list the analyzers in the suite and exit")
+	fs.Usage = func() {
+		fmt.Fprintf(fs.Output(), "usage: nectar-vet [-list] [packages]\n\nFlags:\n")
+		fs.PrintDefaults()
+	}
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	if *list {
+		for _, a := range analysis.Analyzers() {
+			fmt.Fprintf(w, "%-11s %s\n", a.Name, a.Doc)
+		}
+		return nil
+	}
+
+	patterns := fs.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	n, err := analysis.Vet(w, patterns...)
+	if err != nil {
+		return err
+	}
+	if n > 0 {
+		return fmt.Errorf("%d %w", n, errViolations)
+	}
+	return nil
+}

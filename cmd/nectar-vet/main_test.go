@@ -1,0 +1,42 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// TestListNamesAllAnalyzers pins the suite roster: a dropped analyzer
+// registration would silently weaken the gate.
+func TestListNamesAllAnalyzers(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run([]string{"-list"}, &buf); err != nil {
+		t.Fatalf("run(-list): %v", err)
+	}
+	for _, name := range []string{"globalrand", "wallclock", "mapiter", "bufretain", "seeddrift"} {
+		if !strings.Contains(buf.String(), name) {
+			t.Errorf("-list output missing analyzer %q:\n%s", name, buf.String())
+		}
+	}
+}
+
+// TestCleanPackage vets a single in-contract package end to end
+// through the CLI path (load, scope, run, report).
+func TestCleanPackage(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run([]string{"./internal/wire"}, &buf); err != nil {
+		t.Fatalf("run(./internal/wire): %v\n%s", err, buf.String())
+	}
+	if buf.Len() != 0 {
+		t.Errorf("unexpected diagnostics:\n%s", buf.String())
+	}
+}
+
+// TestBadPattern surfaces loader failures as hard errors, not as a
+// silently-empty (and therefore passing) run.
+func TestBadPattern(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run([]string{"./does-not-exist"}, &buf); err == nil {
+		t.Fatal("expected an error for a nonexistent package pattern")
+	}
+}

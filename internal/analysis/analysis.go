@@ -1,0 +1,55 @@
+// Package analysis assembles the nectar-vet suite (DESIGN.md §11): the
+// five invariant analyzers that make determinism violations
+// un-mergeable, in the order they are reported.
+package analysis
+
+import (
+	"fmt"
+	"io"
+
+	"github.com/nectar-repro/nectar/internal/analysis/bufretain"
+	"github.com/nectar-repro/nectar/internal/analysis/globalrand"
+	"github.com/nectar-repro/nectar/internal/analysis/mapiter"
+	"github.com/nectar-repro/nectar/internal/analysis/nvet"
+	"github.com/nectar-repro/nectar/internal/analysis/seeddrift"
+	"github.com/nectar-repro/nectar/internal/analysis/wallclock"
+)
+
+// Analyzers returns the full nectar-vet suite.
+func Analyzers() []*nvet.Analyzer {
+	return []*nvet.Analyzer{
+		globalrand.Analyzer,
+		wallclock.Analyzer,
+		mapiter.Analyzer,
+		bufretain.Analyzer,
+		seeddrift.Analyzer,
+	}
+}
+
+// Vet loads the packages matching patterns and runs every in-scope
+// analyzer over them, writing one line per diagnostic to w. It returns
+// the number of diagnostics (0 means the tree upholds every invariant)
+// and the first hard error (load or analyzer failure).
+func Vet(w io.Writer, patterns ...string) (int, error) {
+	pkgs, err := nvet.Load(patterns...)
+	if err != nil {
+		return 0, err
+	}
+	count := 0
+	for _, pkg := range pkgs {
+		for _, a := range Analyzers() {
+			if a.Scope != nil && !a.Scope(pkg.RelPath) {
+				continue
+			}
+			diags, _, err := nvet.Run(a, pkg)
+			if err != nil {
+				return count, err
+			}
+			for _, d := range diags {
+				count++
+				fmt.Fprintf(w, "%s: [%s] %s\n", d.Pos, a.Name, d.Message)
+			}
+		}
+	}
+	return count, nil
+}

@@ -1,0 +1,26 @@
+package analysis_test
+
+import (
+	"bytes"
+	"testing"
+
+	"github.com/nectar-repro/nectar/internal/analysis"
+)
+
+// TestRepoUpholdsInvariants is the in-tree form of the CI gate: the
+// whole repository must pass every nectar-vet analyzer. A violation
+// (or an unjustified suppression) fails this test with the same
+// file:line diagnostics `go run ./cmd/nectar-vet ./...` would print.
+func TestRepoUpholdsInvariants(t *testing.T) {
+	if testing.Short() {
+		t.Skip("loads and type-checks the whole repository")
+	}
+	var buf bytes.Buffer
+	n, err := analysis.Vet(&buf, "./...")
+	if err != nil {
+		t.Fatalf("vet failed to run: %v", err)
+	}
+	if n > 0 {
+		t.Errorf("nectar-vet found %d invariant violation(s):\n%s", n, buf.String())
+	}
+}

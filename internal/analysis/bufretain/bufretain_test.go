@@ -1,0 +1,20 @@
+package bufretain_test
+
+import (
+	"testing"
+
+	"github.com/nectar-repro/nectar/internal/analysis/bufretain"
+	"github.com/nectar-repro/nectar/internal/analysis/nvet/nvettest"
+)
+
+// TestFixture proves the analyzer flags stores, sends, and escaping
+// closures over engine-owned buffers, while accepting deep copies,
+// fresh allocations, the copy-then-store idiom, and justified waivers.
+// The fixture imports the real wire/nectar/rounds packages, so the
+// taint sources track the actual types of the contract.
+func TestFixture(t *testing.T) {
+	diags := nvettest.Run(t, bufretain.Analyzer, "testdata")
+	if len(diags) == 0 {
+		t.Fatal("analyzer reported nothing on a fixture with known violations")
+	}
+}

@@ -1,0 +1,74 @@
+// Fixture for the bufretain analyzer: retaining engine-owned buffers
+// or zero-copy decodes past the call fires; deep copies, fresh
+// allocations, and the copy-then-store idiom do not.
+package fixture
+
+import (
+	"github.com/nectar-repro/nectar/internal/ids"
+	"github.com/nectar-repro/nectar/internal/nectar"
+	"github.com/nectar-repro/nectar/internal/rounds"
+)
+
+type retainer struct {
+	stash   []byte
+	batch   []nectar.EdgeMsg
+	handler func()
+	ch      chan []byte
+}
+
+func (p *retainer) Deliver(round int, from ids.NodeID, data []byte) {
+	p.stash = data                         // want `storing a wire-aliased value into field stash`
+	p.stash = append([]byte(nil), data...) // fresh backing: fine
+	d := data[4:]
+	p.stash = d                     // want `field stash`
+	p.ch <- data                    // want `sending a wire-aliased value`
+	go p.use(data)                  // want `passing a wire-aliased value to a goroutine`
+	go func() { _ = data }()        // want `goroutine closure captures`
+	p.handler = func() { _ = data } // want `field handler`
+	use(data)                       // synchronous call: fine
+}
+
+func (p *retainer) use(b []byte) {}
+
+func use(b []byte) {}
+
+// keep receives an EdgeMsg that may alias a decode buffer.
+func (p *retainer) keep(m nectar.EdgeMsg) {
+	p.batch = append(p.batch, m)        // want `field batch`
+	p.batch = append(p.batch, m.Copy()) // deep copy: fine
+	m = m.Copy()
+	p.batch = append(p.batch, m) // copy-then-store idiom: fine
+}
+
+type wrapper struct {
+	inner rounds.Protocol
+	held  []rounds.Send
+	nbrs  []ids.NodeID
+}
+
+// Emit results stay backed by the inner protocol's encode arena.
+func (w *wrapper) Emit(round int) []rounds.Send {
+	out := w.inner.Emit(round)
+	w.held = out            // want `field held`
+	w.held = copySends(out) // sanitized by a copy helper: fine
+	return nil
+}
+
+func (w *wrapper) OnTopology(round int, neighbors []ids.NodeID) {
+	w.nbrs = neighbors                               // want `field nbrs`
+	w.nbrs = append([]ids.NodeID(nil), neighbors...) // fresh backing: fine
+}
+
+func (w *wrapper) suppressedEmit(round int) {
+	//nectar:allow-bufretain fixture: consumer drains the batch within the round
+	w.held = w.inner.Emit(round)
+}
+
+func copySends(in []rounds.Send) []rounds.Send {
+	out := make([]rounds.Send, len(in))
+	for i, s := range in {
+		s.Data = append([]byte(nil), s.Data...)
+		out[i] = s
+	}
+	return out
+}

@@ -1,0 +1,53 @@
+// Package globalrand forbids the process-global math/rand source in
+// deterministic packages (DESIGN.md §11). Every reproducibility
+// guarantee in this repository is phrased as "bit-identical from
+// (Spec, Seed)"; a single rand.Intn smuggles in state that is shared
+// across goroutines, seeded per process, and invisible to the spec
+// fingerprint. RNGs must be explicitly-threaded *rand.Rand values
+// constructed from a spec-derived seed (see the seeddrift analyzer for
+// what counts as one).
+package globalrand
+
+import (
+	"go/ast"
+
+	"github.com/nectar-repro/nectar/internal/analysis/nvet"
+	"github.com/nectar-repro/nectar/internal/analysis/scope"
+)
+
+// constructors are the package-level math/rand functions that build
+// explicit generators rather than touching the global source.
+var constructors = map[string]bool{
+	"New":       true,
+	"NewSource": true,
+	"NewZipf":   true,
+	// math/rand/v2 source constructors.
+	"NewPCG":     true,
+	"NewChaCha8": true,
+}
+
+var Analyzer = &nvet.Analyzer{
+	Name:  "globalrand",
+	Doc:   "forbid the global math/rand source in deterministic packages; thread an explicit *rand.Rand instead",
+	Scope: scope.Deterministic,
+	Run:   run,
+}
+
+func run(pass *nvet.Pass) error {
+	pass.Preorder(func(n ast.Node) {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return
+		}
+		fn := nvet.CalleeFunc(pass.TypesInfo, call)
+		if fn == nil || constructors[fn.Name()] {
+			return
+		}
+		if nvet.IsPkgLevelFunc(fn, "math/rand") || nvet.IsPkgLevelFunc(fn, "math/rand/v2") {
+			pass.Reportf(call.Pos(),
+				"math/rand global source: rand.%s draws from shared process-wide state; thread an explicit *rand.Rand seeded from the Spec",
+				fn.Name())
+		}
+	})
+	return nil
+}

@@ -1,0 +1,19 @@
+package globalrand_test
+
+import (
+	"testing"
+
+	"github.com/nectar-repro/nectar/internal/analysis/globalrand"
+	"github.com/nectar-repro/nectar/internal/analysis/nvet/nvettest"
+)
+
+// TestFixture proves the analyzer fires on global math/rand use, stays
+// quiet on explicit generators, and honors justified suppressions — a
+// silently-broken analyzer leaves the fixture's want comments unmatched
+// and fails here.
+func TestFixture(t *testing.T) {
+	diags := nvettest.Run(t, globalrand.Analyzer, "testdata")
+	if len(diags) == 0 {
+		t.Fatal("analyzer reported nothing on a fixture with known violations")
+	}
+}

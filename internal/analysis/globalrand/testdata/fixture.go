@@ -1,0 +1,20 @@
+// Fixture for the globalrand analyzer: package-level math/rand calls
+// fire, explicitly-threaded generators and constructors do not.
+package fixture
+
+import "math/rand"
+
+func draws(rng *rand.Rand) {
+	_ = rand.Intn(6)                   // want `math/rand global source`
+	rand.Shuffle(3, swap)              // want `math/rand global source`
+	_ = rand.Float64()                 // want `math/rand global source`
+	_ = rand.Perm(4)                   // want `math/rand global source`
+	rand.Seed(99)                      // want `math/rand global source`
+	_ = rng.Intn(6)                    // explicit generator: fine
+	_ = rng.Float64()                  // explicit generator: fine
+	sub := rand.New(rand.NewSource(1)) // constructors: fine
+	_ = sub.Perm(4)
+	_ = rand.Intn(2) //nectar:allow-globalrand fixture: justified waiver is honored
+}
+
+func swap(i, j int) {}

@@ -1,0 +1,213 @@
+// Package mapiter flags order-sensitive consumption of Go map
+// iteration (DESIGN.md §11). Map range order is deliberately randomized
+// by the runtime, so a loop body that appends to a slice, writes
+// output, sends on a channel, feeds a hash, or accumulates a float is a
+// run-to-run nondeterminism hazard — the exact class of bug the merge
+// and report paths must never contain.
+//
+// The canonical safe pattern is recognized and allowed: collect keys
+// into a slice inside the loop, sort the slice before anything else
+// uses it, iterate the sorted slice. Order-insensitive bodies — map
+// writes, set building, counting, min/max tracking, integer sums —
+// pass untouched.
+package mapiter
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+
+	"github.com/nectar-repro/nectar/internal/analysis/nvet"
+	"github.com/nectar-repro/nectar/internal/analysis/scope"
+)
+
+var Analyzer = &nvet.Analyzer{
+	Name:  "mapiter",
+	Doc:   "flag map iteration feeding order-sensitive sinks (append without sort, output writes, channel sends, hashes, float accumulation)",
+	Scope: scope.Deterministic,
+	Run:   run,
+}
+
+// orderedSinks are callee names whose invocation order is observable in
+// the output: stream writes, printing, hashing, encoding.
+var orderedSinks = map[string]bool{
+	"Write": true, "WriteString": true, "WriteByte": true, "WriteRune": true,
+	"Print": true, "Printf": true, "Println": true,
+	"Fprint": true, "Fprintf": true, "Fprintln": true,
+	"Encode": true, "EncodeHops": true, "Sum": true, "Sum32": true, "Sum64": true,
+}
+
+func run(pass *nvet.Pass) error {
+	for _, file := range pass.Files {
+		// ast.Inspect pairs every visited node with a closing f(nil)
+		// call, so pushing each node and popping on nil keeps an exact
+		// ancestor stack.
+		var stack []ast.Node
+		ast.Inspect(file, func(n ast.Node) bool {
+			if n == nil {
+				stack = stack[:len(stack)-1]
+				return true
+			}
+			if rng, ok := n.(*ast.RangeStmt); ok && isMapType(pass.TypesInfo, rng.X) {
+				checkBody(pass, rng, enclosingFunc(stack))
+			}
+			stack = append(stack, n)
+			return true
+		})
+	}
+	return nil
+}
+
+// enclosingFunc returns the innermost function declaration or literal
+// among the ancestors.
+func enclosingFunc(stack []ast.Node) ast.Node {
+	for i := len(stack) - 1; i >= 0; i-- {
+		switch stack[i].(type) {
+		case *ast.FuncDecl, *ast.FuncLit:
+			return stack[i]
+		}
+	}
+	return nil
+}
+
+func isMapType(info *types.Info, x ast.Expr) bool {
+	tv, ok := info.Types[x]
+	if !ok || tv.Type == nil {
+		return false
+	}
+	_, isMap := tv.Type.Underlying().(*types.Map)
+	return isMap
+}
+
+// checkBody scans one map-range body for order-sensitive sinks.
+func checkBody(pass *nvet.Pass, rng *ast.RangeStmt, fn ast.Node) {
+	ast.Inspect(rng.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.RangeStmt:
+			// A nested map range gets its own visit; don't double-report
+			// its body here.
+			if n != rng && isMapType(pass.TypesInfo, n.X) {
+				return false
+			}
+		case *ast.SendStmt:
+			pass.Reportf(n.Pos(),
+				"map iteration order reaches a channel send; collect and sort keys first")
+		case *ast.CallExpr:
+			if name := nvet.CalleeName(n); orderedSinks[name] {
+				pass.Reportf(n.Pos(),
+					"map iteration order reaches %s; collect and sort keys first", name)
+			}
+		case *ast.AssignStmt:
+			checkAssign(pass, rng, fn, n)
+		}
+		return true
+	})
+}
+
+// checkAssign flags unsorted appends and float accumulation whose
+// target outlives the loop.
+func checkAssign(pass *nvet.Pass, rng *ast.RangeStmt, fn ast.Node, as *ast.AssignStmt) {
+	switch as.Tok {
+	case token.ASSIGN, token.DEFINE:
+		for i, rhs := range as.Rhs {
+			call, ok := ast.Unparen(rhs).(*ast.CallExpr)
+			if !ok || nvet.CalleeName(call) != "append" || i >= len(as.Lhs) {
+				continue
+			}
+			obj := assignedObj(pass.TypesInfo, as.Lhs[i])
+			if obj == nil || !declaredOutside(obj, rng) {
+				continue
+			}
+			if !sortedAfter(pass.TypesInfo, fn, rng, obj) {
+				pass.Reportf(as.Pos(),
+					"append to %s inside map iteration, and %s is not sorted before use; sort it (or collect-and-sort keys first)",
+					obj.Name(), obj.Name())
+			}
+		}
+	case token.ADD_ASSIGN, token.SUB_ASSIGN, token.MUL_ASSIGN, token.QUO_ASSIGN:
+		obj := assignedObj(pass.TypesInfo, as.Lhs[0])
+		if obj == nil || !declaredOutside(obj, rng) {
+			return
+		}
+		if basic, ok := obj.Type().Underlying().(*types.Basic); ok && basic.Info()&types.IsFloat != 0 {
+			pass.Reportf(as.Pos(),
+				"float accumulation into %s under map iteration order; float reduction is not associative, so the sum depends on iteration order",
+				obj.Name())
+		}
+	}
+}
+
+// assignedObj resolves the variable behind an assignment target,
+// looking through index expressions (s[i] = ... targets s).
+func assignedObj(info *types.Info, lhs ast.Expr) types.Object {
+	for {
+		switch e := ast.Unparen(lhs).(type) {
+		case *ast.Ident:
+			return info.ObjectOf(e)
+		case *ast.IndexExpr:
+			lhs = e.X
+		case *ast.SelectorExpr:
+			return info.ObjectOf(e.Sel)
+		default:
+			return nil
+		}
+	}
+}
+
+// declaredOutside reports whether obj's declaration precedes the range
+// statement — i.e. the value escapes the loop.
+func declaredOutside(obj types.Object, rng *ast.RangeStmt) bool {
+	return obj.Pos() < rng.Pos() || obj.Pos() > rng.End()
+}
+
+// sortedAfter reports whether, later in the same function, obj is
+// passed to a sort call (sort.Strings, sort.Slice, slices.Sort*,
+// sort.Sort(byX(obj)), ...) — the collect-then-sort idiom.
+func sortedAfter(info *types.Info, fn ast.Node, rng *ast.RangeStmt, obj types.Object) bool {
+	if fn == nil {
+		return false
+	}
+	sorted := false
+	ast.Inspect(fn, func(n ast.Node) bool {
+		if sorted {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok || call.Pos() < rng.End() || !isSortCall(info, call) {
+			return true
+		}
+		for _, arg := range call.Args {
+			if mentions(info, arg, obj) {
+				sorted = true
+				break
+			}
+		}
+		return !sorted
+	})
+	return sorted
+}
+
+// isSortCall recognizes sorting calls: anything in package sort or
+// slices (sort.Strings, sort.Slice, slices.SortFunc, ...) plus any
+// callee whose name contains "Sort" (methods and local helpers).
+func isSortCall(info *types.Info, call *ast.CallExpr) bool {
+	if fn := nvet.CalleeFunc(info, call); fn != nil && fn.Pkg() != nil {
+		if path := fn.Pkg().Path(); path == "sort" || path == "slices" {
+			return true
+		}
+	}
+	return strings.Contains(nvet.CalleeName(call), "Sort")
+}
+
+// mentions reports whether the expression references obj.
+func mentions(info *types.Info, e ast.Expr, obj types.Object) bool {
+	found := false
+	ast.Inspect(e, func(n ast.Node) bool {
+		if id, ok := n.(*ast.Ident); ok && info.ObjectOf(id) == obj {
+			found = true
+		}
+		return !found
+	})
+	return found
+}

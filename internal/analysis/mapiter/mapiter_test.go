@@ -1,0 +1,19 @@
+package mapiter_test
+
+import (
+	"testing"
+
+	"github.com/nectar-repro/nectar/internal/analysis/mapiter"
+	"github.com/nectar-repro/nectar/internal/analysis/nvet/nvettest"
+)
+
+// TestFixture proves the analyzer flags unsorted appends, output
+// writes, channel sends, and float accumulation under map iteration,
+// while accepting the collect-then-sort idiom and order-insensitive
+// bodies.
+func TestFixture(t *testing.T) {
+	diags := nvettest.Run(t, mapiter.Analyzer, "testdata")
+	if len(diags) == 0 {
+		t.Fatal("analyzer reported nothing on a fixture with known violations")
+	}
+}

@@ -1,0 +1,89 @@
+// Fixture for the mapiter analyzer: order-sensitive consumption of map
+// iteration fires; the collect-then-sort idiom and order-insensitive
+// bodies do not.
+package fixture
+
+import (
+	"fmt"
+	"io"
+	"sort"
+)
+
+// collectSorted is the canonical safe pattern: keys collected under map
+// order, sorted before anything uses them.
+func collectSorted(m map[string]int) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// sortSlice also counts: the collected slice feeds sort.Slice.
+func sortSlice(m map[string]int) []string {
+	var rows []string
+	for k, v := range m {
+		rows = append(rows, fmt.Sprintf("%s=%d", k, v))
+	}
+	sort.Slice(rows, func(i, j int) bool { return rows[i] < rows[j] })
+	return rows
+}
+
+// afterClosure pins that the sort search runs in the enclosing
+// function even when a closure precedes the loop (ancestor tracking,
+// not last-function-seen).
+func afterClosure(m map[string]int) []string {
+	less := func(a, b string) bool { return a < b }
+	var out []string
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Slice(out, func(i, j int) bool { return less(out[i], out[j]) })
+	return out
+}
+
+// unsorted escapes in map order.
+func unsorted(m map[string]int) []string {
+	var out []string
+	for k := range m {
+		out = append(out, k) // want `not sorted before use`
+	}
+	return out
+}
+
+func sinks(m map[string]int, w io.Writer, ch chan string) {
+	for k, v := range m {
+		fmt.Fprintf(w, "%s=%d\n", k, v) // want `reaches Fprintf`
+		ch <- k                         // want `channel send`
+	}
+}
+
+func accumulate(m map[string]float64) (float64, int) {
+	var fsum float64
+	isum := 0
+	for _, v := range m {
+		fsum += v // want `float accumulation`
+		isum += int(v)
+	}
+	return fsum, isum
+}
+
+// insensitive bodies: map writes, set building, min tracking.
+func insensitive(m map[string]int) (map[string]int, int) {
+	out := map[string]int{}
+	min := 1 << 30
+	for k, v := range m {
+		out[k] = v
+		if v < min {
+			min = v
+		}
+	}
+	return out, min
+}
+
+func suppressed(m map[string]int, ch chan string) {
+	for k := range m {
+		ch <- k //nectar:allow-mapiter fixture: consumer is order-insensitive by construction
+	}
+}

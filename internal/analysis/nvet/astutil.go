@@ -1,0 +1,73 @@
+package nvet
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// CalleeFunc resolves the *types.Func a call expression invokes, or nil
+// for builtins, conversions, and calls through function-typed values.
+func CalleeFunc(info *types.Info, call *ast.CallExpr) *types.Func {
+	var id *ast.Ident
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		id = fun
+	case *ast.SelectorExpr:
+		id = fun.Sel
+	default:
+		return nil
+	}
+	fn, _ := info.Uses[id].(*types.Func)
+	return fn
+}
+
+// IsPkgLevelFunc reports whether fn is a package-level (receiver-less)
+// function of the package with the given import path.
+func IsPkgLevelFunc(fn *types.Func, pkgPath string) bool {
+	if fn == nil || fn.Pkg() == nil || fn.Pkg().Path() != pkgPath {
+		return false
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	return ok && sig.Recv() == nil
+}
+
+// CalleeName returns the bare name a call is spelled with ("append",
+// "Copy", "Sort"), resolving through selectors; "" if unnameable.
+func CalleeName(call *ast.CallExpr) string {
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		return fun.Name
+	case *ast.SelectorExpr:
+		return fun.Sel.Name
+	}
+	return ""
+}
+
+// ScopeNotUnder builds a Scope predicate that rejects packages whose
+// module-relative path equals or sits under any of the given prefixes
+// and accepts everything else.
+func ScopeNotUnder(prefixes ...string) func(string) bool {
+	return func(rel string) bool {
+		for _, p := range prefixes {
+			if rel == p || strings.HasPrefix(rel, p+"/") {
+				return false
+			}
+		}
+		return true
+	}
+}
+
+// ScopeUnder builds a Scope predicate that accepts only packages whose
+// module-relative path equals or sits under one of the given prefixes.
+// The empty string selects the module root package (exactly).
+func ScopeUnder(prefixes ...string) func(string) bool {
+	return func(rel string) bool {
+		for _, p := range prefixes {
+			if rel == p || (p != "" && strings.HasPrefix(rel, p+"/")) {
+				return true
+			}
+		}
+		return false
+	}
+}

@@ -1,0 +1,247 @@
+package nvet
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+)
+
+// Package is one type-checked package ready for analysis.
+type Package struct {
+	// Path is the full import path; RelPath is the path relative to the
+	// module root ("" for the root package) used for Scope decisions.
+	Path    string
+	RelPath string
+	Fset    *token.FileSet
+	Files   []*ast.File
+	Types   *types.Package
+	Info    *types.Info
+
+	suppressions suppressionIndex
+}
+
+// listPkg is the subset of `go list -json` output the loader consumes.
+type listPkg struct {
+	ImportPath string
+	Dir        string
+	Export     string
+	GoFiles    []string
+	Standard   bool
+	Module     *struct{ Path string }
+	Error      *struct{ Err string }
+	DepsErrors []struct{ Err string }
+}
+
+// Load lists, parses, and type-checks the packages matching patterns.
+// It resolves imports from compiler export data produced by
+// `go list -export` — the build cache the go command maintains anyway —
+// so no source re-typechecking of dependencies and no third-party
+// loader is needed. Patterns are resolved relative to the module root,
+// wherever the caller's working directory is inside the module.
+func Load(patterns ...string) ([]*Package, error) {
+	root, err := moduleRoot()
+	if err != nil {
+		return nil, err
+	}
+	args := append([]string{
+		"list", "-e", "-export", "-deps",
+		"-json=ImportPath,Dir,Export,GoFiles,Standard,Module,Error,DepsErrors",
+	}, patterns...)
+	cmd := exec.Command("go", args...)
+	cmd.Dir = root
+	var stderr bytes.Buffer
+	cmd.Stderr = &stderr
+	out, err := cmd.Output()
+	if err != nil {
+		return nil, fmt.Errorf("go list %s: %v\n%s", strings.Join(patterns, " "), err, stderr.String())
+	}
+
+	exports := map[string]string{}
+	var targets []listPkg
+	dec := json.NewDecoder(bytes.NewReader(out))
+	for {
+		var p listPkg
+		if err := dec.Decode(&p); err == io.EOF {
+			break
+		} else if err != nil {
+			return nil, fmt.Errorf("go list output: %v", err)
+		}
+		if p.Error != nil {
+			return nil, fmt.Errorf("%s: %s", p.ImportPath, p.Error.Err)
+		}
+		for _, de := range p.DepsErrors {
+			return nil, fmt.Errorf("%s: %s", p.ImportPath, de.Err)
+		}
+		if p.Export != "" {
+			exports[p.ImportPath] = p.Export
+		}
+		if !p.Standard && p.Module != nil {
+			targets = append(targets, p)
+		}
+	}
+
+	fset := token.NewFileSet()
+	imp := exportImporter(fset, exports)
+	var pkgs []*Package
+	for _, p := range targets {
+		files := make([]*ast.File, 0, len(p.GoFiles))
+		for _, name := range p.GoFiles {
+			f, err := parser.ParseFile(fset, filepath.Join(p.Dir, name), nil, parser.ParseComments)
+			if err != nil {
+				return nil, err
+			}
+			files = append(files, f)
+		}
+		tpkg, info, err := Check(p.ImportPath, fset, files, imp)
+		if err != nil {
+			return nil, err
+		}
+		rel := ""
+		if p.Module != nil {
+			rel = strings.TrimPrefix(strings.TrimPrefix(p.ImportPath, p.Module.Path), "/")
+		}
+		pkgs = append(pkgs, &Package{
+			Path:         p.ImportPath,
+			RelPath:      rel,
+			Fset:         fset,
+			Files:        files,
+			Types:        tpkg,
+			Info:         info,
+			suppressions: indexSuppressions(fset, files),
+		})
+	}
+	return pkgs, nil
+}
+
+// LoadFixture parses and type-checks the .go files of one directory as
+// a single package outside the module package graph — the nvettest
+// fixture path. Imports (standard library and this module's packages
+// alike) resolve through the same export-data importer as Load.
+func LoadFixture(dir string) (*Package, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	fset := token.NewFileSet()
+	var files []*ast.File
+	importSet := map[string]bool{}
+	for _, e := range entries {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), ".go") {
+			continue
+		}
+		f, err := parser.ParseFile(fset, filepath.Join(dir, e.Name()), nil, parser.ParseComments)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+		for _, imp := range f.Imports {
+			importSet[strings.Trim(imp.Path.Value, `"`)] = true
+		}
+	}
+	if len(files) == 0 {
+		return nil, fmt.Errorf("no .go files in %s", dir)
+	}
+
+	args := []string{"list", "-e", "-export", "-deps",
+		"-json=ImportPath,Export,Standard,Error"}
+	for imp := range importSet {
+		if imp != "unsafe" {
+			args = append(args, imp)
+		}
+	}
+	root, err := moduleRoot()
+	if err != nil {
+		return nil, err
+	}
+	exports := map[string]string{}
+	if len(args) > 5 {
+		cmd := exec.Command("go", args...)
+		cmd.Dir = root
+		var stderr bytes.Buffer
+		cmd.Stderr = &stderr
+		out, err := cmd.Output()
+		if err != nil {
+			return nil, fmt.Errorf("go list (fixture imports): %v\n%s", err, stderr.String())
+		}
+		dec := json.NewDecoder(bytes.NewReader(out))
+		for {
+			var p listPkg
+			if err := dec.Decode(&p); err == io.EOF {
+				break
+			} else if err != nil {
+				return nil, err
+			}
+			if p.Export != "" {
+				exports[p.ImportPath] = p.Export
+			}
+		}
+	}
+	tpkg, info, err := Check("fixture", fset, files, exportImporter(fset, exports))
+	if err != nil {
+		return nil, err
+	}
+	return &Package{
+		Path:         "fixture",
+		RelPath:      "fixture",
+		Fset:         fset,
+		Files:        files,
+		Types:        tpkg,
+		Info:         info,
+		suppressions: indexSuppressions(fset, files),
+	}, nil
+}
+
+// Check type-checks one package with a fully populated types.Info.
+func Check(path string, fset *token.FileSet, files []*ast.File, imp types.Importer) (*types.Package, *types.Info, error) {
+	info := &types.Info{
+		Types:      map[ast.Expr]types.TypeAndValue{},
+		Defs:       map[*ast.Ident]types.Object{},
+		Uses:       map[*ast.Ident]types.Object{},
+		Implicits:  map[ast.Node]types.Object{},
+		Selections: map[*ast.SelectorExpr]*types.Selection{},
+		Scopes:     map[ast.Node]*types.Scope{},
+	}
+	conf := types.Config{Importer: imp}
+	tpkg, err := conf.Check(path, fset, files, info)
+	if err != nil {
+		return nil, nil, fmt.Errorf("typecheck %s: %v", path, err)
+	}
+	return tpkg, info, nil
+}
+
+// exportImporter resolves imports from the export-data files indexed by
+// import path (as reported by `go list -export`).
+func exportImporter(fset *token.FileSet, exports map[string]string) types.Importer {
+	return importer.ForCompiler(fset, "gc", func(path string) (io.ReadCloser, error) {
+		file, ok := exports[path]
+		if !ok {
+			return nil, fmt.Errorf("no export data for %q", path)
+		}
+		return os.Open(file)
+	})
+}
+
+// moduleRoot locates the enclosing module's directory so patterns like
+// ./... mean "the whole repository" regardless of the caller's cwd.
+func moduleRoot() (string, error) {
+	cmd := exec.Command("go", "env", "GOMOD")
+	out, err := cmd.Output()
+	if err != nil {
+		return "", fmt.Errorf("go env GOMOD: %v", err)
+	}
+	gomod := strings.TrimSpace(string(out))
+	if gomod == "" || gomod == os.DevNull {
+		return "", fmt.Errorf("not inside a module")
+	}
+	return filepath.Dir(gomod), nil
+}

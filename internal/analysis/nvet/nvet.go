@@ -1,0 +1,189 @@
+// Package nvet is the minimal analysis framework behind nectar-vet
+// (DESIGN.md §11): a dependency-free reimplementation of the core of
+// golang.org/x/tools/go/analysis, built on the standard library only.
+// The build environment for this repository is offline — the module
+// proxy is unreachable and the module cache is empty — so vendoring or
+// requiring x/tools is not an option; the subset implemented here
+// (Analyzer, Pass, position-addressed diagnostics, want-comment test
+// fixtures in nvettest) is all the five nectar-vet analyzers need.
+//
+// Suppression: a diagnostic is suppressed by a directive comment
+//
+//	//nectar:allow-<analyzer> <one-line justification>
+//
+// placed on the flagged line or the line directly above it. The
+// justification is mandatory: a bare directive does not suppress, it
+// turns into a diagnostic of its own, so every waiver in the tree
+// documents why the invariant does not apply.
+package nvet
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// Analyzer describes one static check, mirroring the x/tools analysis
+// API shape so the analyzers read like (and could later be ported to)
+// standard go/analysis passes.
+type Analyzer struct {
+	// Name identifies the analyzer in diagnostics and in
+	// //nectar:allow-<name> suppression directives.
+	Name string
+	// Doc is the one-paragraph description printed by nectar-vet -list.
+	Doc string
+	// Scope reports whether the analyzer applies to a package, given
+	// its module-relative import path ("" is the module root,
+	// "internal/rounds", "cmd/nectar-sim", ...). A nil Scope applies
+	// everywhere. The test harness bypasses Scope: fixtures always run.
+	Scope func(relPath string) bool
+	// Run reports diagnostics through the pass.
+	Run func(*Pass) error
+}
+
+// Diagnostic is one finding, addressed by token position.
+type Diagnostic struct {
+	Pos     token.Position
+	Message string
+}
+
+// Pass carries one analyzer's view of one type-checked package.
+type Pass struct {
+	Analyzer  *Analyzer
+	Fset      *token.FileSet
+	Files     []*ast.File
+	Pkg       *types.Package
+	TypesInfo *types.Info
+
+	suppressions suppressionIndex
+	diags        []Diagnostic
+	// Suppressed counts diagnostics silenced by a justified directive.
+	Suppressed int
+}
+
+// Reportf records a diagnostic at pos unless a justified
+// //nectar:allow-<analyzer> directive covers that line.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	position := p.Fset.Position(pos)
+	msg := fmt.Sprintf(format, args...)
+	switch p.suppressions.lookup(p.Analyzer.Name, position) {
+	case suppressJustified:
+		p.Suppressed++
+		return
+	case suppressBare:
+		msg += fmt.Sprintf(" (found //nectar:allow-%s without a justification; add a one-line reason to suppress)",
+			p.Analyzer.Name)
+	}
+	p.diags = append(p.diags, Diagnostic{Pos: position, Message: msg})
+}
+
+// Preorder walks every file of the package in depth-first preorder.
+func (p *Pass) Preorder(fn func(ast.Node)) {
+	for _, f := range p.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			if n != nil {
+				fn(n)
+			}
+			return true
+		})
+	}
+}
+
+type suppressState int
+
+const (
+	suppressNone suppressState = iota
+	suppressBare
+	suppressJustified
+)
+
+// directive is one parsed //nectar:allow-<name> comment.
+type directive struct {
+	analyzer      string
+	justification string
+}
+
+// suppressionIndex maps file:line to the directives covering that line.
+type suppressionIndex map[string]map[int][]directive
+
+const directivePrefix = "//nectar:allow-"
+
+// indexSuppressions scans the comments of the package files once and
+// records, per file and line, which analyzers are waived there. A
+// directive covers its own line (trailing comment) and the line below
+// it (comment above the flagged statement).
+func indexSuppressions(fset *token.FileSet, files []*ast.File) suppressionIndex {
+	idx := suppressionIndex{}
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				if !strings.HasPrefix(c.Text, directivePrefix) {
+					continue
+				}
+				rest := strings.TrimPrefix(c.Text, directivePrefix)
+				name, just, _ := strings.Cut(rest, " ")
+				pos := fset.Position(c.Pos())
+				byLine := idx[pos.Filename]
+				if byLine == nil {
+					byLine = map[int][]directive{}
+					idx[pos.Filename] = byLine
+				}
+				d := directive{analyzer: name, justification: strings.TrimSpace(just)}
+				byLine[pos.Line] = append(byLine[pos.Line], d)
+			}
+		}
+	}
+	return idx
+}
+
+// lookup resolves the suppression state for one analyzer at a position:
+// a directive on the same line or the line above applies.
+func (idx suppressionIndex) lookup(analyzer string, pos token.Position) suppressState {
+	byLine := idx[pos.Filename]
+	if byLine == nil {
+		return suppressNone
+	}
+	state := suppressNone
+	for _, line := range [2]int{pos.Line, pos.Line - 1} {
+		for _, d := range byLine[line] {
+			if d.analyzer != analyzer {
+				continue
+			}
+			if d.justification != "" {
+				return suppressJustified
+			}
+			state = suppressBare
+		}
+	}
+	return state
+}
+
+// Run executes one analyzer over one loaded package and returns its
+// diagnostics sorted by position.
+func Run(a *Analyzer, pkg *Package) ([]Diagnostic, int, error) {
+	pass := &Pass{
+		Analyzer:     a,
+		Fset:         pkg.Fset,
+		Files:        pkg.Files,
+		Pkg:          pkg.Types,
+		TypesInfo:    pkg.Info,
+		suppressions: pkg.suppressions,
+	}
+	if err := a.Run(pass); err != nil {
+		return nil, 0, fmt.Errorf("%s: %s: %w", a.Name, pkg.Path, err)
+	}
+	sort.Slice(pass.diags, func(i, j int) bool {
+		di, dj := pass.diags[i].Pos, pass.diags[j].Pos
+		if di.Filename != dj.Filename {
+			return di.Filename < dj.Filename
+		}
+		if di.Line != dj.Line {
+			return di.Line < dj.Line
+		}
+		return di.Column < dj.Column
+	})
+	return pass.diags, pass.Suppressed, nil
+}

@@ -1,0 +1,74 @@
+package nvet
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"testing"
+)
+
+func TestSuppressionIndex(t *testing.T) {
+	src := `package p
+
+func f() {
+	x() //nectar:allow-wallclock trailing justification
+	//nectar:allow-mapiter above-line justification
+	y()
+	//nectar:allow-seeddrift
+	z()
+}
+`
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "p.go", src, parser.ParseComments)
+	if err != nil {
+		t.Fatal(err)
+	}
+	idx := indexSuppressions(fset, []*ast.File{f})
+
+	cases := []struct {
+		analyzer string
+		line     int
+		want     suppressState
+	}{
+		{"wallclock", 4, suppressJustified}, // trailing, same line
+		{"mapiter", 6, suppressJustified},   // directive on line above
+		{"mapiter", 4, suppressNone},        // wrong analyzer
+		{"seeddrift", 8, suppressBare},      // no justification
+		{"wallclock", 9, suppressNone},      // directive out of reach
+	}
+	for _, c := range cases {
+		got := idx.lookup(c.analyzer, token.Position{Filename: "p.go", Line: c.line})
+		if got != c.want {
+			t.Errorf("lookup(%s, line %d) = %v, want %v", c.analyzer, c.line, got, c.want)
+		}
+	}
+}
+
+func TestScopeHelpers(t *testing.T) {
+	det := ScopeNotUnder("cmd", "internal/tcpnet")
+	for rel, want := range map[string]bool{
+		"":                  true,
+		"internal/rounds":   true,
+		"cmd":               false,
+		"cmd/nectar-sim":    false,
+		"internal/tcpnet":   false,
+		"internal/tcpnetty": true, // prefix must respect path boundaries
+	} {
+		if got := det(rel); got != want {
+			t.Errorf("ScopeNotUnder(%q) = %v, want %v", rel, got, want)
+		}
+	}
+
+	proto := ScopeUnder("", "internal/nectar")
+	for rel, want := range map[string]bool{
+		"":                    true,
+		"internal/nectar":     true,
+		"internal/nectar/sub": true,
+		"internal/nectarine":  false,
+		"internal/rounds":     false,
+	} {
+		if got := proto(rel); got != want {
+			t.Errorf("ScopeUnder(%q) = %v, want %v", rel, got, want)
+		}
+	}
+}

@@ -1,0 +1,112 @@
+// Package nvettest runs an nvet analyzer over a fixture directory and
+// checks its diagnostics against want comments, mirroring
+// golang.org/x/tools/go/analysis/analysistest with the standard library
+// only (see the package comment of nvet for why x/tools is out).
+//
+// Expectations are written on the line the diagnostic is reported at:
+//
+//	rand.Intn(6) // want `math/rand global`
+//
+// The backquoted (or double-quoted) string is a regular expression that
+// must match the diagnostic message; several patterns on one line
+// expect several diagnostics. Lines without a want comment must produce
+// no diagnostic, so every fixture proves firing and non-firing cases in
+// one file — and a silently-broken analyzer fails its test, because its
+// want comments go unmatched.
+package nvettest
+
+import (
+	"go/token"
+	"regexp"
+	"strings"
+	"testing"
+
+	"github.com/nectar-repro/nectar/internal/analysis/nvet"
+)
+
+var wantRE = regexp.MustCompile("`([^`]*)`|\"([^\"]*)\"")
+
+type expectation struct {
+	file    string
+	line    int
+	pattern *regexp.Regexp
+	matched bool
+}
+
+// Run type-checks the fixture directory, applies the analyzer
+// (bypassing its Scope — fixtures always run), and reports any mismatch
+// between diagnostics and want comments as test errors. It returns the
+// diagnostics for additional assertions.
+func Run(t *testing.T, a *nvet.Analyzer, fixtureDir string) []nvet.Diagnostic {
+	t.Helper()
+	pkg, err := nvet.LoadFixture(fixtureDir)
+	if err != nil {
+		t.Fatalf("loading fixture %s: %v", fixtureDir, err)
+	}
+	diags, _, err := nvet.Run(a, pkg)
+	if err != nil {
+		t.Fatalf("running %s: %v", a.Name, err)
+	}
+
+	expects := collectWants(t, pkg.Fset, pkg)
+	for _, d := range diags {
+		if !claim(expects, d) {
+			t.Errorf("%s:%d: unexpected diagnostic: %s", d.Pos.Filename, d.Pos.Line, d.Message)
+		}
+	}
+	for _, e := range expects {
+		if !e.matched {
+			t.Errorf("%s:%d: expected diagnostic matching %q, got none", e.file, e.line, e.pattern)
+		}
+	}
+	return diags
+}
+
+// claim marks the first unmatched expectation on the diagnostic's line
+// whose pattern matches its message.
+func claim(expects []*expectation, d nvet.Diagnostic) bool {
+	for _, e := range expects {
+		if e.matched || e.file != d.Pos.Filename || e.line != d.Pos.Line {
+			continue
+		}
+		if e.pattern.MatchString(d.Message) {
+			e.matched = true
+			return true
+		}
+	}
+	return false
+}
+
+// collectWants parses the // want comments of every fixture file.
+func collectWants(t *testing.T, fset *token.FileSet, pkg *nvet.Package) []*expectation {
+	t.Helper()
+	var expects []*expectation
+	for _, f := range pkg.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text, ok := strings.CutPrefix(c.Text, "// want ")
+				if !ok {
+					continue
+				}
+				pos := fset.Position(c.Pos())
+				ms := wantRE.FindAllStringSubmatch(text, -1)
+				if len(ms) == 0 {
+					t.Fatalf("%s:%d: malformed want comment (no quoted pattern): %s",
+						pos.Filename, pos.Line, c.Text)
+				}
+				for _, m := range ms {
+					raw := m[1]
+					if raw == "" {
+						raw = m[2]
+					}
+					re, err := regexp.Compile(raw)
+					if err != nil {
+						t.Fatalf("%s:%d: bad want pattern %q: %v", pos.Filename, pos.Line, raw, err)
+					}
+					expects = append(expects, &expectation{file: pos.Filename, line: pos.Line, pattern: re})
+				}
+			}
+		}
+	}
+	return expects
+}

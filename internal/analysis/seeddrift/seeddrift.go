@@ -1,0 +1,149 @@
+// Package seeddrift flags RNG sources whose seed is not traceable to a
+// Spec/Config seed (DESIGN.md §11). globalrand forces every generator
+// to be an explicit *rand.Rand; this analyzer closes the remaining
+// hole: rand.NewSource(time.Now().UnixNano()) is an explicit generator
+// too, and exactly as unreproducible as the global source. A seed
+// expression is accepted when it is
+//
+//   - a compile-time constant (fixture and test seeds), or
+//   - derived — by any arithmetic — from an identifier or field whose
+//     name contains "seed" (the repo-wide convention: Spec.Seed,
+//     trialSeed, pSeed, ...), or
+//   - drawn from an existing *rand.Rand (hierarchical seeding).
+//
+// Entropy sources (time.*, os.Getpid, crypto/rand) inside the seed
+// expression are rejected outright, even alongside a spec seed: mixing
+// entropy into a seed is precisely the drift this analyzer exists to
+// stop.
+package seeddrift
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+
+	"github.com/nectar-repro/nectar/internal/analysis/nvet"
+	"github.com/nectar-repro/nectar/internal/analysis/scope"
+)
+
+// sources are the functions that mint a generator from a raw seed.
+var sources = map[string]bool{
+	"NewSource":  true, // math/rand
+	"NewPCG":     true, // math/rand/v2
+	"NewChaCha8": true,
+}
+
+var Analyzer = &nvet.Analyzer{
+	Name:  "seeddrift",
+	Doc:   "flag rand.NewSource seeds not derived from a Spec/Config seed, a constant, or an existing *rand.Rand",
+	Scope: scope.Deterministic,
+	Run:   run,
+}
+
+func run(pass *nvet.Pass) error {
+	pass.Preorder(func(n ast.Node) {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return
+		}
+		fn := nvet.CalleeFunc(pass.TypesInfo, call)
+		if fn == nil || !sources[fn.Name()] {
+			return
+		}
+		if !nvet.IsPkgLevelFunc(fn, "math/rand") && !nvet.IsPkgLevelFunc(fn, "math/rand/v2") {
+			return
+		}
+		for _, arg := range call.Args {
+			checkSeed(pass, fn.Name(), arg)
+		}
+	})
+	return nil
+}
+
+func checkSeed(pass *nvet.Pass, source string, arg ast.Expr) {
+	if entropy := entropyCall(pass.TypesInfo, arg); entropy != "" {
+		pass.Reportf(arg.Pos(),
+			"seed drift: rand.%s seeded from %s; every RNG must be reproducible from the Spec seed",
+			source, entropy)
+		return
+	}
+	if tv, ok := pass.TypesInfo.Types[arg]; ok && tv.Value != nil {
+		return // compile-time constant
+	}
+	if seedDerived(pass.TypesInfo, arg) {
+		return
+	}
+	pass.Reportf(arg.Pos(),
+		"seed drift: rand.%s argument is not a constant, not derived from a *seed* identifier, and not drawn from an existing *rand.Rand",
+		source)
+}
+
+// entropyCall reports a nondeterministic call inside the seed
+// expression ("time.Now", "os.Getpid", "crypto/rand read"), or "".
+func entropyCall(info *types.Info, arg ast.Expr) string {
+	found := ""
+	ast.Inspect(arg, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok || found != "" {
+			return found == ""
+		}
+		fn := nvet.CalleeFunc(info, call)
+		if fn == nil || fn.Pkg() == nil {
+			return true
+		}
+		switch fn.Pkg().Path() {
+		case "time":
+			found = "time." + fn.Name()
+		case "os":
+			if fn.Name() == "Getpid" || fn.Name() == "Getppid" {
+				found = "os." + fn.Name()
+			}
+		case "crypto/rand":
+			found = "crypto/rand." + fn.Name()
+		}
+		return found == ""
+	})
+	return found
+}
+
+// seedDerived reports whether the expression mentions a seed-named
+// identifier or selector, or a call on an existing *math/rand.Rand.
+func seedDerived(info *types.Info, arg ast.Expr) bool {
+	derived := false
+	ast.Inspect(arg, func(n ast.Node) bool {
+		if derived {
+			return false
+		}
+		switch n := n.(type) {
+		case *ast.Ident:
+			if strings.Contains(strings.ToLower(n.Name), "seed") {
+				derived = true
+			}
+		case *ast.CallExpr:
+			if fn := nvet.CalleeFunc(info, n); fn != nil {
+				if recv := recvNamed(fn); recv != nil &&
+					recv.Obj().Pkg() != nil &&
+					(recv.Obj().Pkg().Path() == "math/rand" || recv.Obj().Pkg().Path() == "math/rand/v2") {
+					derived = true // e.g. parentRng.Int63()
+				}
+			}
+		}
+		return !derived
+	})
+	return derived
+}
+
+// recvNamed returns the named type of fn's receiver, unwrapping one
+// pointer, or nil for package-level functions.
+func recvNamed(fn *types.Func) *types.Named {
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil {
+		return nil
+	}
+	t := sig.Recv().Type()
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	named, _ := t.(*types.Named)
+	return named
+}

@@ -1,0 +1,18 @@
+package seeddrift_test
+
+import (
+	"testing"
+
+	"github.com/nectar-repro/nectar/internal/analysis/nvet/nvettest"
+	"github.com/nectar-repro/nectar/internal/analysis/seeddrift"
+)
+
+// TestFixture proves the analyzer rejects entropy-derived and
+// unprovenanced seeds while accepting constants, *seed*-named
+// derivations, and hierarchical seeding from an existing generator.
+func TestFixture(t *testing.T) {
+	diags := nvettest.Run(t, seeddrift.Analyzer, "testdata")
+	if len(diags) == 0 {
+		t.Fatal("analyzer reported nothing on a fixture with known violations")
+	}
+}

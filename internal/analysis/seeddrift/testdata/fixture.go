@@ -1,0 +1,27 @@
+// Fixture for the seeddrift analyzer: seeds must be constants,
+// spec-seed-derived, or drawn from an existing generator; entropy is
+// rejected outright.
+package fixture
+
+import (
+	"math/rand"
+	"time"
+)
+
+type spec struct{ Seed int64 }
+
+func seeds(sp spec, parent *rand.Rand, x int64) {
+	_ = rand.New(rand.NewSource(42))                   // constant: fine
+	_ = rand.New(rand.NewSource(sp.Seed ^ 0x5EEDBA5E)) // spec-derived: fine
+	trialSeed := sp.Seed + 7
+	_ = rand.New(rand.NewSource(trialSeed))             // seed-named: fine
+	_ = rand.New(rand.NewSource(parent.Int63()))        // hierarchical: fine
+	_ = rand.New(rand.NewSource(time.Now().UnixNano())) // want `seeded from time\.`
+	_ = rand.New(rand.NewSource(x))                     // want `not a constant, not derived`
+	_ = rand.New(rand.NewSource(x ^ sp.Seed))           // mixing in the spec seed: fine
+}
+
+func suppressed(x int64) {
+	//nectar:allow-seeddrift fixture: x is documented as spec-derived upstream
+	_ = rand.New(rand.NewSource(x))
+}

@@ -1,0 +1,58 @@
+// Package wallclock forbids reading the wall clock in deterministic
+// packages (DESIGN.md §11). Simulated time is the round counter; a
+// time.Now in an engine path makes output depend on scheduling and
+// machine speed, which breaks the bit-identical-across-worker-counts
+// guarantee the equivalence suite pins. Timing telemetry that is
+// genuinely wanted (scheduler wall/parallelism summaries) carries a
+// //nectar:allow-wallclock directive with a justification; cmd/ and
+// internal/tcpnet are out of scope entirely — they exist to interact
+// with real time.
+package wallclock
+
+import (
+	"go/ast"
+
+	"github.com/nectar-repro/nectar/internal/analysis/nvet"
+	"github.com/nectar-repro/nectar/internal/analysis/scope"
+)
+
+// forbidden are the package-level time functions that read or wait on
+// the real clock. Conversions and arithmetic (time.Duration, Unix) are
+// fine: they are pure.
+var forbidden = map[string]bool{
+	"Now":       true,
+	"Since":     true,
+	"Until":     true,
+	"After":     true,
+	"AfterFunc": true,
+	"Tick":      true,
+	"NewTimer":  true,
+	"NewTicker": true,
+	"Sleep":     true,
+}
+
+var Analyzer = &nvet.Analyzer{
+	Name:  "wallclock",
+	Doc:   "forbid wall-clock reads (time.Now, timers, sleeps) in deterministic packages; simulated time is the round counter",
+	Scope: scope.Deterministic,
+	Run:   run,
+}
+
+func run(pass *nvet.Pass) error {
+	pass.Preorder(func(n ast.Node) {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return
+		}
+		fn := nvet.CalleeFunc(pass.TypesInfo, call)
+		if fn == nil || !forbidden[fn.Name()] {
+			return
+		}
+		if nvet.IsPkgLevelFunc(fn, "time") {
+			pass.Reportf(call.Pos(),
+				"wall clock in deterministic path: time.%s makes output depend on real time; use the round counter, or annotate timing telemetry with //nectar:allow-wallclock <why>",
+				fn.Name())
+		}
+	})
+	return nil
+}

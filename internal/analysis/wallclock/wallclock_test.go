@@ -1,0 +1,19 @@
+package wallclock_test
+
+import (
+	"testing"
+
+	"github.com/nectar-repro/nectar/internal/analysis/nvet/nvettest"
+	"github.com/nectar-repro/nectar/internal/analysis/wallclock"
+)
+
+// TestFixture proves the analyzer fires on clock reads, ignores pure
+// time arithmetic, suppresses only justified directives, and reports
+// bare ones — so both the analyzer and the suppression machinery break
+// loudly.
+func TestFixture(t *testing.T) {
+	diags := nvettest.Run(t, wallclock.Analyzer, "testdata")
+	if len(diags) == 0 {
+		t.Fatal("analyzer reported nothing on a fixture with known violations")
+	}
+}

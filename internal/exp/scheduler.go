@@ -126,6 +126,7 @@ func Execute(plan *Plan, opts Options) (*Results, error) {
 	if jobs == 0 {
 		jobs = runtime.GOMAXPROCS(0)
 	}
+	//nectar:allow-wallclock wall/parallelism telemetry in Result.Wall; never feeds trial records or aggregates
 	start := time.Now()
 
 	// Resolve states and serve resumable units from the checkpoint before
@@ -207,8 +208,10 @@ func Execute(plan *Plan, opts Options) (*Results, error) {
 			for u := range work {
 				sp := plan.Specs[u.spec]
 				st := states[u.spec]
+				//nectar:allow-wallclock per-unit timing telemetry for the -v progress line; never feeds trial records or aggregates
 				t0 := time.Now()
 				rec, err := sp.Runner.Run(u.idx, engineWorkers)
+				//nectar:allow-wallclock per-unit timing telemetry for the -v progress line; never feeds trial records or aggregates
 				elapsed := time.Since(t0)
 				var decoded any
 				var data json.RawMessage
@@ -273,6 +276,7 @@ dispatch:
 	}
 	close(work)
 	wg.Wait()
+	//nectar:allow-wallclock wall/parallelism telemetry in Result.Wall; never feeds trial records or aggregates
 	res.Wall = time.Since(start)
 
 	// Finalize every fully completed spec; mark the rest.

@@ -376,6 +376,7 @@ func (e *engine) run() {
 		// nodes are independent state machines).
 		parallelChunks(e.n, e.workers, func(_, lo, hi int) {
 			for i := lo; i < hi; i++ {
+				//nectar:allow-bufretain the engine is the consuming side of the contract; outboxes are read only until this round's delivery phase ends
 				e.outboxes[i] = e.nodes[i].Emit(r)
 			}
 		})
