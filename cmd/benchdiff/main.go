@@ -6,11 +6,13 @@
 // Usage:
 //
 //	go test -run=NONE -bench ... -benchmem ... | benchdiff parse > BENCH_baseline.json
-//	benchdiff compare BENCH_baseline.json new.json [-metric ns/op] [-threshold 1.30]
+//	benchdiff compare BENCH_baseline.json new.json [-metric ns/op] [-threshold 1.30] [-strict]
 //
-// compare is warn-only by design: it always exits 0 on valid input, so CI
+// compare is warn-only by default: it exits 0 on valid input, so CI
 // surfaces regressions without blocking on machine-speed noise (see
-// scripts/bench.sh and the bench-compare CI step).
+// scripts/bench.sh and the bench-compare CI step). With -strict it exits
+// nonzero when any benchmark regresses beyond the threshold, graduating
+// the comparison to a gate on opt-in.
 package main
 
 import (
@@ -68,13 +70,14 @@ func run(args []string) error {
 		fs := flag.NewFlagSet("compare", flag.ContinueOnError)
 		metric := fs.String("metric", "ns/op", "primary metric for the delta table")
 		threshold := fs.Float64("threshold", 1.30, "warn when new/old exceeds this ratio")
+		strict := fs.Bool("strict", false, "exit nonzero when any benchmark regresses beyond -threshold")
 		if err := fs.Parse(args[1:]); err != nil {
 			return err
 		}
 		if fs.NArg() != 2 {
-			return fmt.Errorf("usage: benchdiff compare OLD.json NEW.json")
+			return fmt.Errorf("usage: benchdiff compare [-strict] OLD.json NEW.json")
 		}
-		return compare(os.Stdout, fs.Arg(0), fs.Arg(1), *metric, *threshold)
+		return compare(os.Stdout, fs.Arg(0), fs.Arg(1), *metric, *threshold, *strict)
 	}
 	return fmt.Errorf("unknown subcommand %q (want parse or compare)", args[0])
 }
@@ -153,7 +156,7 @@ func load(path string) (*File, error) {
 	return &f, nil
 }
 
-func compare(out io.Writer, oldPath, newPath, metric string, threshold float64) error {
+func compare(out io.Writer, oldPath, newPath, metric string, threshold float64, strict bool) error {
 	oldF, err := load(oldPath)
 	if err != nil {
 		return err
@@ -222,12 +225,15 @@ func compare(out io.Writer, oldPath, newPath, metric string, threshold float64) 
 		}
 		fmt.Fprintf(out, "%-58s %14s %14s %+7.1f%%%s\n", nb.Name, format(ov), format(nv), (ratio-1)*100, mark)
 	}
-	if warns > 0 {
-		fmt.Fprintf(out, "WARN: %d benchmark(s) above the %.2fx threshold on %s (warn-only, not failing)\n",
-			warns, threshold, metric)
-	} else {
+	if warns == 0 {
 		fmt.Fprintf(out, "no regressions above the %.2fx threshold\n", threshold)
+		return nil
 	}
+	if strict {
+		return fmt.Errorf("%d benchmark(s) above the %.2fx threshold on %s", warns, threshold, metric)
+	}
+	fmt.Fprintf(out, "WARN: %d benchmark(s) above the %.2fx threshold on %s (warn-only, not failing)\n",
+		warns, threshold, metric)
 	return nil
 }
 

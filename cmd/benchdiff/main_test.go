@@ -58,7 +58,7 @@ func TestCompareBridgesCPUSuffixes(t *testing.T) {
 	oldP := write("old.json", "BenchmarkAblation/rounds=n-1-8\t5\t100 ns/op\nBenchmarkPlain-8\t5\t100 ns/op\n")
 	newP := write("new.json", "BenchmarkAblation/rounds=n-1\t5\t100 ns/op\nBenchmarkPlain-2\t5\t100 ns/op\n")
 	var out bytes.Buffer
-	if err := compare(&out, oldP, newP, "ns/op", 1.30); err != nil {
+	if err := compare(&out, oldP, newP, "ns/op", 1.30, false); err != nil {
 		t.Fatal(err)
 	}
 	if strings.Contains(out.String(), "new") && strings.Contains(out.String(), " - ") {
@@ -92,7 +92,7 @@ func TestParseAndCompareRoundTrip(t *testing.T) {
 	}
 
 	var table bytes.Buffer
-	if err := compare(&table, oldPath, newPath, "ns/op", 1.30); err != nil {
+	if err := compare(&table, oldPath, newPath, "ns/op", 1.30, false); err != nil {
 		t.Fatal(err)
 	}
 	out := table.String()
@@ -105,11 +105,20 @@ func TestParseAndCompareRoundTrip(t *testing.T) {
 
 	// Identical files: no warnings (the warn-only contract's happy path).
 	table.Reset()
-	if err := compare(&table, oldPath, oldPath, "ns/op", 1.30); err != nil {
+	if err := compare(&table, oldPath, oldPath, "ns/op", 1.30, false); err != nil {
 		t.Fatal(err)
 	}
 	if strings.Contains(table.String(), "WARN") {
 		t.Errorf("self-compare warned:\n%s", table.String())
+	}
+
+	// -strict graduates the warning to a failure, and stays green when
+	// nothing regressed.
+	if err := compare(&bytes.Buffer{}, oldPath, newPath, "ns/op", 1.30, true); err == nil {
+		t.Error("-strict did not fail on a 2x regression")
+	}
+	if err := compare(&bytes.Buffer{}, oldPath, oldPath, "ns/op", 1.30, true); err != nil {
+		t.Errorf("-strict failed a clean self-compare: %v", err)
 	}
 }
 

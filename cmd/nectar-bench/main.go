@@ -30,7 +30,9 @@ import (
 	"strings"
 	"time"
 
+	"github.com/nectar-repro/nectar/internal/cliutil"
 	"github.com/nectar-repro/nectar/internal/exp"
+	"github.com/nectar-repro/nectar/internal/obs"
 	"github.com/nectar-repro/nectar/internal/report"
 	"github.com/nectar-repro/nectar/internal/sig"
 )
@@ -54,6 +56,10 @@ func run(args []string) error {
 	resume := fs.Bool("resume", false, "resume from the -stream checkpoint (skip completed trials)")
 	noASCII := fs.Bool("no-ascii", false, "suppress terminal plots")
 	verbose := fs.Bool("v", false, "print live per-trial progress")
+	tracePath := fs.String("trace", "",
+		"write a scheduler event trace (unit start/done): *.jsonl = one event per line, anything else Chrome trace JSON")
+	metricsOut := fs.String("metrics-out", "",
+		"write scheduler metrics (unit counts, latency histogram) in Prometheus text format to this file")
 	list := fs.Bool("list", false, "print valid experiments and schemes and exit")
 	cpuProfile := fs.String("cpuprofile", "", "write a CPU profile of the experiment runs to this file")
 	memProfile := fs.String("memprofile", "", "write a heap profile (after the runs) to this file")
@@ -123,6 +129,19 @@ func run(args []string) error {
 	}
 
 	cfg := report.RunConfig{Jobs: *jobs, Stream: *stream, Resume: *resume}
+	var rec *obs.Recorder
+	if *tracePath != "" {
+		// Edge binary: wall-clock timestamps are in scope here, and they
+		// make the Chrome trace's unit lanes show real durations.
+		t0 := time.Now()
+		rec = obs.NewRecorder(obs.ClockFunc(func() int64 { return time.Since(t0).Microseconds() }))
+		cfg.Tracer = rec
+	}
+	var reg *obs.Registry
+	if *metricsOut != "" {
+		reg = obs.NewRegistry()
+		cfg.Registry = reg
+	}
 	if *verbose {
 		cfg.OnUnit = func(ev exp.UnitEvent) {
 			switch {
@@ -139,6 +158,22 @@ func run(args []string) error {
 
 	start := time.Now()
 	rep, runErr := report.RunExperiments(expanded, opts, cfg)
+	if rec != nil {
+		if err := cliutil.WriteTrace(*tracePath, rec); err != nil {
+			return err
+		}
+		fmt.Printf("wrote %s (%d events)\n", *tracePath, rec.Len())
+	}
+	if reg != nil {
+		var buf strings.Builder
+		if err := reg.WritePrometheus(&buf); err != nil {
+			return err
+		}
+		if err := os.WriteFile(*metricsOut, []byte(buf.String()), 0o644); err != nil {
+			return err
+		}
+		fmt.Printf("wrote %s\n", *metricsOut)
+	}
 	if rep == nil {
 		return runErr
 	}

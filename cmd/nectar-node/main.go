@@ -25,10 +25,14 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"net"
+	"net/http"
 	"os"
+	"sync/atomic"
 	"time"
 
 	nectar "github.com/nectar-repro/nectar"
+	"github.com/nectar-repro/nectar/internal/obs"
 )
 
 type deployment struct {
@@ -57,6 +61,12 @@ func run(args []string) error {
 	id := fs.Uint("id", 0, "this process's node ID")
 	startAt := fs.String("start-at", "", "agreed start instant (RFC3339); overrides -start-in")
 	startIn := fs.Duration("start-in", 2*time.Second, "start delay from now")
+	adminAddr := fs.String("admin", "",
+		"serve /healthz, /metrics and /debug/pprof/* on this address (empty = no admin server)")
+	reconnect := fs.Bool("reconnect", false,
+		"survive peer connection drops: drop and count failed sends, re-establish in the background")
+	linger := fs.Duration("linger", 0,
+		"keep serving the admin endpoints this long after the run completes (so scrapers catch final state)")
 	verbose := fs.Bool("v", false, "log per-round progress")
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -117,21 +127,79 @@ func run(args []string) error {
 	if *verbose {
 		logf = func(format string, a ...any) { fmt.Fprintf(os.Stderr, format+"\n", a...) }
 	}
-	stats, err := nectar.RunTCP(nectar.TCPConfig{
+	tcpCfg := nectar.TCPConfig{
 		Me:            me,
 		Addrs:         addrs,
 		Neighbors:     g.Neighbors(me),
 		StartAt:       when,
 		RoundDuration: time.Duration(dep.RoundMS) * time.Millisecond,
 		Rounds:        node.Rounds(),
+		Reconnect:     *reconnect,
 		Logf:          logf,
-	}, node)
+	}
+
+	// Admin surface (DESIGN.md §12): the TCP runner feeds live
+	// nectar_node_* metrics into the registry; the decision gauges are
+	// set once the run finishes (gate on nectar_node_done).
+	var gDone, gDecision, gConfirmed, gReachable *obs.Gauge
+	var runDone atomic.Bool
+	if *adminAddr != "" {
+		reg := obs.NewRegistry()
+		tcpCfg.Metrics = reg
+		gDone = reg.Gauge("nectar_node_done",
+			"1 once the run has completed and the decision gauges are final.")
+		gDecision = reg.Gauge("nectar_node_decision_partitionable",
+			"Final verdict: 1 = PARTITIONABLE, 0 = NOT_PARTITIONABLE (valid once nectar_node_done is 1).")
+		gConfirmed = reg.Gauge("nectar_node_decision_confirmed",
+			"1 when the final verdict is confirmed (valid once nectar_node_done is 1).")
+		gReachable = reg.Gauge("nectar_node_reachable",
+			"Nodes reachable in the local detection graph (valid once nectar_node_done is 1).")
+		health := func() obs.Health {
+			phase := int64(0)
+			if runDone.Load() {
+				phase = 1
+			}
+			return obs.Health{Status: "ok", Detail: []obs.Attr{
+				{K: "node", V: int64(me)},
+				{K: "done", V: phase},
+			}}
+		}
+		ln, err := net.Listen("tcp", *adminAddr)
+		if err != nil {
+			return fmt.Errorf("admin listen %s: %w", *adminAddr, err)
+		}
+		defer ln.Close()
+		fmt.Printf("node %v: admin on http://%s/ (healthz, metrics, debug/pprof)\n", me, ln.Addr())
+		srv := &http.Server{Handler: obs.NewAdminMux(reg, health)}
+		go srv.Serve(ln)
+		defer srv.Close()
+	}
+
+	stats, err := nectar.RunTCP(tcpCfg, node)
 	if err != nil {
 		return err
 	}
 	out := node.Decide()
-	fmt.Printf("node %v: decision=%v confirmed=%v reachable=%d/%d sent=%.1fKB msgs=%d\n",
+	if gDone != nil {
+		gDecision.Set(b2i(out.Decision == nectar.Partitionable))
+		gConfirmed.Set(b2i(out.Confirmed))
+		gReachable.Set(int64(out.Reachable))
+		gDone.Set(1)
+	}
+	runDone.Store(true)
+	fmt.Printf("node %v: decision=%v confirmed=%v reachable=%d/%d sent=%.1fKB msgs=%d downs=%d reconnects=%d dropped=%d\n",
 		me, out.Decision, out.Confirmed, out.Reachable, dep.N,
-		float64(stats.BytesSent)/1000, stats.MsgsSent)
+		float64(stats.BytesSent)/1000, stats.MsgsSent,
+		stats.PeerDowns, stats.PeerReconnects, stats.SendsDropped)
+	if *adminAddr != "" && *linger > 0 {
+		time.Sleep(*linger)
+	}
 	return nil
+}
+
+func b2i(b bool) int64 {
+	if b {
+		return 1
+	}
+	return 0
 }

@@ -56,6 +56,8 @@ func run(args []string) error {
 		"per-round link down probability (flap) or node leave probability (nodes)")
 	drift := fs.Float64("drift", 0.5, "barycenter separation added per epoch (mobility)")
 	workers := fs.Int("workers", 0, "engine worker cap (0 = GOMAXPROCS; never changes results)")
+	tracePath := fs.String("trace", "",
+		"write an engine event trace: *.jsonl = one event per line, anything else Chrome trace JSON (chrome://tracing)")
 	asJSON := fs.Bool("json", false, "emit JSON instead of text")
 	list := fs.Bool("list", false, "print valid behaviors, schemes, topologies, churn workloads and exit")
 	if err := fs.Parse(args); err != nil {
@@ -119,7 +121,7 @@ func run(args []string) error {
 			kind: *churn, t: *t, seed: *seed, scheme: *scheme,
 			epochRounds: *rounds, epochs: *epochs, rate: *churnRate,
 			drift: *drift, byzantine: byzantine, blocked: blockedMap,
-			workers: *workers, asJSON: *asJSON,
+			workers: *workers, asJSON: *asJSON, tracePath: *tracePath,
 		})
 	}
 
@@ -128,7 +130,7 @@ func run(args []string) error {
 	if err != nil {
 		return err
 	}
-	res, err := nectar.Simulate(nectar.SimulationConfig{
+	cfg := nectar.SimulationConfig{
 		Graph:      g,
 		T:          *t,
 		Seed:       *seed,
@@ -137,9 +139,20 @@ func run(args []string) error {
 		Byzantine:  byzantine,
 		Blocked:    blockedMap,
 		Workers:    *workers,
-	})
+	}
+	var rec *nectar.TraceRecorder
+	if *tracePath != "" {
+		rec = nectar.NewTraceRecorder()
+		cfg.Tracer = rec
+	}
+	res, err := nectar.Simulate(cfg)
 	if err != nil {
 		return err
+	}
+	if rec != nil {
+		if err := cliutil.WriteTrace(*tracePath, rec); err != nil {
+			return err
+		}
 	}
 
 	if *asJSON {
@@ -155,12 +168,9 @@ func run(args []string) error {
 			"rounds":        res.Rounds,
 			"active_rounds": res.ActiveRounds,
 			"bytes_sent":    res.BytesSent,
-			"fast_path": map[string]int64{
-				"verify_cache_hits":   res.VerifyCacheHits,
-				"verify_cache_misses": res.VerifyCacheMisses,
-				"lazy_discards":       res.LazyDiscards,
-				"decide_cache_hits":   res.DecideCacheHits,
-			},
+			// One obs-backed struct, not hand-copied fields: keys stay
+			// verify_cache_hits etc. via FastPath's JSON tags.
+			"fast_path": res.FastPath,
 		})
 	}
 	fmt.Printf("topology      %s (n=%d, m=%d, κ=%d)\n", topo.Kind, g.N(), g.M(), g.Connectivity())
@@ -200,6 +210,7 @@ type dynFlags struct {
 	byzantine   map[nectar.NodeID]nectar.Behavior
 	blocked     map[nectar.NodeID][]nectar.NodeID
 	asJSON      bool
+	tracePath   string
 }
 
 // buildSchedule compiles the selected dynamic workload over the chosen
@@ -255,7 +266,7 @@ func runDynamic(topo *cliutil.TopologyFlags, f dynFlags) error {
 	if err != nil {
 		return err
 	}
-	res, err := nectar.SimulateDynamic(nectar.DynamicConfig{
+	cfg := nectar.DynamicConfig{
 		Schedule:    sched,
 		T:           f.t,
 		Seed:        f.seed,
@@ -265,9 +276,20 @@ func runDynamic(topo *cliutil.TopologyFlags, f dynFlags) error {
 		Byzantine:   f.byzantine,
 		Blocked:     f.blocked,
 		Workers:     f.workers,
-	})
+	}
+	var rec *nectar.TraceRecorder
+	if f.tracePath != "" {
+		rec = nectar.NewTraceRecorder()
+		cfg.Tracer = rec
+	}
+	res, err := nectar.SimulateDynamic(cfg)
 	if err != nil {
 		return err
+	}
+	if rec != nil {
+		if err := cliutil.WriteTrace(f.tracePath, rec); err != nil {
+			return err
+		}
 	}
 
 	mean, detected, undetected := res.DetectionLatency()

@@ -101,6 +101,9 @@ type DynamicConfig struct {
 	// Workers caps each epoch's engine parallelism (0 = GOMAXPROCS).
 	// Results are identical for any worker count (DESIGN.md §6, §10).
 	Workers int
+	// Tracer, when non-nil, receives epoch and per-round engine trace
+	// events (DESIGN.md §12). Tracing never changes results; nil is free.
+	Tracer Tracer
 }
 
 // EpochResult reports one epoch of a dynamic run.
@@ -279,6 +282,7 @@ func SimulateDynamic(cfg DynamicConfig) (*DynamicResult, error) {
 		Epochs:      cfg.Epochs,
 		FullHorizon: cfg.FullHorizon,
 		Workers:     cfg.Workers,
+		Tracer:      cfg.Tracer,
 	}, build)
 	if err != nil {
 		return nil, err

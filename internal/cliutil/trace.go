@@ -1,0 +1,33 @@
+package cliutil
+
+import (
+	"fmt"
+	"os"
+	"strings"
+
+	"github.com/nectar-repro/nectar/internal/obs"
+)
+
+// WriteTrace saves a recorder's events to path, picking the format from
+// the extension: ".jsonl" writes one event per line (the schema of
+// DESIGN.md §12), anything else a Chrome trace-event JSON document for
+// chrome://tracing / Perfetto. Shared by the nectar-sim and nectar-bench
+// -trace flags.
+func WriteTrace(path string, rec *obs.Recorder) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if strings.HasSuffix(path, ".jsonl") {
+		err = rec.WriteJSONL(f)
+	} else {
+		err = rec.WriteChromeTrace(f)
+	}
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	if err != nil {
+		return fmt.Errorf("writing trace %s: %w", path, err)
+	}
+	return nil
+}

@@ -5,6 +5,7 @@ import (
 
 	"github.com/nectar-repro/nectar/internal/graph"
 	"github.com/nectar-repro/nectar/internal/ids"
+	"github.com/nectar-repro/nectar/internal/obs"
 	"github.com/nectar-repro/nectar/internal/rounds"
 )
 
@@ -56,6 +57,10 @@ type Config struct {
 	// Workers caps each epoch's engine parallelism (0 = GOMAXPROCS); see
 	// rounds.Config.Workers. Results are identical for any worker count.
 	Workers int
+	// Tracer, when non-nil, receives epoch_start / epoch_verdict events
+	// bracketing each epoch's engine events (the same Tracer is handed to
+	// rounds.Config). Nil by default; tracing never changes results.
+	Tracer obs.Tracer
 }
 
 // EpochReport scores one epoch.
@@ -193,18 +198,25 @@ func Run(cfg Config, build BuildFn) (*Result, error) {
 		if err != nil {
 			return nil, fmt.Errorf("dynamic: epoch %d: %w", e, err)
 		}
+		// Ground truth is a pure function of the epoch's start state, so
+		// it can be computed up front and announced on the epoch_start
+		// event.
+		kappa := presentKappa(gStart, absent)
+		if cfg.Tracer != nil {
+			cfg.Tracer.Emit(obs.Event{Type: obs.EvEpochStart, Epoch: e, Round: offset + 1, N: int64(kappa)})
+		}
 		metrics, err := rounds.Run(rounds.Config{
 			Topology:    w,
 			Rounds:      epochRounds,
 			Seed:        seed,
 			FullHorizon: cfg.FullHorizon,
 			Workers:     cfg.Workers,
+			Tracer:      cfg.Tracer,
 		}, stack.Protos)
 		if err != nil {
 			return nil, fmt.Errorf("dynamic: epoch %d: %w", e, err)
 		}
 		verdicts := stack.Finish()
-		kappa := presentKappa(gStart, absent)
 		rep := EpochReport{
 			Epoch:              e,
 			StartRound:         offset + 1,
@@ -221,6 +233,10 @@ func Run(cfg Config, build BuildFn) (*Result, error) {
 			} else if verdicts[id].Key != rep.Decision {
 				rep.Agreement = false
 			}
+		}
+		if cfg.Tracer != nil {
+			cfg.Tracer.Emit(obs.Event{Type: obs.EvEpochVerdict, Epoch: e, Key: rep.Decision,
+				Attrs: []obs.Attr{{K: "agreement", V: b2i(rep.Agreement)}, {K: "truth_partitionable", V: b2i(rep.TruthPartitionable)}}})
 		}
 		res.Epochs = append(res.Epochs, rep)
 	}
@@ -285,6 +301,14 @@ func presentKappa(g *graph.Graph, absent ids.Set) int {
 		}
 	}
 	return sub.Connectivity()
+}
+
+// b2i renders a bool as a trace attr value.
+func b2i(b bool) int64 {
+	if b {
+		return 1
+	}
+	return 0
 }
 
 // sortedKeys returns the verdict map's keys in ID order (deterministic

@@ -7,6 +7,8 @@ import (
 	"runtime"
 	"sync"
 	"time"
+
+	"github.com/nectar-repro/nectar/internal/obs"
 )
 
 // ErrInterrupted reports that Execute stopped early because
@@ -35,6 +37,17 @@ type Options struct {
 	// in-flight units finish and are checkpointed, then Execute returns
 	// ErrInterrupted. Used for graceful kill-then-resume.
 	Interrupt <-chan struct{}
+	// Tracer, when non-nil, receives unit_start / unit_done events
+	// (serialized under the scheduler lock, like OnUnit). Units
+	// themselves are not traced — trial-internal engine events would
+	// interleave nondeterministically across workers; per-engine tracing
+	// belongs to single runs (nectar-sim -trace).
+	Tracer obs.Tracer
+	// Registry, when non-nil, receives the scheduler's own telemetry:
+	// nectar_exp_units_run_total / _resumed_total / _failed_total
+	// counters, the nectar_exp_unit_seconds latency histogram, and
+	// nectar_exp_queue_depth / _workers_busy gauges.
+	Registry *obs.Registry
 }
 
 // UnitEvent reports one finished (or resumed) unit to Options.OnUnit.
@@ -168,6 +181,23 @@ func Execute(plan *Plan, opts Options) (*Results, error) {
 		unitWorkers, engineWorkers = opts.UnitWorkers, opts.EngineWorkers
 	}
 
+	// Scheduler self-telemetry (DESIGN.md §12). All instruments are nil-safe
+	// no-ops when no Registry was passed.
+	var (
+		mUnitsRun, mUnitsResumed, mUnitsFailed *obs.Counter
+		mUnitSeconds                           *obs.Histogram
+		mQueueDepth, mWorkersBusy              *obs.Gauge
+	)
+	if opts.Registry != nil {
+		mUnitsRun = opts.Registry.Counter("nectar_exp_units_run_total", "Trial units executed (excludes checkpoint-resumed units).")
+		mUnitsResumed = opts.Registry.Counter("nectar_exp_units_resumed_total", "Trial units served from the checkpoint.")
+		mUnitsFailed = opts.Registry.Counter("nectar_exp_units_failed_total", "Trial units that returned an error.")
+		mUnitSeconds = opts.Registry.Histogram("nectar_exp_unit_seconds", "Per-unit execution latency.", obs.DefBuckets)
+		mQueueDepth = opts.Registry.Gauge("nectar_exp_queue_depth", "Units still awaiting execution.")
+		mWorkersBusy = opts.Registry.Gauge("nectar_exp_workers_busy", "Unit workers currently executing a trial.")
+		mQueueDepth.Set(int64(len(pending)))
+	}
+
 	res := &Results{
 		Jobs:          jobs,
 		UnitWorkers:   unitWorkers,
@@ -199,6 +229,9 @@ func Execute(plan *Plan, opts Options) (*Results, error) {
 		}
 	}
 	res.UnitsResumed = done
+	if mUnitsResumed != nil {
+		mUnitsResumed.Add(int64(done))
+	}
 
 	work := make(chan unit)
 	wg.Add(unitWorkers)
@@ -208,11 +241,29 @@ func Execute(plan *Plan, opts Options) (*Results, error) {
 			for u := range work {
 				sp := plan.Specs[u.spec]
 				st := states[u.spec]
+				if opts.Tracer != nil {
+					// Serialized under mu like OnUnit, so trace order is a
+					// valid interleaving (though not a reproducible one —
+					// unit events are operational telemetry, unlike the
+					// engine's single-goroutine event stream).
+					mu.Lock()
+					opts.Tracer.Emit(obs.Event{Type: obs.EvUnitStart, Key: sp.Key, Unit: u.idx})
+					mu.Unlock()
+				}
+				if mWorkersBusy != nil {
+					mWorkersBusy.Inc()
+				}
 				//nectar:allow-wallclock per-unit timing telemetry for the -v progress line; never feeds trial records or aggregates
 				t0 := time.Now()
 				rec, err := sp.Runner.Run(u.idx, engineWorkers)
 				//nectar:allow-wallclock per-unit timing telemetry for the -v progress line; never feeds trial records or aggregates
 				elapsed := time.Since(t0)
+				if mWorkersBusy != nil {
+					mWorkersBusy.Dec()
+					mUnitsRun.Inc()
+					mUnitSeconds.Observe(elapsed.Seconds())
+					mQueueDepth.Dec()
+				}
 				var decoded any
 				var data json.RawMessage
 				if err == nil {
@@ -238,6 +289,9 @@ func Execute(plan *Plan, opts Options) (*Results, error) {
 					if firstErr == nil {
 						firstErr = err
 					}
+					if mUnitsFailed != nil {
+						mUnitsFailed.Inc()
+					}
 				} else {
 					st.records[u.idx] = decoded
 					st.done[u.idx] = true
@@ -246,6 +300,13 @@ func Execute(plan *Plan, opts Options) (*Results, error) {
 				// Emitted under mu: OnUnit is documented as serialized,
 				// and Done counts must arrive monotone.
 				emit(UnitEvent{Key: sp.Key, Unit: u.idx, Done: done, Total: total, Elapsed: elapsed, Err: err})
+				if opts.Tracer != nil {
+					ev := obs.Event{Type: obs.EvUnitDone, Key: sp.Key, Unit: u.idx, N: elapsed.Microseconds()}
+					if err != nil {
+						ev.Attrs = []obs.Attr{{K: "failed", V: 1}}
+					}
+					opts.Tracer.Emit(ev)
+				}
 				mu.Unlock()
 			}
 		}()

@@ -9,6 +9,7 @@ import (
 	"github.com/nectar-repro/nectar/internal/ids"
 	"github.com/nectar-repro/nectar/internal/mtg"
 	"github.com/nectar-repro/nectar/internal/nectar"
+	"github.com/nectar-repro/nectar/internal/obs"
 	"github.com/nectar-repro/nectar/internal/rounds"
 	"github.com/nectar-repro/nectar/internal/sig"
 )
@@ -110,19 +111,10 @@ type nodeDecision struct {
 	confirmed bool
 }
 
-// perfCounters aggregates one trial's fast-path observability counters
-// (DESIGN.md §9). NECTAR only; always zero for the baselines.
-type perfCounters struct {
-	verifyCacheHits   int64
-	verifyCacheMisses int64
-	lazyDiscards      int64
-	decideCacheHits   int64
-}
-
 // buildTrial wires one trial: a protocol stack per vertex (correct nodes
 // plus wrapped Byzantine behaviours) and a finish function reading every
 // node's decision after the run (entries for Byzantine nodes are zero).
-func buildTrial(spec *Spec, sc *Scenario, scheme sig.Scheme, trialSeed int64) ([]rounds.Protocol, func() ([]nodeDecision, perfCounters), error) {
+func buildTrial(spec *Spec, sc *Scenario, scheme sig.Scheme, trialSeed int64) ([]rounds.Protocol, func() ([]nodeDecision, obs.FastPath), error) {
 	switch spec.Protocol {
 	case ProtoNectar:
 		return buildNectar(spec, sc, scheme, trialSeed)
@@ -134,17 +126,17 @@ func buildTrial(spec *Spec, sc *Scenario, scheme sig.Scheme, trialSeed int64) ([
 	return nil, nil, fmt.Errorf("harness: unknown protocol %q", spec.Protocol)
 }
 
-func buildNectar(spec *Spec, sc *Scenario, scheme sig.Scheme, trialSeed int64) ([]rounds.Protocol, func() ([]nodeDecision, perfCounters), error) {
+func buildNectar(spec *Spec, sc *Scenario, scheme sig.Scheme, trialSeed int64) ([]rounds.Protocol, func() ([]nodeDecision, obs.FastPath), error) {
 	protos, nodes, vcache, err := nectarStack(spec, sc, scheme, trialSeed)
 	if err != nil {
 		return nil, nil, err
 	}
-	finish := func() ([]nodeDecision, perfCounters) {
+	finish := func() ([]nodeDecision, obs.FastPath) {
 		// Near-identical views across nodes (Lemma 2) share one
 		// connectivity computation via the per-trial decision memo.
 		dc := nectar.NewDecideCache()
 		out := make([]nodeDecision, sc.Graph.N())
-		var pc perfCounters
+		var pc obs.FastPath
 		for i, nd := range nodes {
 			if sc.Byz.Has(ids.NodeID(i)) {
 				continue
@@ -155,10 +147,10 @@ func buildNectar(spec *Spec, sc *Scenario, scheme sig.Scheme, trialSeed int64) (
 				key:       o.Decision.String(),
 				confirmed: o.Confirmed,
 			}
-			pc.lazyDiscards += int64(nd.Stats().LazyDiscards)
+			pc.LazyDiscards += int64(nd.Stats().LazyDiscards)
 		}
-		pc.verifyCacheHits, pc.verifyCacheMisses = vcache.Stats()
-		pc.decideCacheHits = dc.Hits()
+		pc.VerifyCacheHits, pc.VerifyCacheMisses = vcache.Stats()
+		pc.DecideCacheHits = dc.Hits()
 		return out, pc
 	}
 	return protos, finish, nil
@@ -237,7 +229,7 @@ func nectarStack(spec *Spec, sc *Scenario, scheme sig.Scheme, trialSeed int64) (
 	return protos, nodes, vcache, nil
 }
 
-func buildMtG(spec *Spec, sc *Scenario, scheme sig.Scheme, trialSeed int64) ([]rounds.Protocol, func() ([]nodeDecision, perfCounters), error) {
+func buildMtG(spec *Spec, sc *Scenario, scheme sig.Scheme, trialSeed int64) ([]rounds.Protocol, func() ([]nodeDecision, obs.FastPath), error) {
 	g := sc.Graph
 	protos := make([]rounds.Protocol, g.N())
 	nodes := make([]*mtg.Node, g.N())
@@ -271,7 +263,7 @@ func buildMtG(spec *Spec, sc *Scenario, scheme sig.Scheme, trialSeed int64) ([]r
 			return nil, nil, fmt.Errorf("harness: attack %q not defined for MtG", spec.Attack)
 		}
 	}
-	finish := func() ([]nodeDecision, perfCounters) {
+	finish := func() ([]nodeDecision, obs.FastPath) {
 		out := make([]nodeDecision, g.N())
 		for i, nd := range nodes {
 			if sc.Byz.Has(ids.NodeID(i)) {
@@ -280,12 +272,12 @@ func buildMtG(spec *Spec, sc *Scenario, scheme sig.Scheme, trialSeed int64) ([]r
 			o := nd.Decide()
 			out[i] = nodeDecision{detected: o.Partitioned, key: fmt.Sprintf("partitioned=%v", o.Partitioned)}
 		}
-		return out, perfCounters{}
+		return out, obs.FastPath{}
 	}
 	return protos, finish, nil
 }
 
-func buildMtGv2(spec *Spec, sc *Scenario, scheme sig.Scheme, trialSeed int64) ([]rounds.Protocol, func() ([]nodeDecision, perfCounters), error) {
+func buildMtGv2(spec *Spec, sc *Scenario, scheme sig.Scheme, trialSeed int64) ([]rounds.Protocol, func() ([]nodeDecision, obs.FastPath), error) {
 	g := sc.Graph
 	protos := make([]rounds.Protocol, g.N())
 	nodes := make([]*mtg.NodeV2, g.N())
@@ -318,7 +310,7 @@ func buildMtGv2(spec *Spec, sc *Scenario, scheme sig.Scheme, trialSeed int64) ([
 			return nil, nil, fmt.Errorf("harness: attack %q not defined for MtGv2", spec.Attack)
 		}
 	}
-	finish := func() ([]nodeDecision, perfCounters) {
+	finish := func() ([]nodeDecision, obs.FastPath) {
 		out := make([]nodeDecision, g.N())
 		for i, nd := range nodes {
 			if sc.Byz.Has(ids.NodeID(i)) {
@@ -327,7 +319,7 @@ func buildMtGv2(spec *Spec, sc *Scenario, scheme sig.Scheme, trialSeed int64) ([
 			o := nd.Decide()
 			out[i] = nodeDecision{detected: o.Partitioned, key: fmt.Sprintf("partitioned=%v", o.Partitioned)}
 		}
-		return out, perfCounters{}
+		return out, obs.FastPath{}
 	}
 	return protos, finish, nil
 }

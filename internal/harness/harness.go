@@ -5,6 +5,7 @@ import (
 	"math/rand"
 
 	"github.com/nectar-repro/nectar/internal/ids"
+	"github.com/nectar-repro/nectar/internal/obs"
 	"github.com/nectar-repro/nectar/internal/rounds"
 	"github.com/nectar-repro/nectar/internal/sig"
 	"github.com/nectar-repro/nectar/internal/stats"
@@ -113,16 +114,11 @@ type Trial struct {
 	// (equal to Rounds when no early exit happened).
 	Rounds       int
 	ActiveRounds int
-	// VerifyCacheHits / VerifyCacheMisses count signature verifications
-	// served from / delegated by the per-trial memo (NECTAR only, 0 when
-	// disabled or for baselines). LazyDiscards counts duplicates discarded
-	// from the edge header alone, before any chain decode. DecideCacheHits
-	// counts decision-phase connectivity computations shared across nodes
-	// with identical views. See DESIGN.md §9.
-	VerifyCacheHits   int64
-	VerifyCacheMisses int64
-	LazyDiscards      int64
-	DecideCacheHits   int64
+	// FastPath groups the trial's fast-path counters (verify-cache
+	// hits/misses, lazy header-only discards, decide-cache hits — NECTAR
+	// only, zero for baselines; see DESIGN.md §9, §12). Embedded, so the
+	// fields promote and the trial's JSON checkpoint encoding stays flat.
+	obs.FastPath
 }
 
 // Result aggregates all trials of a Spec.
@@ -226,7 +222,7 @@ func runTrial(spec *Spec, trial, engineWorkers int) (Trial, error) {
 }
 
 // score computes the trial metrics over correct nodes.
-func score(spec *Spec, sc *Scenario, decisions []nodeDecision, pc perfCounters, m *rounds.Metrics) Trial {
+func score(spec *Spec, sc *Scenario, decisions []nodeDecision, pc obs.FastPath, m *rounds.Metrics) Trial {
 	truth := Truth{
 		GraphPartitioned:   sc.Graph.IsPartitioned(),
 		CorrectPartitioned: !sc.Graph.InducedSubgraphConnected(sc.Byz),
@@ -254,10 +250,7 @@ func score(spec *Spec, sc *Scenario, decisions []nodeDecision, pc perfCounters, 
 
 	t := Trial{
 		Truth: truth, Agreement: true, Rounds: m.Rounds, ActiveRounds: m.ActiveRounds,
-		VerifyCacheHits:   pc.verifyCacheHits,
-		VerifyCacheMisses: pc.verifyCacheMisses,
-		LazyDiscards:      pc.lazyDiscards,
-		DecideCacheHits:   pc.decideCacheHits,
+		FastPath: pc,
 	}
 	var correct, detected, confirmed, accurate int
 	var bytesSum, bytesMax, bcastSum int64

@@ -1,0 +1,49 @@
+package obs
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/pprof"
+)
+
+// Health is the /healthz payload. Detail is ordered key/value pairs
+// (not a map) so the encoding is stable.
+type Health struct {
+	Status string `json:"status"` // "ok" or "degraded"
+	Detail []Attr `json:"detail,omitempty"`
+}
+
+// NewAdminMux returns an http.Handler serving the admin surface:
+//
+//	/healthz        — JSON from health (nil health ⇒ always ok)
+//	/metrics        — reg in Prometheus text exposition format
+//	/debug/pprof/*  — the standard runtime profiles
+//
+// The mux holds no state of its own; reg and health are read per
+// request, so metrics scraped mid-run reflect live values.
+func NewAdminMux(reg *Registry, health func() Health) http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
+		h := Health{Status: "ok"}
+		if health != nil {
+			h = health()
+		}
+		w.Header().Set("Content-Type", "application/json")
+		if h.Status != "ok" {
+			w.WriteHeader(http.StatusServiceUnavailable)
+		}
+		_ = json.NewEncoder(w).Encode(h)
+	})
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		if reg != nil {
+			_ = reg.WritePrometheus(w)
+		}
+	})
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return mux
+}

@@ -1,0 +1,257 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"regexp"
+	"sort"
+	"strconv"
+	"sync"
+	"sync/atomic"
+)
+
+// Registry holds a process's metrics: counters, gauges, and histograms
+// keyed by Prometheus-style names. Registration is idempotent — asking
+// for an existing name returns the existing instrument, so independent
+// subsystems can share one registry without coordinating creation order.
+// All instruments are safe for concurrent use.
+type Registry struct {
+	mu      sync.Mutex
+	metrics map[string]instrument
+}
+
+// instrument is one registered metric family.
+type instrument interface {
+	// kind is the Prometheus TYPE keyword.
+	kind() string
+	// helpText is the HELP line.
+	helpText() string
+	// samples returns the family's exposition samples in a fixed,
+	// deterministic order.
+	samples(name string) []Sample
+}
+
+// Sample is one exposition line of a Snapshot: a fully qualified sample
+// name (histograms expand to _bucket/_sum/_count series) and its value.
+type Sample struct {
+	Name  string
+	Value float64
+}
+
+// metricName validates instrument names (the Prometheus grammar, minus
+// labels — this registry keeps names flat).
+var metricName = regexp.MustCompile(`^[a-zA-Z_:][a-zA-Z0-9_:]*$`)
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{metrics: make(map[string]instrument)}
+}
+
+// register returns the existing instrument under name or installs the
+// one built by mk. A name collision across kinds panics: two subsystems
+// disagreeing about a metric's type is a programming error, not a
+// runtime condition.
+func (r *Registry) register(name, kind string, mk func() instrument) instrument {
+	if !metricName.MatchString(name) {
+		panic(fmt.Sprintf("obs: invalid metric name %q", name))
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if m, ok := r.metrics[name]; ok {
+		if m.kind() != kind {
+			panic(fmt.Sprintf("obs: metric %q registered as %s, requested as %s", name, m.kind(), kind))
+		}
+		return m
+	}
+	m := mk()
+	r.metrics[name] = m
+	return m
+}
+
+// Counter returns the monotonically increasing counter under name,
+// creating it on first use.
+func (r *Registry) Counter(name, help string) *Counter {
+	return r.register(name, "counter", func() instrument {
+		return &Counter{help: help}
+	}).(*Counter)
+}
+
+// Gauge returns the gauge under name, creating it on first use.
+func (r *Registry) Gauge(name, help string) *Gauge {
+	return r.register(name, "gauge", func() instrument {
+		return &Gauge{help: help}
+	}).(*Gauge)
+}
+
+// Histogram returns the histogram under name, creating it on first use
+// with the given bucket upper bounds (ascending; +Inf is implicit).
+// Buckets are fixed at first registration.
+func (r *Registry) Histogram(name, help string, buckets []float64) *Histogram {
+	return r.register(name, "histogram", func() instrument {
+		h := &Histogram{help: help, bounds: append([]float64(nil), buckets...)}
+		h.counts = make([]atomic.Int64, len(h.bounds)+1)
+		return h
+	}).(*Histogram)
+}
+
+// Snapshot returns every sample of every registered metric, sorted by
+// sample name — a deterministic function of the registry's state, usable
+// in tests and golden files. (Collect-then-sort: the map iteration below
+// never reaches an output stream directly.)
+func (r *Registry) Snapshot() []Sample {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	var out []Sample
+	for _, name := range r.sortedNames() {
+		out = append(out, r.metrics[name].samples(name)...)
+	}
+	return out
+}
+
+// sortedNames returns the registered names in sorted order; the caller
+// must hold r.mu.
+func (r *Registry) sortedNames() []string {
+	names := make([]string, 0, len(r.metrics))
+	for name := range r.metrics {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// WritePrometheus writes the registry in the Prometheus text exposition
+// format (version 0.0.4), families sorted by name.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for _, name := range r.sortedNames() {
+		m := r.metrics[name]
+		if _, err := fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s %s\n", name, m.helpText(), name, m.kind()); err != nil {
+			return err
+		}
+		for _, s := range m.samples(name) {
+			if _, err := fmt.Fprintf(w, "%s %s\n", s.Name, formatValue(s.Value)); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// formatValue renders a sample value the way Prometheus expects:
+// integers without a decimal point, +Inf spelled out.
+func formatValue(v float64) string {
+	if math.IsInf(v, +1) {
+		return "+Inf"
+	}
+	if v == math.Trunc(v) && math.Abs(v) < 1e15 {
+		return strconv.FormatInt(int64(v), 10)
+	}
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// Counter is a monotonically increasing int64 metric.
+type Counter struct {
+	help string
+	v    atomic.Int64
+}
+
+// Inc adds 1.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Add adds delta (must be >= 0; negative deltas are clamped to 0 to keep
+// the counter monotone).
+func (c *Counter) Add(delta int64) {
+	if delta > 0 {
+		c.v.Add(delta)
+	}
+}
+
+// Value returns the current count.
+func (c *Counter) Value() int64 { return c.v.Load() }
+
+func (c *Counter) kind() string     { return "counter" }
+func (c *Counter) helpText() string { return c.help }
+func (c *Counter) samples(name string) []Sample {
+	return []Sample{{Name: name, Value: float64(c.v.Load())}}
+}
+
+// Gauge is a settable int64 metric.
+type Gauge struct {
+	help string
+	v    atomic.Int64
+}
+
+// Set replaces the gauge's value.
+func (g *Gauge) Set(v int64) { g.v.Store(v) }
+
+// Add moves the gauge by delta (negative allowed).
+func (g *Gauge) Add(delta int64) { g.v.Add(delta) }
+
+// Inc / Dec move the gauge by ±1.
+func (g *Gauge) Inc() { g.v.Add(1) }
+func (g *Gauge) Dec() { g.v.Add(-1) }
+
+// Value returns the current value.
+func (g *Gauge) Value() int64 { return g.v.Load() }
+
+func (g *Gauge) kind() string     { return "gauge" }
+func (g *Gauge) helpText() string { return g.help }
+func (g *Gauge) samples(name string) []Sample {
+	return []Sample{{Name: name, Value: float64(g.v.Load())}}
+}
+
+// Histogram is a fixed-bucket cumulative histogram. Bounds are upper
+// bucket edges in ascending order; observations above the last bound
+// land in the implicit +Inf bucket.
+type Histogram struct {
+	help   string
+	bounds []float64
+	counts []atomic.Int64 // len(bounds)+1, per-bucket (non-cumulative)
+	count  atomic.Int64
+	sum    atomic.Uint64 // float64 bits, CAS-accumulated
+}
+
+// DefBuckets is a general-purpose latency bucket ladder in seconds.
+var DefBuckets = []float64{0.001, 0.005, 0.01, 0.05, 0.1, 0.5, 1, 5, 10}
+
+// Observe records one observation.
+func (h *Histogram) Observe(v float64) {
+	i := sort.SearchFloat64s(h.bounds, v)
+	h.counts[i].Add(1)
+	h.count.Add(1)
+	for {
+		old := h.sum.Load()
+		if h.sum.CompareAndSwap(old, math.Float64bits(math.Float64frombits(old)+v)) {
+			return
+		}
+	}
+}
+
+// Count returns the total number of observations.
+func (h *Histogram) Count() int64 { return h.count.Load() }
+
+// Sum returns the sum of all observed values.
+func (h *Histogram) Sum() float64 { return math.Float64frombits(h.sum.Load()) }
+
+func (h *Histogram) kind() string     { return "histogram" }
+func (h *Histogram) helpText() string { return h.help }
+func (h *Histogram) samples(name string) []Sample {
+	out := make([]Sample, 0, len(h.bounds)+3)
+	cum := int64(0)
+	for i, b := range h.bounds {
+		cum += h.counts[i].Load()
+		out = append(out, Sample{
+			Name:  fmt.Sprintf("%s_bucket{le=%q}", name, strconv.FormatFloat(b, 'g', -1, 64)),
+			Value: float64(cum),
+		})
+	}
+	cum += h.counts[len(h.bounds)].Load()
+	out = append(out,
+		Sample{Name: name + `_bucket{le="+Inf"}`, Value: float64(cum)},
+		Sample{Name: name + "_sum", Value: h.Sum()},
+		Sample{Name: name + "_count", Value: float64(h.count.Load())},
+	)
+	return out
+}

@@ -7,6 +7,7 @@ import (
 
 	"github.com/nectar-repro/nectar/internal/exp"
 	"github.com/nectar-repro/nectar/internal/harness"
+	"github.com/nectar-repro/nectar/internal/obs"
 )
 
 // The report layer is declarative (DESIGN.md §10): every experiment
@@ -154,6 +155,11 @@ type RunConfig struct {
 	// Interrupt, when non-nil and closed, stops dispatch gracefully
 	// (completed units stay checkpointed).
 	Interrupt <-chan struct{}
+	// Tracer, when non-nil, receives unit_start/unit_done scheduler
+	// events; Registry, when non-nil, collects scheduler telemetry
+	// (DESIGN.md §12). Both are pass-throughs to exp.Options.
+	Tracer   obs.Tracer
+	Registry *obs.Registry
 }
 
 // ExperimentRun is one experiment's outcome within a RunReport.
@@ -227,6 +233,8 @@ func runExperimentSet(exps []Experiment, opts Options, cfg RunConfig) (*RunRepor
 		Collector: collector,
 		OnUnit:    cfg.OnUnit,
 		Interrupt: cfg.Interrupt,
+		Tracer:    cfg.Tracer,
+		Registry:  cfg.Registry,
 	})
 	if res == nil {
 		return nil, execErr

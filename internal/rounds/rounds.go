@@ -32,6 +32,7 @@ import (
 
 	"github.com/nectar-repro/nectar/internal/graph"
 	"github.com/nectar-repro/nectar/internal/ids"
+	"github.com/nectar-repro/nectar/internal/obs"
 )
 
 // Send is a message a node hands to the engine for delivery in the current
@@ -151,6 +152,14 @@ type Config struct {
 	// §VI-A1) and to study NECTAR's degradation. Lost messages are still
 	// metered as sent.
 	LossRate float64
+	// Tracer, when non-nil, receives per-round engine events (round
+	// start/end, per-recipient delivery counts, discard totals,
+	// quiescence fast-forwards, topology swaps) — DESIGN.md §12. All
+	// events leave the scheduler goroutine in program order, and tracing
+	// never changes results: delivery counts are observed, not altered,
+	// and the equivalence property test pins tracer-on/off outputs
+	// byte-identical. Nil (the default) costs nothing on the hot path.
+	Tracer obs.Tracer
 }
 
 // overhead resolves the MsgOverhead sentinel: 0 = default, negative = none.
@@ -228,6 +237,28 @@ func (m *Metrics) MaxBytesPerNode() int64 {
 	return max
 }
 
+// Publish accumulates the run's aggregate metrics into reg under the
+// nectar_engine_* names (registration is idempotent, so successive runs
+// add up). Per-node and per-round series stay on Metrics / the trace;
+// the scrape surface carries totals only.
+func (m *Metrics) Publish(reg *obs.Registry) {
+	if reg == nil {
+		return
+	}
+	reg.Counter("nectar_engine_rounds_total", "Configured round horizons, summed across runs.").Add(int64(m.Rounds))
+	reg.Counter("nectar_engine_active_rounds_total", "Rounds actually executed (quiescence skips the rest).").Add(int64(m.ActiveRounds))
+	reg.Counter("nectar_engine_bytes_sent_total", "Unicast bytes on the wire, payload plus overhead.").Add(m.TotalBytes())
+	var msgsSent, msgsDelivered int64
+	for i := range m.MsgsSent {
+		msgsSent += m.MsgsSent[i]
+		msgsDelivered += m.MsgsDelivered[i]
+	}
+	reg.Counter("nectar_engine_msgs_sent_total", "Messages handed to the engine for routing.").Add(msgsSent)
+	reg.Counter("nectar_engine_msgs_delivered_total", "Messages delivered to recipients.").Add(msgsDelivered)
+	reg.Counter("nectar_engine_dropped_nonedge_total", "Sends discarded for lack of a channel (Byzantine self/non-neighbor sends).").Add(m.DroppedNonEdge)
+	reg.Counter("nectar_engine_dropped_loss_total", "Messages lost to Config.LossRate.").Add(m.DroppedLoss)
+}
+
 // delivery is a queued message awaiting Deliver.
 type delivery struct {
 	from ids.NodeID
@@ -261,6 +292,12 @@ type engine struct {
 	shards    []*routeShard
 	inboxes   [][]delivery // per-recipient merged+shuffled inbox, reused
 	rngs      []*rand.Rand // per-worker shuffle RNGs, reseeded per recipient
+	// traceDelivered[i] is recipient i's delivery count for the current
+	// round, written by deliver (each recipient is handled by exactly one
+	// worker per round, so writes never contend) and drained into
+	// msg_deliver events by the scheduler goroutine. Nil when cfg.Tracer
+	// is nil.
+	traceDelivered []int64
 }
 
 // Run drives nodes through cfg.Rounds synchronous rounds and returns the
@@ -326,6 +363,9 @@ func Run(cfg Config, nodes []Protocol) (*Metrics, error) {
 			seen:  make(map[uint64]bool),
 		}
 	}
+	if cfg.Tracer != nil {
+		e.traceDelivered = make([]int64, n)
+	}
 	// One reusable shuffle RNG per worker: delivery used to allocate a
 	// fresh rand.Rand per recipient per round; reseeding reproduces the
 	// exact same stream (Rand.Seed resets the source to NewSource state),
@@ -363,6 +403,9 @@ func (e *engine) run() {
 		if nextChange > 0 && r >= nextChange {
 			e.g = e.cfg.Topology.GraphFor(r)
 			nextChange = e.cfg.Topology.NextChange(r)
+			if e.cfg.Tracer != nil {
+				e.cfg.Tracer.Emit(obs.Event{Type: obs.EvTopoSwap, Round: r})
+			}
 			// Link-layer notification: nodes observing the change may
 			// wake from quiescence before this round's Emit.
 			for i, nd := range e.nodes {
@@ -372,6 +415,9 @@ func (e *engine) run() {
 			}
 		}
 		e.m.ActiveRounds++
+		if e.cfg.Tracer != nil {
+			e.cfg.Tracer.Emit(obs.Event{Type: obs.EvRoundStart, Round: r})
+		}
 		// Phase 1: every node emits its round-r messages (in parallel —
 		// nodes are independent state machines).
 		parallelChunks(e.n, e.workers, func(_, lo, hi int) {
@@ -387,12 +433,15 @@ func (e *engine) run() {
 		parallelChunks(e.n, e.workers, func(w, lo, hi int) {
 			e.route(e.shards[w], r, lo, hi)
 		})
+		var dropNonEdge, dropLoss int64
 		for _, sh := range e.shards {
 			e.m.BytesByRound[r-1] += sh.bytesThisRound
-			e.m.DroppedNonEdge += sh.droppedNonEdge
-			e.m.DroppedLoss += sh.droppedLoss
+			dropNonEdge += sh.droppedNonEdge
+			dropLoss += sh.droppedLoss
 			sh.bytesThisRound, sh.droppedNonEdge, sh.droppedLoss = 0, 0, 0
 		}
+		e.m.DroppedNonEdge += dropNonEdge
+		e.m.DroppedLoss += dropLoss
 
 		// Phase 3: merge + deliver. Each recipient's inbox is assembled
 		// from the worker shards in stripe order (restoring sender-major
@@ -405,6 +454,24 @@ func (e *engine) run() {
 			}
 		})
 
+		// Trace drain, scheduler goroutine only: per-recipient delivery
+		// counts in ascending node order, then discard and round-end
+		// aggregates — a deterministic event sequence regardless of the
+		// worker count that produced the round.
+		if e.cfg.Tracer != nil {
+			for i, cnt := range e.traceDelivered {
+				if cnt > 0 {
+					e.cfg.Tracer.Emit(obs.Event{Type: obs.EvMsgDeliver, Round: r, Node: i, N: cnt})
+					e.traceDelivered[i] = 0
+				}
+			}
+			if dropNonEdge+dropLoss > 0 {
+				e.cfg.Tracer.Emit(obs.Event{Type: obs.EvMsgDiscard, Round: r, N: dropNonEdge + dropLoss,
+					Attrs: []obs.Attr{{K: "nonedge", V: dropNonEdge}, {K: "loss", V: dropLoss}}})
+			}
+			e.cfg.Tracer.Emit(obs.Event{Type: obs.EvRoundEnd, Round: r, N: e.m.BytesByRound[r-1]})
+		}
+
 		// Quiescence check: inboxes are drained, so if every node attests
 		// it has nothing left to say, rounds up to the next topology
 		// change (or the horizon, if none) are provably silent. A pending
@@ -414,7 +481,13 @@ func (e *engine) run() {
 		if e.quiescers != nil && !e.cfg.FullHorizon && r < e.cfg.Rounds {
 			if e.allQuiescent() {
 				if nextChange == 0 || nextChange > e.cfg.Rounds {
+					if e.cfg.Tracer != nil {
+						e.cfg.Tracer.Emit(obs.Event{Type: obs.EvQuiesce, Round: r, N: int64(e.cfg.Rounds)})
+					}
 					return
+				}
+				if e.cfg.Tracer != nil {
+					e.cfg.Tracer.Emit(obs.Event{Type: obs.EvQuiesce, Round: r, N: int64(nextChange)})
 				}
 				r = nextChange - 1 // resume at the swap round
 			}
@@ -488,6 +561,9 @@ func (e *engine) deliver(w, i, round int) {
 		inbox[a], inbox[b] = inbox[b], inbox[a]
 	})
 	e.m.MsgsDelivered[i] += int64(len(inbox))
+	if e.traceDelivered != nil {
+		e.traceDelivered[i] = int64(len(inbox))
+	}
 	for _, d := range inbox {
 		e.nodes[i].Deliver(round, d.from, d.data)
 	}

@@ -10,6 +10,13 @@
 // handshake authenticates the connection's edge. Frames are
 // length-prefixed, matching the byte accounting of the in-memory engine
 // (rounds.DefaultMsgOverhead).
+//
+// With Config.Reconnect the node survives peer connection failures
+// instead of aborting: sends to a downed neighbor are dropped and
+// counted, lower-ID neighbors are redialed in the background, and the
+// listener keeps accepting re-handshakes from higher-ID neighbors — the
+// long-running-service posture of cmd/nectar-node, surfaced through the
+// nectar_node_* metrics (DESIGN.md §12).
 package tcpnet
 
 import (
@@ -22,6 +29,7 @@ import (
 	"time"
 
 	"github.com/nectar-repro/nectar/internal/ids"
+	"github.com/nectar-repro/nectar/internal/obs"
 	"github.com/nectar-repro/nectar/internal/rounds"
 )
 
@@ -53,6 +61,18 @@ type Config struct {
 	// DialRetry is the backoff between connection attempts (default
 	// 50ms).
 	DialRetry time.Duration
+	// Reconnect keeps the node alive through mid-run peer failures:
+	// sends to a downed neighbor are dropped and counted
+	// (Stats.SendsDropped) instead of aborting the run, lower-ID
+	// neighbors are redialed in the background, and the listener keeps
+	// accepting re-handshakes from higher-ID neighbors for the whole
+	// run. Off by default — a batch deployment's fail-fast abort is the
+	// legacy behavior.
+	Reconnect bool
+	// Metrics, when non-nil, receives live nectar_node_* counters and
+	// gauges (rounds completed, traffic, peer downs/reconnects) — the
+	// scrape surface behind cmd/nectar-node's /metrics endpoint.
+	Metrics *obs.Registry
 	// Logf, when non-nil, receives progress lines.
 	Logf func(format string, args ...any)
 }
@@ -66,12 +86,22 @@ type Stats struct {
 	// and were delivered in a later round (the protocol layer discards
 	// them if stale).
 	LateMsgs int64
+	// PeerDowns / PeerReconnects / SendsDropped count connection losses,
+	// successful re-establishments, and sends dropped for lack of a live
+	// connection. Always 0 without Config.Reconnect (the first failure
+	// aborts the run instead).
+	PeerDowns      int64
+	PeerReconnects int64
+	SendsDropped   int64
 }
 
-// frame is one received message.
+// frame is one received message, stamped with its arrival instant so the
+// round loop can map it onto the shared round grid (messages read from
+// the channel a few ms after a boundary may belong to either side of it).
 type frame struct {
 	from ids.NodeID
 	data []byte
+	at   time.Time
 }
 
 // Run executes proto over TCP for cfg.Rounds wall-clock rounds and
@@ -88,24 +118,29 @@ func Run(cfg Config, proto rounds.Protocol) (*Stats, error) {
 		closeAll(conns)
 		return nil, err
 	}
-	defer closeAll(conns)
-
-	incoming := make(chan frame, 1024)
-	var readers sync.WaitGroup
-	for id, c := range conns {
-		readers.Add(1)
-		go func(id ids.NodeID, c net.Conn) {
-			defer readers.Done()
-			readLoop(id, c, incoming)
-		}(id, c)
-	}
 
 	stats := &Stats{}
-	err = runRounds(cfg, proto, conns, incoming, stats)
+	pt := newPeerTable(&cfg, stats)
+	for id, c := range conns {
+		pt.adopt(id, c, false)
+	}
+	if cfg.Reconnect && ln != nil {
+		// Higher-ID neighbors dial us; keep accepting their
+		// re-handshakes for the whole run.
+		pt.aux.Add(1)
+		go pt.acceptLoop(ln)
+	}
 
-	// Unblock readers and wait for them before returning.
-	closeAll(conns)
-	readers.Wait()
+	err = runRounds(cfg, proto, pt, stats)
+
+	// Unblock every reader, redialer, and the accept loop, then wait for
+	// them before reading the final stats.
+	pt.shutdown()
+	if ln != nil {
+		ln.Close()
+	}
+	pt.aux.Wait()
+	pt.readers.Wait()
 	return stats, err
 }
 
@@ -201,6 +236,11 @@ func connect(cfg Config) (map[ids.NodeID]net.Conn, net.Listener, error) {
 				mu.Unlock()
 				accepted++
 			}
+			// Clear the handshake deadline: the run's accept loop (under
+			// Reconnect) must block indefinitely, not inherit StartAt.
+			if d, ok := ln.(interface{ SetDeadline(time.Time) error }); ok {
+				_ = d.SetDeadline(time.Time{})
+			}
 		}()
 	}
 
@@ -250,38 +290,284 @@ func connect(cfg Config) (map[ids.NodeID]net.Conn, net.Listener, error) {
 	return conns, ln, nil
 }
 
+// peerTable tracks the live connection per neighbor across failures and
+// reconnects, publishing transitions to the Stats and (when configured)
+// the metrics registry.
+type peerTable struct {
+	cfg      *Config
+	stats    *Stats
+	incoming chan frame
+
+	mu     sync.Mutex
+	conns  map[ids.NodeID]net.Conn
+	closed bool
+
+	done    chan struct{}
+	readers sync.WaitGroup // one readLoop per live connection
+	aux     sync.WaitGroup // accept loop + redialers
+
+	// Live instruments; all nil without Config.Metrics.
+	connected                *obs.Gauge
+	downC, reconnC, droppedC *obs.Counter
+	roundsC, bytesC, sentC   *obs.Counter
+	deliveredC               *obs.Counter
+}
+
+func newPeerTable(cfg *Config, stats *Stats) *peerTable {
+	pt := &peerTable{
+		cfg:      cfg,
+		stats:    stats,
+		incoming: make(chan frame, 1024),
+		conns:    make(map[ids.NodeID]net.Conn, len(cfg.Neighbors)),
+		done:     make(chan struct{}),
+	}
+	if reg := cfg.Metrics; reg != nil {
+		pt.connected = reg.Gauge("nectar_node_peers_connected", "Neighbor connections currently live.")
+		pt.downC = reg.Counter("nectar_node_peer_down_total", "Neighbor connections lost mid-run.")
+		pt.reconnC = reg.Counter("nectar_node_peer_reconnect_total", "Neighbor connections re-established after a loss.")
+		pt.droppedC = reg.Counter("nectar_node_sends_dropped_total", "Sends dropped for lack of a live neighbor connection.")
+		pt.roundsC = reg.Counter("nectar_node_rounds_completed_total", "Wall-clock rounds completed.")
+		pt.bytesC = reg.Counter("nectar_node_bytes_sent_total", "Bytes sent on the wire, payload plus framing.")
+		pt.sentC = reg.Counter("nectar_node_msgs_sent_total", "Messages sent to neighbors.")
+		pt.deliveredC = reg.Counter("nectar_node_msgs_delivered_total", "Messages delivered to the local protocol.")
+	}
+	return pt
+}
+
+// get returns the peer's live connection, or nil.
+func (pt *peerTable) get(id ids.NodeID) net.Conn {
+	pt.mu.Lock()
+	defer pt.mu.Unlock()
+	return pt.conns[id]
+}
+
+// adopt installs a connection for peer and starts its read loop. With
+// reconnect=true it replaces (and closes) any previous connection and
+// counts a re-establishment; after shutdown the connection is closed and
+// discarded.
+func (pt *peerTable) adopt(peer ids.NodeID, c net.Conn, reconnect bool) {
+	pt.mu.Lock()
+	if pt.closed {
+		pt.mu.Unlock()
+		c.Close()
+		return
+	}
+	if old, ok := pt.conns[peer]; ok {
+		old.Close()
+	} else if pt.connected != nil {
+		pt.connected.Inc()
+	}
+	pt.conns[peer] = c
+	if reconnect {
+		pt.stats.PeerReconnects++
+		if pt.reconnC != nil {
+			pt.reconnC.Inc()
+		}
+		pt.cfg.Logf("node %v reconnected to %v", pt.cfg.Me, peer)
+	}
+	pt.mu.Unlock()
+	pt.readers.Add(1)
+	go func() {
+		defer pt.readers.Done()
+		readLoop(peer, c, pt.incoming)
+		pt.lost(peer, c)
+	}()
+}
+
+// lost records that peer's connection c died. Idempotent per connection:
+// only the current table entry counts, so a write failure and the read
+// loop noticing the same broken socket produce one transition. Under
+// Reconnect, lower-ID peers (which this node dials) get a background
+// redialer; higher-ID peers redial us through the accept loop.
+func (pt *peerTable) lost(peer ids.NodeID, c net.Conn) {
+	if !pt.cfg.Reconnect {
+		// Legacy mode: leave the dead connection in the table so the
+		// next write to it fails and aborts the run (fail-fast).
+		return
+	}
+	c.Close()
+	pt.mu.Lock()
+	if pt.closed || pt.conns[peer] != c {
+		pt.mu.Unlock()
+		return
+	}
+	delete(pt.conns, peer)
+	pt.stats.PeerDowns++
+	if pt.connected != nil {
+		pt.connected.Dec()
+		pt.downC.Inc()
+	}
+	redial := pt.cfg.Reconnect && peer < pt.cfg.Me
+	pt.mu.Unlock()
+	pt.cfg.Logf("node %v lost connection to %v", pt.cfg.Me, peer)
+	if redial {
+		pt.aux.Add(1)
+		go pt.redial(peer)
+	}
+}
+
+// redial re-establishes the outbound connection to a lower-ID peer,
+// retrying on cfg.DialRetry until shutdown.
+func (pt *peerTable) redial(peer ids.NodeID) {
+	defer pt.aux.Done()
+	addr := pt.cfg.Addrs[peer]
+	for {
+		select {
+		case <-pt.done:
+			return
+		default:
+		}
+		c, err := net.DialTimeout("tcp", addr, pt.cfg.DialRetry*4)
+		if err == nil {
+			var hello [4]byte
+			binary.BigEndian.PutUint32(hello[:], uint32(pt.cfg.Me))
+			if _, err := c.Write(hello[:]); err == nil {
+				pt.adopt(peer, c, true)
+				return
+			}
+			c.Close()
+		}
+		select {
+		case <-pt.done:
+			return
+		case <-time.After(pt.cfg.DialRetry):
+		}
+	}
+}
+
+// acceptLoop accepts re-handshakes from higher-ID neighbors for the
+// whole run (Reconnect only). It exits when the listener closes.
+func (pt *peerTable) acceptLoop(ln net.Listener) {
+	defer pt.aux.Done()
+	for {
+		c, err := ln.Accept()
+		if err != nil {
+			return
+		}
+		var hello [4]byte
+		if _, err := io.ReadFull(c, hello[:]); err != nil {
+			c.Close()
+			continue
+		}
+		peer := ids.NodeID(binary.BigEndian.Uint32(hello[:]))
+		if !isNeighbor(pt.cfg.Neighbors, peer) || peer <= pt.cfg.Me {
+			pt.cfg.Logf("rejecting connection claiming to be %v", peer)
+			c.Close()
+			continue
+		}
+		pt.adopt(peer, c, true)
+	}
+}
+
+// dropSend counts one message dropped for lack of a live connection.
+func (pt *peerTable) dropSend() {
+	pt.stats.SendsDropped++
+	if pt.droppedC != nil {
+		pt.droppedC.Inc()
+	}
+}
+
+// shutdown closes every live connection and stops redialers; subsequent
+// adopts are rejected.
+func (pt *peerTable) shutdown() {
+	pt.mu.Lock()
+	pt.closed = true
+	close(pt.done)
+	for _, c := range pt.conns {
+		c.Close()
+	}
+	pt.mu.Unlock()
+}
+
 // runRounds drives the wall-clock round loop.
-func runRounds(cfg Config, proto rounds.Protocol, conns map[ids.NodeID]net.Conn, incoming <-chan frame, stats *Stats) error {
+func runRounds(cfg Config, proto rounds.Protocol, pt *peerTable, stats *Stats) error {
 	// Wait for the agreed start instant.
 	if d := time.Until(cfg.StartAt); d > 0 {
 		time.Sleep(d)
 	}
+	// roundOf maps an arrival instant onto the shared round grid. All
+	// processes agree on StartAt, so the grid is the one cross-process
+	// ground truth; the local loop variable can lag it by scheduler
+	// jitter at each boundary.
+	roundOf := func(t time.Time) int {
+		if !t.After(cfg.StartAt) {
+			return 1
+		}
+		return int(t.Sub(cfg.StartAt)/cfg.RoundDuration) + 1
+	}
+	// carry holds frames that arrived after the local drain's round
+	// window but belong to the next round (a peer's Emit racing this
+	// node's timer): delivering them under the old label would make the
+	// protocol reject them (signature chains are length-checked per
+	// round), so they wait for their own round.
+	var carry []frame
 	for r := 1; r <= cfg.Rounds; r++ {
 		roundEnd := cfg.StartAt.Add(time.Duration(r) * cfg.RoundDuration)
 		for _, s := range proto.Emit(r) {
-			c, ok := conns[s.To]
-			if !ok {
-				continue // no channel: the engine-equivalent drop
+			c := pt.get(s.To)
+			if c == nil {
+				if cfg.Reconnect && isNeighbor(cfg.Neighbors, s.To) {
+					// Downed neighbor: the message is lost, the run
+					// survives. Without Reconnect a missing entry only
+					// ever means "not an edge" — the engine-equivalent
+					// silent drop.
+					pt.dropSend()
+				}
+				continue
 			}
 			if err := writeFrame(c, cfg.Me, s.Data); err != nil {
-				return fmt.Errorf("tcpnet: round %d send to %v: %w", r, s.To, err)
+				if !cfg.Reconnect {
+					return fmt.Errorf("tcpnet: round %d send to %v: %w", r, s.To, err)
+				}
+				pt.dropSend()
+				pt.lost(s.To, c)
+				continue
 			}
 			stats.BytesSent += int64(len(s.Data) + rounds.DefaultMsgOverhead)
 			stats.MsgsSent++
+			if pt.bytesC != nil {
+				pt.bytesC.Add(int64(len(s.Data) + rounds.DefaultMsgOverhead))
+				pt.sentC.Inc()
+			}
 		}
+		deliver := func(round int, f frame) {
+			stats.MsgsDelivered++
+			if pt.deliveredC != nil {
+				pt.deliveredC.Inc()
+			}
+			proto.Deliver(round, f.from, f.data)
+		}
+		// Frames held over from the previous drain belong to this round;
+		// deliver them now that Emit(r) has run.
+		for _, f := range carry {
+			deliver(roundOf(f.at), f)
+		}
+		carry = carry[:0]
 		// Deliver everything that arrives within the round window.
 		timer := time.NewTimer(time.Until(roundEnd))
 	drain:
 		for {
 			select {
-			case f := <-incoming:
-				stats.MsgsDelivered++
-				proto.Deliver(r, f.from, f.data)
+			case f := <-pt.incoming:
+				fr := roundOf(f.at)
+				if fr > r {
+					carry = append(carry, f)
+					continue
+				}
+				if fr < r {
+					// Arrived after its window closed; the protocol layer
+					// discards it if stale.
+					stats.LateMsgs++
+				}
+				deliver(r, f)
 			case <-timer.C:
 				break drain
 			}
 		}
 		timer.Stop()
+		if pt.roundsC != nil {
+			pt.roundsC.Inc()
+		}
 		cfg.Logf("node %v finished round %d/%d", cfg.Me, r, cfg.Rounds)
 	}
 	return nil
@@ -313,7 +599,7 @@ func readLoop(peer ids.NodeID, c net.Conn, out chan<- frame) {
 		if _, err := io.ReadFull(c, data); err != nil {
 			return
 		}
-		out <- frame{from: peer, data: data}
+		out <- frame{from: peer, data: data, at: time.Now()}
 	}
 }
 

@@ -1,6 +1,8 @@
 package tcpnet
 
 import (
+	"encoding/binary"
+	"io"
 	"net"
 	"sync"
 	"testing"
@@ -9,6 +11,7 @@ import (
 	"github.com/nectar-repro/nectar/internal/graph"
 	"github.com/nectar-repro/nectar/internal/ids"
 	"github.com/nectar-repro/nectar/internal/nectar"
+	"github.com/nectar-repro/nectar/internal/obs"
 	"github.com/nectar-repro/nectar/internal/rounds"
 	"github.com/nectar-repro/nectar/internal/sig"
 	"github.com/nectar-repro/nectar/internal/topology"
@@ -162,6 +165,217 @@ type silent struct{}
 
 func (silent) Emit(int) []rounds.Send          { return nil }
 func (silent) Deliver(int, ids.NodeID, []byte) {}
+
+// chatty sends one ping to a fixed peer every round.
+type chatty struct{ to ids.NodeID }
+
+func (c chatty) Emit(int) []rounds.Send {
+	return []rounds.Send{{To: c.to, Data: []byte("ping")}}
+}
+func (chatty) Deliver(int, ids.NodeID, []byte) {}
+
+// handshake writes the 4-byte big-endian ID hello a dialing peer sends.
+func handshake(t *testing.T, c net.Conn, me ids.NodeID) {
+	t.Helper()
+	var hello [4]byte
+	hello[3] = byte(me)
+	if _, err := c.Write(hello[:]); err != nil {
+		t.Fatalf("handshake as %v: %v", me, err)
+	}
+}
+
+// TestReconnectAcceptsRedialedPeer drops the connection from a higher-ID
+// peer mid-run: the node must survive (dropping sends, counting the
+// transition) and accept the peer's re-handshake instead of dying.
+func TestReconnectAcceptsRedialedPeer(t *testing.T) {
+	if testing.Short() {
+		t.Skip("wall-clock TCP run skipped in -short mode")
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := ln.Addr().String()
+	reg := obs.NewRegistry()
+	cfg := Config{
+		Me:            0,
+		Addrs:         map[ids.NodeID]string{0: addr, 1: "unused"},
+		Neighbors:     []ids.NodeID{1},
+		Listener:      ln,
+		StartAt:       time.Now().Add(250 * time.Millisecond),
+		RoundDuration: 100 * time.Millisecond,
+		Rounds:        8,
+		Reconnect:     true,
+		Metrics:       reg,
+	}
+	done := make(chan struct{})
+	var stats *Stats
+	var runErr error
+	go func() {
+		defer close(done)
+		stats, runErr = Run(cfg, chatty{to: 1})
+	}()
+
+	// Act as peer 1: connect, handshake, then drop mid-run.
+	c1, err := net.Dial("tcp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	handshake(t, c1, 1)
+	time.Sleep(500 * time.Millisecond) // a few rounds in
+	c1.Close()
+	time.Sleep(150 * time.Millisecond) // let the loss register + a send drop
+
+	// Redial and re-handshake; hold the connection until the run ends.
+	c2, err := net.Dial("tcp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c2.Close()
+	handshake(t, c2, 1)
+
+	select {
+	case <-done:
+	case <-time.After(10 * time.Second):
+		t.Fatal("Run hung after peer drop")
+	}
+	if runErr != nil {
+		t.Fatalf("Run died on peer drop: %v", runErr)
+	}
+	if stats.PeerDowns < 1 {
+		t.Errorf("PeerDowns = %d, want >= 1", stats.PeerDowns)
+	}
+	if stats.PeerReconnects < 1 {
+		t.Errorf("PeerReconnects = %d, want >= 1", stats.PeerReconnects)
+	}
+	snap := reg.Snapshot()
+	counters := map[string]float64{}
+	for _, m := range snap {
+		counters[m.Name] = m.Value
+	}
+	if counters["nectar_node_peer_down_total"] < 1 {
+		t.Errorf("nectar_node_peer_down_total = %v, want >= 1", counters["nectar_node_peer_down_total"])
+	}
+	if counters["nectar_node_peer_reconnect_total"] < 1 {
+		t.Errorf("nectar_node_peer_reconnect_total = %v, want >= 1", counters["nectar_node_peer_reconnect_total"])
+	}
+	if counters["nectar_node_rounds_completed_total"] != float64(cfg.Rounds) {
+		t.Errorf("nectar_node_rounds_completed_total = %v, want %d", counters["nectar_node_rounds_completed_total"], cfg.Rounds)
+	}
+}
+
+// TestReconnectRedialsLowerPeer drops the connection at the listening
+// (lower-ID) end: the higher-ID node must background-redial it and keep
+// running, counting dropped sends in between.
+func TestReconnectRedialsLowerPeer(t *testing.T) {
+	if testing.Short() {
+		t.Skip("wall-clock TCP run skipped in -short mode")
+	}
+	// Act as peer 0: listen, accept node 1's dial, kill it, accept the
+	// redial.
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+	cfg := Config{
+		Me:            1,
+		Addrs:         map[ids.NodeID]string{0: ln.Addr().String(), 1: "unused"},
+		Neighbors:     []ids.NodeID{0},
+		StartAt:       time.Now().Add(250 * time.Millisecond),
+		RoundDuration: 100 * time.Millisecond,
+		Rounds:        8,
+		DialRetry:     20 * time.Millisecond,
+		Reconnect:     true,
+	}
+	done := make(chan struct{})
+	var stats *Stats
+	var runErr error
+	go func() {
+		defer close(done)
+		stats, runErr = Run(cfg, chatty{to: 0})
+	}()
+
+	accept := func() net.Conn {
+		t.Helper()
+		if err := ln.(*net.TCPListener).SetDeadline(time.Now().Add(5 * time.Second)); err != nil {
+			t.Fatal(err)
+		}
+		c, err := ln.Accept()
+		if err != nil {
+			t.Fatalf("accept: %v", err)
+		}
+		var hello [4]byte
+		if _, err := io.ReadFull(c, hello[:]); err != nil {
+			t.Fatalf("reading hello: %v", err)
+		}
+		if got := ids.NodeID(binary.BigEndian.Uint32(hello[:])); got != 1 {
+			t.Fatalf("hello claims node %v, want 1", got)
+		}
+		return c
+	}
+	c1 := accept()
+	time.Sleep(500 * time.Millisecond) // a few rounds in
+	c1.Close()
+	c2 := accept() // node 1's background redial
+	defer c2.Close()
+
+	select {
+	case <-done:
+	case <-time.After(10 * time.Second):
+		t.Fatal("Run hung after peer drop")
+	}
+	if runErr != nil {
+		t.Fatalf("Run died on peer drop: %v", runErr)
+	}
+	if stats.PeerDowns < 1 {
+		t.Errorf("PeerDowns = %d, want >= 1", stats.PeerDowns)
+	}
+	if stats.PeerReconnects < 1 {
+		t.Errorf("PeerReconnects = %d, want >= 1", stats.PeerReconnects)
+	}
+}
+
+// TestWriteFailureAbortsWithoutReconnect pins the legacy contract: with
+// Reconnect off, a peer drop mid-run fails the run.
+func TestWriteFailureAbortsWithoutReconnect(t *testing.T) {
+	if testing.Short() {
+		t.Skip("wall-clock TCP run skipped in -short mode")
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := Config{
+		Me:            0,
+		Addrs:         map[ids.NodeID]string{0: ln.Addr().String(), 1: "unused"},
+		Neighbors:     []ids.NodeID{1},
+		Listener:      ln,
+		StartAt:       time.Now().Add(250 * time.Millisecond),
+		RoundDuration: 50 * time.Millisecond,
+		Rounds:        20,
+	}
+	done := make(chan error, 1)
+	go func() {
+		_, err := Run(cfg, chatty{to: 1})
+		done <- err
+	}()
+	c, err := net.Dial("tcp", ln.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	handshake(t, c, 1)
+	time.Sleep(400 * time.Millisecond)
+	c.Close()
+	select {
+	case err := <-done:
+		if err == nil {
+			t.Error("Run survived a peer drop without Reconnect; want the legacy abort")
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("Run hung after peer drop")
+	}
+}
 
 func TestFrameRoundTrip(t *testing.T) {
 	a, b := net.Pipe()

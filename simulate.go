@@ -7,6 +7,7 @@ import (
 	"github.com/nectar-repro/nectar/internal/adversary"
 	"github.com/nectar-repro/nectar/internal/graph"
 	"github.com/nectar-repro/nectar/internal/ids"
+	"github.com/nectar-repro/nectar/internal/obs"
 	"github.com/nectar-repro/nectar/internal/rounds"
 	"github.com/nectar-repro/nectar/internal/sig"
 )
@@ -100,6 +101,9 @@ type SimulationConfig struct {
 	// Results are identical for any worker count (DESIGN.md §6, §10);
 	// bound it when sharing a machine with other runs.
 	Workers int
+	// Tracer, when non-nil, receives per-round engine trace events
+	// (DESIGN.md §12). Tracing never changes results; nil is free.
+	Tracer obs.Tracer
 }
 
 // SimulationResult reports the decisions and traffic of one execution.
@@ -125,16 +129,11 @@ type SimulationResult struct {
 	// less than Rounds when every node went quiescent early (§IV-E), in
 	// which case the remaining rounds were provably silent and skipped.
 	ActiveRounds int
-	// VerifyCacheHits / VerifyCacheMisses count signature verifications
-	// served from / delegated by the run's memo (both 0 with
-	// NoVerifyCache). LazyDiscards counts duplicates correct nodes
-	// discarded from the edge header alone; DecideCacheHits counts
-	// decision-phase connectivity computations shared across nodes with
-	// identical views. See DESIGN.md §9.
-	VerifyCacheHits   int64
-	VerifyCacheMisses int64
-	LazyDiscards      int64
-	DecideCacheHits   int64
+	// FastPath groups the run's fast-path counters (verify-cache
+	// hits/misses, lazy header-only discards, decide-cache hits — see
+	// DESIGN.md §9, §12). Embedded, so the fields promote: callers keep
+	// reading res.VerifyCacheHits etc., and JSON output stays flat.
+	obs.FastPath
 }
 
 // Simulate runs NECTAR on cfg.Graph with goroutine-per-core lockstep
@@ -191,6 +190,7 @@ func Simulate(cfg SimulationConfig) (*SimulationResult, error) {
 		Seed:        cfg.Seed,
 		FullHorizon: cfg.FullHorizon,
 		Workers:     cfg.Workers,
+		Tracer:      cfg.Tracer,
 	}, protos)
 	if err != nil {
 		return nil, err
