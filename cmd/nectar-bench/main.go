@@ -57,7 +57,7 @@ func run(args []string) error {
 	noASCII := fs.Bool("no-ascii", false, "suppress terminal plots")
 	verbose := fs.Bool("v", false, "print live per-trial progress")
 	tracePath := fs.String("trace", "",
-		"write a scheduler event trace (unit start/done): *.jsonl = one event per line, anything else Chrome trace JSON")
+		"write a scheduler event trace (unit start/done): *.jsonl streams events to disk as they happen (bounded memory), anything else buffers in memory and writes Chrome trace JSON")
 	metricsOut := fs.String("metrics-out", "",
 		"write scheduler metrics (unit counts, latency histogram) in Prometheus text format to this file")
 	list := fs.Bool("list", false, "print valid experiments and schemes and exit")
@@ -129,13 +129,18 @@ func run(args []string) error {
 	}
 
 	cfg := report.RunConfig{Jobs: *jobs, Stream: *stream, Resume: *resume}
-	var rec *obs.Recorder
+	var sink *cliutil.TraceSink
 	if *tracePath != "" {
 		// Edge binary: wall-clock timestamps are in scope here, and they
 		// make the Chrome trace's unit lanes show real durations.
 		t0 := time.Now()
-		rec = obs.NewRecorder(obs.ClockFunc(func() int64 { return time.Since(t0).Microseconds() }))
-		cfg.Tracer = rec
+		var terr error
+		sink, terr = cliutil.OpenTrace(*tracePath,
+			obs.ClockFunc(func() int64 { return time.Since(t0).Microseconds() }))
+		if terr != nil {
+			return terr
+		}
+		cfg.Tracer = sink.Tracer
 	}
 	var reg *obs.Registry
 	if *metricsOut != "" {
@@ -158,11 +163,11 @@ func run(args []string) error {
 
 	start := time.Now()
 	rep, runErr := report.RunExperiments(expanded, opts, cfg)
-	if rec != nil {
-		if err := cliutil.WriteTrace(*tracePath, rec); err != nil {
+	if sink != nil {
+		if err := sink.Close(); err != nil {
 			return err
 		}
-		fmt.Printf("wrote %s (%d events)\n", *tracePath, rec.Len())
+		fmt.Printf("wrote %s (%d events)\n", *tracePath, sink.Len())
 	}
 	if reg != nil {
 		var buf strings.Builder

@@ -33,6 +33,7 @@ import (
 
 	nectar "github.com/nectar-repro/nectar"
 	"github.com/nectar-repro/nectar/internal/obs"
+	"github.com/nectar-repro/nectar/internal/tcpnet"
 )
 
 type deployment struct {
@@ -159,10 +160,15 @@ func run(args []string) error {
 			if runDone.Load() {
 				phase = 1
 			}
-			return obs.Health{Status: "ok", Detail: []obs.Attr{
+			detail := []obs.Attr{
 				{K: "node", V: int64(me)},
 				{K: "done", V: phase},
-			}}
+			}
+			// Peer-table condition (downs, reconnects, dropped sends, late
+			// frames) rides along so smoke tests can assert on partition
+			// handling from /healthz alone.
+			detail = append(detail, tcpnet.PeerHealth(reg)...)
+			return obs.Health{Status: "ok", Detail: detail}
 		}
 		ln, err := net.Listen("tcp", *adminAddr)
 		if err != nil {

@@ -57,7 +57,9 @@ func run(args []string) error {
 	drift := fs.Float64("drift", 0.5, "barycenter separation added per epoch (mobility)")
 	workers := fs.Int("workers", 0, "engine worker cap (0 = GOMAXPROCS; never changes results)")
 	tracePath := fs.String("trace", "",
-		"write an engine event trace: *.jsonl = one event per line, anything else Chrome trace JSON (chrome://tracing)")
+		"write an engine event trace: *.jsonl streams events to disk as they happen (bounded memory, analyze with nectar-trace), anything else buffers in memory and writes Chrome trace JSON (chrome://tracing)")
+	metricsOut := fs.String("metrics-out", "",
+		"with -churn: write detection-quality metrics (kappa-margin and detection-latency histograms) in Prometheus text format to this file")
 	asJSON := fs.Bool("json", false, "emit JSON instead of text")
 	list := fs.Bool("list", false, "print valid behaviors, schemes, topologies, churn workloads and exit")
 	if err := fs.Parse(args); err != nil {
@@ -122,7 +124,11 @@ func run(args []string) error {
 			epochRounds: *rounds, epochs: *epochs, rate: *churnRate,
 			drift: *drift, byzantine: byzantine, blocked: blockedMap,
 			workers: *workers, asJSON: *asJSON, tracePath: *tracePath,
+			metricsOut: *metricsOut,
 		})
+	}
+	if *metricsOut != "" {
+		return fmt.Errorf("-metrics-out only applies to -churn runs")
 	}
 
 	rng := rand.New(rand.NewSource(*seed))
@@ -140,17 +146,20 @@ func run(args []string) error {
 		Blocked:    blockedMap,
 		Workers:    *workers,
 	}
-	var rec *nectar.TraceRecorder
+	var sink *cliutil.TraceSink
 	if *tracePath != "" {
-		rec = nectar.NewTraceRecorder()
-		cfg.Tracer = rec
+		var terr error
+		if sink, terr = cliutil.OpenTrace(*tracePath, nil); terr != nil {
+			return terr
+		}
+		cfg.Tracer = sink.Tracer
 	}
 	res, err := nectar.Simulate(cfg)
 	if err != nil {
 		return err
 	}
-	if rec != nil {
-		if err := cliutil.WriteTrace(*tracePath, rec); err != nil {
+	if sink != nil {
+		if err := sink.Close(); err != nil {
 			return err
 		}
 	}
@@ -211,6 +220,7 @@ type dynFlags struct {
 	blocked     map[nectar.NodeID][]nectar.NodeID
 	asJSON      bool
 	tracePath   string
+	metricsOut  string
 }
 
 // buildSchedule compiles the selected dynamic workload over the chosen
@@ -277,18 +287,35 @@ func runDynamic(topo *cliutil.TopologyFlags, f dynFlags) error {
 		Blocked:     f.blocked,
 		Workers:     f.workers,
 	}
-	var rec *nectar.TraceRecorder
+	var sink *cliutil.TraceSink
 	if f.tracePath != "" {
-		rec = nectar.NewTraceRecorder()
-		cfg.Tracer = rec
+		var terr error
+		if sink, terr = cliutil.OpenTrace(f.tracePath, nil); terr != nil {
+			return terr
+		}
+		cfg.Tracer = sink.Tracer
+	}
+	var reg *nectar.MetricsRegistry
+	if f.metricsOut != "" {
+		reg = nectar.NewMetricsRegistry()
+		cfg.Registry = reg
 	}
 	res, err := nectar.SimulateDynamic(cfg)
 	if err != nil {
 		return err
 	}
-	if rec != nil {
-		if err := cliutil.WriteTrace(f.tracePath, rec); err != nil {
+	if sink != nil {
+		if err := sink.Close(); err != nil {
 			return err
+		}
+	}
+	if reg != nil {
+		var buf strings.Builder
+		if err := reg.WritePrometheus(&buf); err != nil {
+			return err
+		}
+		if err := os.WriteFile(f.metricsOut, []byte(buf.String()), 0o644); err != nil {
+			return fmt.Errorf("writing metrics %s: %w", f.metricsOut, err)
 		}
 	}
 

@@ -1,0 +1,134 @@
+// nectar-trace is the offline analysis CLI for JSONL traces captured
+// with `nectar-sim -trace` / `nectar-bench -trace` (internal/obs
+// events; see DESIGN.md §13). It answers post-hoc questions without
+// rerunning the simulation:
+//
+//	nectar-trace summarize trace.jsonl          per-round/epoch message, discard, quiescence stats
+//	nectar-trace explain -node 3 trace.jsonl    one node's evidence timeline and verdict provenance
+//	nectar-trace lint trace.jsonl               anomaly scan; exits 1 when anything fires
+//	nectar-trace diff a.jsonl b.jsonl           first divergence between two traces
+//	nectar-trace chrome trace.jsonl             convert to Chrome trace JSON (stdout)
+//
+// All reports are pure functions of the trace bytes (internal/traceview
+// is in the deterministic core), so outputs are stable enough to diff
+// and to pin in CI.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"github.com/nectar-repro/nectar/internal/obs"
+	"github.com/nectar-repro/nectar/internal/traceview"
+)
+
+func main() {
+	code, err := run(os.Args[1:], os.Stdout)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "nectar-trace:", err)
+		os.Exit(2)
+	}
+	os.Exit(code)
+}
+
+// run executes one subcommand, returning the process exit code (lint
+// reports findings via code 1, not an error) or a usage/IO error.
+func run(args []string, out *os.File) (int, error) {
+	if len(args) == 0 {
+		return 0, fmt.Errorf("usage: nectar-trace summarize|explain|lint|diff|chrome ...")
+	}
+	switch args[0] {
+	case "summarize":
+		fs := flag.NewFlagSet("summarize", flag.ContinueOnError)
+		if err := fs.Parse(args[1:]); err != nil {
+			return 0, err
+		}
+		if fs.NArg() != 1 {
+			return 0, fmt.Errorf("usage: nectar-trace summarize TRACE.jsonl")
+		}
+		events, err := traceview.Load(fs.Arg(0))
+		if err != nil {
+			return 0, err
+		}
+		return 0, traceview.Summarize(events).WriteText(out)
+	case "explain":
+		fs := flag.NewFlagSet("explain", flag.ContinueOnError)
+		node := fs.Int("node", 0, "node ID whose verdict to explain")
+		if err := fs.Parse(args[1:]); err != nil {
+			return 0, err
+		}
+		if fs.NArg() != 1 {
+			return 0, fmt.Errorf("usage: nectar-trace explain -node N TRACE.jsonl")
+		}
+		events, err := traceview.Load(fs.Arg(0))
+		if err != nil {
+			return 0, err
+		}
+		for i, st := range traceview.Explain(events, *node) {
+			if i > 0 {
+				fmt.Fprintln(out)
+			}
+			if err := st.WriteText(out); err != nil {
+				return 0, err
+			}
+		}
+		return 0, nil
+	case "lint":
+		fs := flag.NewFlagSet("lint", flag.ContinueOnError)
+		if err := fs.Parse(args[1:]); err != nil {
+			return 0, err
+		}
+		if fs.NArg() != 1 {
+			return 0, fmt.Errorf("usage: nectar-trace lint TRACE.jsonl")
+		}
+		events, err := traceview.Load(fs.Arg(0))
+		if err != nil {
+			return 0, err
+		}
+		findings := traceview.Lint(events)
+		traceview.WriteFindings(out, findings)
+		if len(findings) > 0 {
+			return 1, nil
+		}
+		return 0, nil
+	case "diff":
+		fs := flag.NewFlagSet("diff", flag.ContinueOnError)
+		if err := fs.Parse(args[1:]); err != nil {
+			return 0, err
+		}
+		if fs.NArg() != 2 {
+			return 0, fmt.Errorf("usage: nectar-trace diff A.jsonl B.jsonl")
+		}
+		a, err := traceview.Load(fs.Arg(0))
+		if err != nil {
+			return 0, err
+		}
+		b, err := traceview.Load(fs.Arg(1))
+		if err != nil {
+			return 0, err
+		}
+		d := traceview.Diff(a, b)
+		if err := d.WriteText(out, len(a), len(b)); err != nil {
+			return 0, err
+		}
+		if d != nil {
+			return 1, nil
+		}
+		return 0, nil
+	case "chrome":
+		fs := flag.NewFlagSet("chrome", flag.ContinueOnError)
+		if err := fs.Parse(args[1:]); err != nil {
+			return 0, err
+		}
+		if fs.NArg() != 1 {
+			return 0, fmt.Errorf("usage: nectar-trace chrome TRACE.jsonl > trace.json")
+		}
+		events, err := traceview.Load(fs.Arg(0))
+		if err != nil {
+			return 0, err
+		}
+		return 0, obs.WriteChromeTraceEvents(out, events)
+	}
+	return 0, fmt.Errorf("unknown subcommand %q (want summarize, explain, lint, diff, or chrome)", args[0])
+}

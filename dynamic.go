@@ -104,6 +104,10 @@ type DynamicConfig struct {
 	// Tracer, when non-nil, receives epoch and per-round engine trace
 	// events (DESIGN.md §12). Tracing never changes results; nil is free.
 	Tracer Tracer
+	// Registry, when non-nil, receives the run's detection-quality
+	// metrics — per-epoch κ-margin and detection-latency histograms under
+	// the nectar_dynamic_* names (DESIGN.md §13). Nil is free.
+	Registry *MetricsRegistry
 }
 
 // EpochResult reports one epoch of a dynamic run.
@@ -262,7 +266,9 @@ func SimulateDynamic(cfg DynamicConfig) (*DynamicResult, error) {
 				en.outcomes = make(map[NodeID]Outcome, len(en.correct))
 				out := make(map[ids.NodeID]dynamic.Verdict, len(en.correct))
 				for _, id := range en.correct {
-					o := nodes[id].DecideShared(dc)
+					// kappa_eval provenance per decision (DESIGN.md §13);
+					// ID-ordered on this goroutine, so deterministic.
+					o := nodes[id].DecideTraced(dc, cfg.Tracer, epoch)
 					en.outcomes[id] = o
 					out[id] = dynamic.Verdict{
 						Partitionable: o.Decision == Partitionable,
@@ -283,6 +289,7 @@ func SimulateDynamic(cfg DynamicConfig) (*DynamicResult, error) {
 		FullHorizon: cfg.FullHorizon,
 		Workers:     cfg.Workers,
 		Tracer:      cfg.Tracer,
+		Registry:    cfg.Registry,
 	}, build)
 	if err != nil {
 		return nil, err

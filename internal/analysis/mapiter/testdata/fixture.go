@@ -87,3 +87,27 @@ func suppressed(m map[string]int, ch chan string) {
 		ch <- k //nectar:allow-mapiter fixture: consumer is order-insensitive by construction
 	}
 }
+
+// nodeStat mirrors a per-node aggregation row (traceview-style
+// reporting: stats keyed by node ID, rendered in ID order).
+type nodeStat struct{ accepts, rejects int }
+
+// perNodeSorted is the blessed reporting shape: node IDs collected,
+// sort.Ints'd, then the map is indexed in sorted order.
+func perNodeSorted(m map[int]nodeStat, w io.Writer) {
+	ids := make([]int, 0, len(m))
+	for id := range m {
+		ids = append(ids, id)
+	}
+	sort.Ints(ids)
+	for _, id := range ids {
+		fmt.Fprintf(w, "node %d: %d/%d\n", id, m[id].accepts, m[id].rejects)
+	}
+}
+
+// perNodeUnsorted renders straight out of map iteration.
+func perNodeUnsorted(m map[int]nodeStat, w io.Writer) {
+	for id, st := range m {
+		fmt.Fprintf(w, "node %d: %d/%d\n", id, st.accepts, st.rejects) // want `reaches Fprintf`
+	}
+}

@@ -8,26 +8,79 @@ import (
 	"github.com/nectar-repro/nectar/internal/obs"
 )
 
-// WriteTrace saves a recorder's events to path, picking the format from
-// the extension: ".jsonl" writes one event per line (the schema of
-// DESIGN.md §12), anything else a Chrome trace-event JSON document for
-// chrome://tracing / Perfetto. Shared by the nectar-sim and nectar-bench
-// -trace flags.
-func WriteTrace(path string, rec *obs.Recorder) error {
-	f, err := os.Create(path)
-	if err != nil {
-		return err
-	}
+// TraceSink is the capture side of a -trace flag: a Tracer to hand the
+// run plus a Close that finalizes the file. The extension picks both
+// format and memory strategy:
+//
+//   - ".jsonl": events stream straight to the file through an
+//     obs.StreamSink as they arrive, in arrival order — memory stays
+//     bounded no matter how long the run, so this is the format for
+//     large sweeps and long churn horizons.
+//   - anything else: events buffer in an obs.Recorder and Close converts
+//     them to a single Chrome trace-event JSON document (the format
+//     wraps the whole sequence in one object, so buffering is inherent);
+//     memory grows with event count.
+//
+// Shared by the nectar-sim and nectar-bench -trace flags.
+type TraceSink struct {
+	// Tracer receives the run's events; pass it as the config Tracer.
+	Tracer obs.Tracer
+
+	path string
+	f    *os.File
+	sink *obs.StreamSink // jsonl mode
+	rec  *obs.Recorder   // chrome mode
+}
+
+// OpenTrace prepares capture to path. A nil clock means the
+// deterministic LogicalClock; edge binaries that want wall-clock lanes
+// pass an obs.ClockFunc.
+func OpenTrace(path string, clock obs.Clock) (*TraceSink, error) {
+	ts := &TraceSink{path: path}
 	if strings.HasSuffix(path, ".jsonl") {
-		err = rec.WriteJSONL(f)
-	} else {
-		err = rec.WriteChromeTrace(f)
+		f, err := os.Create(path)
+		if err != nil {
+			return nil, err
+		}
+		ts.f = f
+		ts.sink = obs.NewStreamSink(f, clock)
+		ts.Tracer = ts.sink
+		return ts, nil
 	}
-	if cerr := f.Close(); err == nil {
-		err = cerr
+	ts.rec = obs.NewRecorder(clock)
+	ts.Tracer = ts.rec
+	return ts, nil
+}
+
+// Len returns the number of events captured so far.
+func (ts *TraceSink) Len() int {
+	if ts.sink != nil {
+		return ts.sink.Len()
+	}
+	return ts.rec.Len()
+}
+
+// Close finalizes the trace file: flush for the streaming path, convert
+// and write for the Chrome path.
+func (ts *TraceSink) Close() error {
+	var err error
+	if ts.sink != nil {
+		err = ts.sink.Close()
+		if cerr := ts.f.Close(); err == nil {
+			err = cerr
+		}
+	} else {
+		var f *os.File
+		f, err = os.Create(ts.path)
+		if err == nil {
+			err = ts.rec.WriteChromeTrace(f)
+			if cerr := f.Close(); err == nil {
+				err = cerr
+			}
+		}
 	}
 	if err != nil {
-		return fmt.Errorf("writing trace %s: %w", path, err)
+		return fmt.Errorf("writing trace %s: %w", ts.path, err)
 	}
 	return nil
 }

@@ -1,0 +1,89 @@
+package cliutil
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"github.com/nectar-repro/nectar/internal/obs"
+)
+
+func sampleEvents() []obs.Event {
+	return []obs.Event{
+		{Type: obs.EvRoundStart, Round: 1},
+		{Type: obs.EvMsgDeliver, Round: 1, Node: 2, N: 3},
+		{Type: obs.EvRoundEnd, Round: 1, N: 64},
+	}
+}
+
+// TestOpenTraceJSONLStreams: the .jsonl path streams — events are on
+// disk (modulo buffering) without any Recorder, and load back equal.
+func TestOpenTraceJSONLStreams(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "trace.jsonl")
+	ts, err := OpenTrace(path, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := ts.Tracer.(*obs.StreamSink); !ok {
+		t.Fatalf("jsonl tracer is %T, want *obs.StreamSink", ts.Tracer)
+	}
+	for _, ev := range sampleEvents() {
+		ts.Tracer.Emit(ev)
+	}
+	if ts.Len() != 3 {
+		t.Fatalf("Len = %d, want 3", ts.Len())
+	}
+	if err := ts.Close(); err != nil {
+		t.Fatal(err)
+	}
+	f, err := os.Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	loaded, err := obs.ReadJSONL(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(loaded) != 3 || loaded[1].Node != 2 || loaded[1].N != 3 {
+		t.Fatalf("round trip lost events: %+v", loaded)
+	}
+	// LogicalClock stamps 0-based ordinals.
+	if loaded[0].Ts != 0 || loaded[2].Ts != 2 {
+		t.Fatalf("logical timestamps = %d,%d,%d", loaded[0].Ts, loaded[1].Ts, loaded[2].Ts)
+	}
+}
+
+// TestOpenTraceChromeBuffers: any other extension buffers in a Recorder
+// and Close writes a Chrome trace-event document.
+func TestOpenTraceChromeBuffers(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "trace.json")
+	ts, err := OpenTrace(path, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := ts.Tracer.(*obs.Recorder); !ok {
+		t.Fatalf("chrome tracer is %T, want *obs.Recorder", ts.Tracer)
+	}
+	for _, ev := range sampleEvents() {
+		ts.Tracer.Emit(ev)
+	}
+	if err := ts.Close(); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		TraceEvents []json.RawMessage `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(bytes.TrimSpace(data), &doc); err != nil {
+		t.Fatalf("not a Chrome trace document: %v", err)
+	}
+	if len(doc.TraceEvents) != 3 {
+		t.Fatalf("%d chrome events, want 3", len(doc.TraceEvents))
+	}
+}

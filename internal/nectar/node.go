@@ -1,10 +1,12 @@
 package nectar
 
 import (
+	"errors"
 	"fmt"
 
 	"github.com/nectar-repro/nectar/internal/graph"
 	"github.com/nectar-repro/nectar/internal/ids"
+	"github.com/nectar-repro/nectar/internal/obs"
 	"github.com/nectar-repro/nectar/internal/rounds"
 	"github.com/nectar-repro/nectar/internal/sig"
 	"github.com/nectar-repro/nectar/internal/wire"
@@ -158,9 +160,19 @@ type Node struct {
 	// side copies what it retains.
 	enc     wire.Writer
 	sendBuf []rounds.Send
+	// Evidence tracing (DESIGN.md §13): off by default and enabled only by
+	// the engine's TraceEvidence call when a run has a Tracer, so the
+	// untraced hot path buffers nothing. evbuf fills during Deliver (one
+	// goroutine per node) and is drained by the engine's scheduler
+	// goroutine between rounds; lastReach tracks the reachable-set size so
+	// growth events fire only when an accepted edge actually extends it.
+	tracing   bool
+	evbuf     []obs.Event
+	lastReach int
 }
 
 var _ rounds.Protocol = (*Node)(nil)
+var _ rounds.EvidenceSource = (*Node)(nil)
 
 // NewNode validates cfg and initializes Gi with the local neighborhood
 // (Alg. 1 ll. 1-4).
@@ -292,22 +304,25 @@ func (nd *Node) Deliver(round int, from ids.NodeID, data []byte) {
 		m, err := decodeEdgeMsgNoCopy(data, sigSize, nd.cfg.N)
 		if err != nil {
 			nd.stats.Rejected++
+			nd.traceReject(round, from, 0, err)
 			return
 		}
 		if err := checkMsg(nd.ver, m, from, round); err != nil {
 			nd.stats.Rejected++
+			nd.traceReject(round, from, len(m.Chain), err)
 			return
 		}
 		if nd.view.HasEdge(m.Proof.Edge.U, m.Proof.Edge.V) {
 			nd.stats.Duplicates++
 			return
 		}
-		nd.accept(m, from)
+		nd.accept(round, m, from)
 		return
 	}
 	e, err := DecodeEdgeHeader(data, nd.cfg.N)
 	if err != nil {
 		nd.stats.Rejected++
+		nd.traceReject(round, from, 0, err)
 		return
 	}
 	if nd.view.HasEdge(e.U, e.V) {
@@ -318,24 +333,105 @@ func (nd *Node) Deliver(round int, from ids.NodeID, data []byte) {
 	m, err := decodeEdgeMsgNoCopy(data, sigSize, nd.cfg.N)
 	if err != nil {
 		nd.stats.Rejected++
+		nd.traceReject(round, from, 0, err)
 		return
 	}
 	if err := checkMsg(nd.ver, m, from, round); err != nil {
 		nd.stats.Rejected++
+		nd.traceReject(round, from, len(m.Chain), err)
 		return
 	}
-	nd.accept(m, from)
+	nd.accept(round, m, from)
 }
 
 // accept records a first-seen valid edge and queues the message for relay.
 // The message aliases the delivered buffer, whose lifetime ends with the
 // round, so it is copied into owned memory here — the only copy on the
 // deliver path, paid once per distinct edge.
-func (nd *Node) accept(m EdgeMsg, from ids.NodeID) {
+func (nd *Node) accept(round int, m EdgeMsg, from ids.NodeID) {
 	m = m.Copy()
 	nd.view.AddEdge(m.Proof.Edge.U, m.Proof.Edge.V)
 	nd.queue = append(nd.queue, relayItem{msg: m, from: from})
 	nd.stats.Accepted++
+	if nd.tracing {
+		nd.evbuf = append(nd.evbuf, obs.Event{
+			Type: obs.EvChainAccept, Round: round, Node: int(nd.cfg.Me),
+			N: int64(len(m.Chain)),
+			Attrs: []obs.Attr{
+				{K: "u", V: int64(m.Proof.Edge.U)},
+				{K: "v", V: int64(m.Proof.Edge.V)},
+				{K: "from", V: int64(from)},
+			},
+		})
+		// Reachable-set growth: a read-only BFS over the updated view,
+		// paid only under tracing. Most accepted edges close triangles and
+		// grow nothing; the ones that do are exactly the evidence behind
+		// DetectReachableNode's final count.
+		if r := nd.view.CountReachable(nd.cfg.Me); r > nd.lastReach {
+			nd.evbuf = append(nd.evbuf, obs.Event{
+				Type: obs.EvReachGrow, Round: round, Node: int(nd.cfg.Me),
+				N:     int64(r),
+				Attrs: []obs.Attr{{K: "prev", V: int64(nd.lastReach)}},
+			})
+			nd.lastReach = r
+		}
+	}
+}
+
+// traceReject buffers a chain_reject evidence event (no-op unless the
+// engine enabled tracing). hops is the decoded chain length, 0 when the
+// message never decoded that far.
+func (nd *Node) traceReject(round int, from ids.NodeID, hops int, err error) {
+	if !nd.tracing {
+		return
+	}
+	nd.evbuf = append(nd.evbuf, obs.Event{
+		Type: obs.EvChainReject, Round: round, Node: int(nd.cfg.Me),
+		Key: rejectReason(err), N: int64(hops),
+		Attrs: []obs.Attr{{K: "from", V: int64(from)}},
+	})
+}
+
+// rejectReason maps a Deliver rejection to a stable trace label, so
+// offline lint rules can dispatch on it without parsing error prose.
+func rejectReason(err error) string {
+	switch {
+	case errors.Is(err, errChainLength):
+		return "chain_length"
+	case errors.Is(err, errChainSigners):
+		return "chain_signers"
+	case errors.Is(err, errChainInitiator):
+		return "chain_initiator"
+	case errors.Is(err, errChainSender):
+		return "chain_sender"
+	case errors.Is(err, errChainSig):
+		return "chain_sig"
+	case errors.Is(err, errProofSig):
+		return "proof_sig"
+	case errors.Is(err, errBadProof):
+		return "bad_proof"
+	}
+	return "malformed"
+}
+
+// TraceEvidence implements rounds.EvidenceSource: the engine enables
+// buffering before round 1 of a traced run. Enabling (re)baselines the
+// reachable-set tracker to the current view so growth events measure
+// discovery from here on.
+func (nd *Node) TraceEvidence(on bool) {
+	nd.tracing = on
+	if on {
+		nd.lastReach = nd.view.CountReachable(nd.cfg.Me)
+	}
+}
+
+// DrainEvidence implements rounds.EvidenceSource: emit every buffered
+// event in emission order, then clear the buffer.
+func (nd *Node) DrainEvidence(emit func(obs.Event)) {
+	for i := range nd.evbuf {
+		emit(nd.evbuf[i])
+	}
+	nd.evbuf = nd.evbuf[:0]
 }
 
 // Quiescent implements rounds.Quiescer: once the initial announcement is
@@ -368,6 +464,38 @@ func (nd *Node) DecideShared(c *DecideCache) Outcome {
 	out.Decision = Partitionable
 	out.Confirmed = r != nd.cfg.N
 	return out
+}
+
+// DecideTraced is DecideShared plus verdict provenance: it emits one
+// kappa_eval event to tr recording exactly what the decision tested —
+// the connectivity bound κ(Gi) ≥ T+1 against the threshold T, the
+// reachable count, and the resulting verdict — under the epoch the
+// caller is deciding in (0 for static runs). Callers decide nodes in
+// ascending ID order from one goroutine (Simulate, the dynamic Finish),
+// so the events are deterministic. A nil tr just runs DecideShared.
+func (nd *Node) DecideTraced(c *DecideCache, tr obs.Tracer, epoch int) Outcome {
+	out := nd.DecideShared(c)
+	if tr != nil {
+		tr.Emit(obs.Event{
+			Type: obs.EvKappaEval, Epoch: epoch, Node: int(nd.cfg.Me),
+			Key: out.Decision.String(), N: int64(out.Reachable),
+			Attrs: []obs.Attr{
+				{K: "bound", V: int64(nd.cfg.T + 1)},
+				{K: "t", V: int64(nd.cfg.T)},
+				{K: "over", V: b2i(out.ConnectivityOverT)},
+				{K: "confirmed", V: b2i(out.Confirmed)},
+			},
+		})
+	}
+	return out
+}
+
+// b2i renders a bool as a trace attr value.
+func b2i(b bool) int64 {
+	if b {
+		return 1
+	}
+	return 0
 }
 
 // View returns a copy of Gi, the node's discovered graph.

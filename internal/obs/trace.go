@@ -20,6 +20,15 @@ const (
 	EvQuiesce    = "quiesce"     // Round = last active round, N = round fast-forwarded to
 	EvTopoSwap   = "topo_swap"   // Round = swap round
 
+	// Evidence-level events (DESIGN.md §13): the provenance trail behind a
+	// verdict. Emitted by protocol nodes (internal/nectar) into per-node
+	// buffers and drained by the engine's scheduler goroutine in ascending
+	// node order, so their trace order is deterministic too.
+	EvChainAccept = "chain_accept" // Round, Node = acceptor, N = chain hops, Attrs = u / v / from
+	EvChainReject = "chain_reject" // Round, Node, Key = reason, N = chain hops (0 if undecodable), Attrs = from
+	EvReachGrow   = "reach_grow"   // Round, Node, N = reachable-set size after growth, Attrs = prev
+	EvKappaEval   = "kappa_eval"   // Node, Epoch, Key = decision, N = reachable, Attrs = bound / t / over / confirmed
+
 	// Dynamic-driver events (internal/dynamic).
 	EvEpochStart   = "epoch_start"   // Epoch, Round = first global round, N = ground-truth kappa
 	EvEpochVerdict = "epoch_verdict" // Epoch, Key = decision, Attrs = agreement / truth
@@ -140,15 +149,23 @@ type chromeEvent struct {
 	Args map[string]int64 `json:"args,omitempty"`
 }
 
-// WriteChromeTrace writes the events as a Chrome trace-event JSON
-// document: round/epoch/unit start-end pairs become B/E duration events,
-// everything else an instant event. Load the output in chrome://tracing
-// or https://ui.perfetto.dev. encoding/json sorts map keys, so output
-// bytes are deterministic for a given event sequence.
+// WriteChromeTrace writes the recorded events as a Chrome trace-event
+// JSON document: round/epoch/unit start-end pairs become B/E duration
+// events, everything else an instant event. Load the output in
+// chrome://tracing or https://ui.perfetto.dev. encoding/json sorts map
+// keys, so output bytes are deterministic for a given event sequence.
 func (r *Recorder) WriteChromeTrace(w io.Writer) error {
 	r.mu.Lock()
 	events := append([]Event(nil), r.events...)
 	r.mu.Unlock()
+	return WriteChromeTraceEvents(w, events)
+}
+
+// WriteChromeTraceEvents converts an already-captured event sequence to
+// the Chrome trace-event format — the offline path behind `nectar-trace
+// chrome`, sharing one converter with Recorder.WriteChromeTrace so both
+// produce identical bytes for identical events.
+func WriteChromeTraceEvents(w io.Writer, events []Event) error {
 	out := struct {
 		TraceEvents []chromeEvent `json:"traceEvents"`
 	}{TraceEvents: make([]chromeEvent, 0, len(events))}

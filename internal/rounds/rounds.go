@@ -105,6 +105,25 @@ type Quiescer interface {
 	Quiescent() bool
 }
 
+// EvidenceSource is an optional Protocol extension for evidence-level
+// tracing (DESIGN.md §13). When a run has a Tracer, the engine calls
+// TraceEvidence(true) once before round 1 on every node that implements
+// the interface; the node then buffers evidence events (chain
+// accept/reject, reachable-set growth) during its Deliver calls — which
+// run on worker goroutines — and the engine drains each node's buffer
+// from the scheduler goroutine after the round's delivery barrier, in
+// ascending node order, so the emitted stream is deterministic for any
+// worker count. Without a Tracer the method is never called and
+// implementations must buffer nothing (the nil-Tracer contract: tracing
+// off costs nothing on the hot path).
+type EvidenceSource interface {
+	// TraceEvidence turns evidence buffering on (or off).
+	TraceEvidence(on bool)
+	// DrainEvidence calls emit for every buffered event in emission order
+	// and clears the buffer.
+	DrainEvidence(emit func(obs.Event))
+}
+
 // DefaultMsgOverhead is the per-message byte overhead added to the sender's
 // byte count: a 4-byte sender ID and a 4-byte length prefix, matching the
 // TCP framing in internal/tcpnet.
@@ -298,6 +317,10 @@ type engine struct {
 	// msg_deliver events by the scheduler goroutine. Nil when cfg.Tracer
 	// is nil.
 	traceDelivered []int64
+	// evidence[i] is node i's evidence buffer when it implements
+	// EvidenceSource, drained after each round's delivery barrier in
+	// ascending node order. Nil when cfg.Tracer is nil.
+	evidence []EvidenceSource
 }
 
 // Run drives nodes through cfg.Rounds synchronous rounds and returns the
@@ -365,6 +388,13 @@ func Run(cfg Config, nodes []Protocol) (*Metrics, error) {
 	}
 	if cfg.Tracer != nil {
 		e.traceDelivered = make([]int64, n)
+		e.evidence = make([]EvidenceSource, n)
+		for i, nd := range nodes {
+			if src, ok := nd.(EvidenceSource); ok {
+				e.evidence[i] = src
+				src.TraceEvidence(true)
+			}
+		}
 	}
 	// One reusable shuffle RNG per worker: delivery used to allocate a
 	// fresh rand.Rand per recipient per round; reseeding reproduces the
@@ -463,6 +493,13 @@ func (e *engine) run() {
 				if cnt > 0 {
 					e.cfg.Tracer.Emit(obs.Event{Type: obs.EvMsgDeliver, Round: r, Node: i, N: cnt})
 					e.traceDelivered[i] = 0
+				}
+				// Evidence drained right after the node's delivery count, so
+				// a reader sees each node's deliveries and their outcomes
+				// adjacently; the buffers were filled on worker goroutines
+				// but are drained only here, in ascending node order.
+				if src := e.evidence[i]; src != nil {
+					src.DrainEvidence(e.cfg.Tracer.Emit)
 				}
 			}
 			if dropNonEdge+dropLoss > 0 {

@@ -310,8 +310,25 @@ type peerTable struct {
 	connected                *obs.Gauge
 	downC, reconnC, droppedC *obs.Counter
 	roundsC, bytesC, sentC   *obs.Counter
-	deliveredC               *obs.Counter
+	deliveredC, lateC        *obs.Counter
 }
+
+// Registry instrument names the peer table publishes. Registration is
+// idempotent, so PeerHealth can resolve the same counters from the
+// admin side regardless of whether the peer table exists yet.
+const (
+	metricPeersConnected = "nectar_node_peers_connected"
+	metricPeerDown       = "nectar_node_peer_down_total"
+	metricPeerReconnect  = "nectar_node_peer_reconnect_total"
+	metricSendsDropped   = "nectar_node_sends_dropped_total"
+	metricLateMsgs       = "nectar_node_late_msgs_total"
+
+	helpPeersConnected = "Neighbor connections currently live."
+	helpPeerDown       = "Neighbor connections lost mid-run."
+	helpPeerReconnect  = "Neighbor connections re-established after a loss."
+	helpSendsDropped   = "Sends dropped for lack of a live neighbor connection."
+	helpLateMsgs       = "Frames that arrived after their round window closed."
+)
 
 func newPeerTable(cfg *Config, stats *Stats) *peerTable {
 	pt := &peerTable{
@@ -322,16 +339,33 @@ func newPeerTable(cfg *Config, stats *Stats) *peerTable {
 		done:     make(chan struct{}),
 	}
 	if reg := cfg.Metrics; reg != nil {
-		pt.connected = reg.Gauge("nectar_node_peers_connected", "Neighbor connections currently live.")
-		pt.downC = reg.Counter("nectar_node_peer_down_total", "Neighbor connections lost mid-run.")
-		pt.reconnC = reg.Counter("nectar_node_peer_reconnect_total", "Neighbor connections re-established after a loss.")
-		pt.droppedC = reg.Counter("nectar_node_sends_dropped_total", "Sends dropped for lack of a live neighbor connection.")
+		pt.connected = reg.Gauge(metricPeersConnected, helpPeersConnected)
+		pt.downC = reg.Counter(metricPeerDown, helpPeerDown)
+		pt.reconnC = reg.Counter(metricPeerReconnect, helpPeerReconnect)
+		pt.droppedC = reg.Counter(metricSendsDropped, helpSendsDropped)
+		pt.lateC = reg.Counter(metricLateMsgs, helpLateMsgs)
 		pt.roundsC = reg.Counter("nectar_node_rounds_completed_total", "Wall-clock rounds completed.")
 		pt.bytesC = reg.Counter("nectar_node_bytes_sent_total", "Bytes sent on the wire, payload plus framing.")
 		pt.sentC = reg.Counter("nectar_node_msgs_sent_total", "Messages sent to neighbors.")
 		pt.deliveredC = reg.Counter("nectar_node_msgs_delivered_total", "Messages delivered to the local protocol.")
 	}
 	return pt
+}
+
+// PeerHealth reads the peer-table condition out of the registry as
+// health-detail attrs: live connections, losses, re-establishments,
+// dropped sends, and late frames — the state node-smoke asserts on to
+// check partition handling. Counter registration is idempotent, so the
+// admin health endpoint can call this before, during, or after the run
+// and observe the same instruments the peer table updates.
+func PeerHealth(reg *obs.Registry) []obs.Attr {
+	return []obs.Attr{
+		{K: "peers_connected", V: reg.Gauge(metricPeersConnected, helpPeersConnected).Value()},
+		{K: "peer_downs", V: reg.Counter(metricPeerDown, helpPeerDown).Value()},
+		{K: "peer_reconnects", V: reg.Counter(metricPeerReconnect, helpPeerReconnect).Value()},
+		{K: "sends_dropped", V: reg.Counter(metricSendsDropped, helpSendsDropped).Value()},
+		{K: "late_msgs", V: reg.Counter(metricLateMsgs, helpLateMsgs).Value()},
+	}
 }
 
 // get returns the peer's live connection, or nil.
@@ -558,6 +592,9 @@ func runRounds(cfg Config, proto rounds.Protocol, pt *peerTable, stats *Stats) e
 					// Arrived after its window closed; the protocol layer
 					// discards it if stale.
 					stats.LateMsgs++
+					if pt.lateC != nil {
+						pt.lateC.Inc()
+					}
 				}
 				deliver(r, f)
 			case <-timer.C:

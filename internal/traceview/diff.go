@@ -1,0 +1,81 @@
+package traceview
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"github.com/nectar-repro/nectar/internal/obs"
+)
+
+// Divergence locates the first difference between two traces.
+type Divergence struct {
+	// Index is the 0-based position of the first differing event; when
+	// one trace is a strict prefix of the other, Index is the shorter
+	// length and the missing side is nil.
+	Index int
+	A, B  *obs.Event
+}
+
+// Diff compares two traces event-by-event and returns the first
+// divergence, or nil if they are identical. Ts is part of the
+// comparison: under the deterministic LogicalClock two equivalent runs
+// stamp identical ordinals, so a Ts skew is itself a divergence worth
+// surfacing (it means event order shifted upstream).
+func Diff(a, b []obs.Event) *Divergence {
+	n := len(a)
+	if len(b) < n {
+		n = len(b)
+	}
+	for i := 0; i < n; i++ {
+		if !eventEqual(a[i], b[i]) {
+			return &Divergence{Index: i, A: &a[i], B: &b[i]}
+		}
+	}
+	if len(a) == len(b) {
+		return nil
+	}
+	d := &Divergence{Index: n}
+	if len(a) > n {
+		d.A = &a[n]
+	} else {
+		d.B = &b[n]
+	}
+	return d
+}
+
+func eventEqual(a, b obs.Event) bool {
+	if a.Ts != b.Ts || a.Type != b.Type || a.Round != b.Round || a.Epoch != b.Epoch ||
+		a.Node != b.Node || a.Unit != b.Unit || a.Key != b.Key || a.N != b.N ||
+		len(a.Attrs) != len(b.Attrs) {
+		return false
+	}
+	for i := range a.Attrs {
+		if a.Attrs[i] != b.Attrs[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// WriteText renders the divergence (or identity) report.
+func (d *Divergence) WriteText(w io.Writer, lenA, lenB int) error {
+	if d == nil {
+		fmt.Fprintf(w, "traces identical (%d events)\n", lenA)
+		return nil
+	}
+	fmt.Fprintf(w, "traces diverge at event %d (a: %d events, b: %d events)\n", d.Index, lenA, lenB)
+	writeSide(w, "a", d.A)
+	writeSide(w, "b", d.B)
+	return nil
+}
+
+func writeSide(w io.Writer, label string, ev *obs.Event) {
+	if ev == nil {
+		fmt.Fprintf(w, "  %s: <end of trace>\n", label)
+		return
+	}
+	// Event has no map fields, so Marshal output is deterministic.
+	b, _ := json.Marshal(ev)
+	fmt.Fprintf(w, "  %s: %s\n", label, b)
+}

@@ -1,0 +1,135 @@
+package traceview
+
+import (
+	"fmt"
+	"io"
+
+	"github.com/nectar-repro/nectar/internal/obs"
+)
+
+// NodeStory is one node's evidence timeline inside one segment: the
+// provenance behind its verdict, reconstructed purely from trace events.
+type NodeStory struct {
+	Node    int
+	Segment *Segment
+	// Rounds holds the node's per-round evidence activity, round order.
+	Rounds []NodeRound
+	// Eval is the node's kappa_eval event (nil if the trace carries none,
+	// e.g. evidence tracing was off or the node is Byzantine).
+	Eval *obs.Event
+	// ReachFinalRound is the round of the last reach_grow (0 if the
+	// reachable set never grew — the node saw no usable evidence).
+	ReachFinalRound int
+	// ReachFinal is the reachable-set size after the last growth.
+	ReachFinal int64
+	// LastAcceptRound is the round of the last chain_accept (0 if none).
+	// The node's view — and hence its verdict — is fixed from
+	// max(ReachFinalRound, LastAcceptRound) onward.
+	LastAcceptRound int
+}
+
+// NodeRound is one round of a node's evidence activity.
+type NodeRound struct {
+	Round     int
+	Delivered int64
+	Accepts   int64
+	Rejects   int64
+	// ReachFrom/ReachTo bracket the round's reachable-set growth
+	// (ReachTo 0 when the set did not grow this round).
+	ReachFrom int64
+	ReachTo   int64
+}
+
+// Explain reconstructs node's story in each segment of the trace.
+func Explain(events []obs.Event, node int) []NodeStory {
+	segs := Split(events)
+	stories := make([]NodeStory, 0, len(segs))
+	for i := range segs {
+		stories = append(stories, explainSegment(&segs[i], node))
+	}
+	return stories
+}
+
+func explainSegment(seg *Segment, node int) NodeStory {
+	st := NodeStory{Node: node, Segment: seg}
+	row := func(r int) *NodeRound {
+		if n := len(st.Rounds); n > 0 && st.Rounds[n-1].Round == r {
+			return &st.Rounds[n-1]
+		}
+		st.Rounds = append(st.Rounds, NodeRound{Round: r})
+		return &st.Rounds[len(st.Rounds)-1]
+	}
+	for i, ev := range seg.Events {
+		if ev.Node != node {
+			continue
+		}
+		switch ev.Type {
+		case obs.EvMsgDeliver:
+			row(ev.Round).Delivered += ev.N
+		case obs.EvChainAccept:
+			row(ev.Round).Accepts++
+			st.LastAcceptRound = ev.Round
+		case obs.EvChainReject:
+			row(ev.Round).Rejects++
+		case obs.EvReachGrow:
+			nr := row(ev.Round)
+			if nr.ReachTo == 0 {
+				nr.ReachFrom = attr(ev, "prev")
+			}
+			nr.ReachTo = ev.N
+			st.ReachFinalRound = ev.Round
+			st.ReachFinal = ev.N
+		case obs.EvKappaEval:
+			st.Eval = &seg.Events[i]
+		}
+	}
+	return st
+}
+
+// DeterminedRound is the round from which the node's verdict was fixed:
+// after the last accepted chain the view never changes, so Decide would
+// return the same outcome from this round to the horizon. 0 means no
+// evidence was ever accepted (the verdict rests on the empty view).
+func (st *NodeStory) DeterminedRound() int {
+	if st.LastAcceptRound > st.ReachFinalRound {
+		return st.LastAcceptRound
+	}
+	return st.ReachFinalRound
+}
+
+// WriteText renders one node story. Deterministic: rounds ascend,
+// everything else is scalar.
+func (st *NodeStory) WriteText(w io.Writer) error {
+	writeSegmentHeader(w, st.Segment)
+	fmt.Fprintf(w, "node %d evidence timeline:\n", st.Node)
+	if len(st.Rounds) == 0 {
+		fmt.Fprintf(w, "  no events for this node (evidence tracing off, or node outside [0,n))\n")
+	}
+	for _, nr := range st.Rounds {
+		fmt.Fprintf(w, "  round %3d: recv %3d, accept %3d, reject %3d", nr.Round, nr.Delivered, nr.Accepts, nr.Rejects)
+		if nr.ReachTo > 0 {
+			fmt.Fprintf(w, ", reach %d -> %d", nr.ReachFrom, nr.ReachTo)
+		}
+		fmt.Fprintln(w)
+	}
+	if st.ReachFinalRound > 0 {
+		fmt.Fprintf(w, "  reachable set final at round %d (size %d)\n", st.ReachFinalRound, st.ReachFinal)
+	}
+	if dr := st.DeterminedRound(); dr > 0 {
+		fmt.Fprintf(w, "  verdict fixed from round %d (last accepted evidence)\n", dr)
+	}
+	if ev := st.Eval; ev != nil {
+		over, confirmed := "no", "no"
+		if attr(*ev, "over") == 1 {
+			over = "yes"
+		}
+		if attr(*ev, "confirmed") == 1 {
+			confirmed = "yes"
+		}
+		fmt.Fprintf(w, "  kappa_eval: decision=%s reachable=%d bound=%d t=%d over_t=%s confirmed=%s\n",
+			ev.Key, ev.N, attr(*ev, "bound"), attr(*ev, "t"), over, confirmed)
+	} else {
+		fmt.Fprintf(w, "  kappa_eval: none recorded for this node\n")
+	}
+	return nil
+}

@@ -1,0 +1,130 @@
+package traceview
+
+import (
+	"fmt"
+	"io"
+	"sort"
+
+	"github.com/nectar-repro/nectar/internal/obs"
+)
+
+// Finding is one lint anomaly. A clean honest-majority run produces
+// none; CI treats any finding as a failure.
+type Finding struct {
+	// Kind is the check that fired: idle_round, quiesce_stall,
+	// nonedge_discard, chain_reject.
+	Kind string
+	// Epoch is the segment's epoch (-1 for static traces).
+	Epoch int
+	// Round is the offending engine round (0 when the finding is
+	// segment-wide).
+	Round  int
+	Detail string
+}
+
+// Lint scans a trace for anomalies:
+//
+//   - idle_round: a round with zero deliveries before the segment
+//     quiesced — the engine spun with nothing in flight while nodes
+//     still claimed pending work.
+//   - quiesce_stall: a segment that never quiesced yet ended with
+//     zero-delivery rounds — some node never reported Quiescent (or the
+//     run forced FullHorizon).
+//   - nonedge_discard: the transport dropped non-edge payloads; honest
+//     nodes only ever send edge proofs, so these indicate a misbehaving
+//     sender.
+//   - chain_reject: nodes rejected evidence chains (bad signatures,
+//     malformed chains); expected only under active adversaries.
+//
+// Findings are generated in (segment, check, round) order, so output is
+// deterministic for a given trace.
+func Lint(events []obs.Event) []Finding {
+	var out []Finding
+	for _, seg := range Split(events) {
+		out = append(out, lintSegment(&seg)...)
+	}
+	return out
+}
+
+func lintSegment(seg *Segment) []Finding {
+	var out []Finding
+	// Horizon of "activity expected": up to the quiesce round if the
+	// segment quiesced, else up to the last round that delivered
+	// anything (the idle tail past that is quiesce_stall's business).
+	activeUntil := seg.Quiesce
+	if activeUntil == 0 {
+		for _, rs := range seg.Rounds {
+			if rs.Delivered > 0 {
+				activeUntil = rs.Round
+			}
+		}
+	}
+	for _, rs := range seg.Rounds {
+		if rs.Delivered == 0 && rs.Round < activeUntil {
+			out = append(out, Finding{Kind: "idle_round", Epoch: seg.Epoch, Round: rs.Round,
+				Detail: "zero deliveries before quiescence"})
+		}
+	}
+	if seg.Quiesce == 0 && len(seg.Rounds) > 0 {
+		if last := seg.Rounds[len(seg.Rounds)-1]; last.Delivered == 0 && last.Round > activeUntil {
+			out = append(out, Finding{Kind: "quiesce_stall", Epoch: seg.Epoch, Round: activeUntil + 1,
+				Detail: fmt.Sprintf("no quiesce event; rounds %d..%d delivered nothing", activeUntil+1, last.Round)})
+		}
+	}
+	for _, rs := range seg.Rounds {
+		if rs.DiscardNonEdge > 0 {
+			out = append(out, Finding{Kind: "nonedge_discard", Epoch: seg.Epoch, Round: rs.Round,
+				Detail: fmt.Sprintf("%d non-edge payloads discarded", rs.DiscardNonEdge)})
+		}
+	}
+	if reasons := rejectTally(seg.Events); reasons != "" {
+		out = append(out, Finding{Kind: "chain_reject", Epoch: seg.Epoch,
+			Detail: "evidence rejected: " + reasons})
+	}
+	return out
+}
+
+// rejectTally aggregates chain_reject reasons ("" when none) —
+// collect-then-sort over the reason keys.
+func rejectTally(events []obs.Event) string {
+	m := make(map[string]int)
+	for _, ev := range events {
+		if ev.Type == obs.EvChainReject {
+			m[ev.Key]++
+		}
+	}
+	if len(m) == 0 {
+		return ""
+	}
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	out := ""
+	for i, k := range keys {
+		if i > 0 {
+			out += " "
+		}
+		out += fmt.Sprintf("%s=%d", k, m[k])
+	}
+	return out
+}
+
+// WriteFindings renders findings one per line, or an all-clear line.
+func WriteFindings(w io.Writer, findings []Finding) {
+	if len(findings) == 0 {
+		fmt.Fprintln(w, "lint: no findings")
+		return
+	}
+	for _, f := range findings {
+		loc := "static"
+		if f.Epoch >= 0 {
+			loc = fmt.Sprintf("epoch %d", f.Epoch)
+		}
+		if f.Round > 0 {
+			loc += fmt.Sprintf(" round %d", f.Round)
+		}
+		fmt.Fprintf(w, "lint: %s [%s]: %s\n", f.Kind, loc, f.Detail)
+	}
+}

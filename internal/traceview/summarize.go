@@ -1,0 +1,101 @@
+package traceview
+
+import (
+	"fmt"
+	"io"
+	"sort"
+
+	"github.com/nectar-repro/nectar/internal/obs"
+)
+
+// Summary is the whole-trace report behind `nectar-trace summarize`:
+// an event-type tally plus per-segment round tables.
+type Summary struct {
+	Events   int
+	ByType   []TypeCount
+	Segments []Segment
+}
+
+// Summarize aggregates a loaded trace.
+func Summarize(events []obs.Event) *Summary {
+	return &Summary{
+		Events:   len(events),
+		ByType:   countByType(events),
+		Segments: Split(events),
+	}
+}
+
+// WriteText renders the summary. Output is a pure function of the event
+// slice (pinned by golden tests): fixed-width tables, sorted tallies.
+func (s *Summary) WriteText(w io.Writer) error {
+	fmt.Fprintf(w, "trace: %d events\n", s.Events)
+	for _, tc := range s.ByType {
+		fmt.Fprintf(w, "  %-14s %6d\n", tc.Type, tc.Count)
+	}
+	for i := range s.Segments {
+		seg := &s.Segments[i]
+		fmt.Fprintln(w)
+		writeSegmentHeader(w, seg)
+		if len(seg.Rounds) > 0 {
+			fmt.Fprintf(w, "  %5s %6s %6s %8s %8s %7s %9s %8s\n",
+				"round", "recv", "msgs", "accepts", "rejects", "growth", "discard", "bytes")
+			for _, rs := range seg.Rounds {
+				mark := ""
+				if rs.TopoSwap {
+					mark = " topo_swap"
+				}
+				fmt.Fprintf(w, "  %5d %6d %6d %8d %8d %7d %5d/%-3d %8d%s\n",
+					rs.Round, rs.Recipients, rs.Delivered, rs.Accepts, rs.Rejects,
+					rs.ReachGrowths, rs.DiscardNonEdge, rs.DiscardLoss, rs.Bytes, mark)
+			}
+		}
+		if seg.Quiesce > 0 {
+			fmt.Fprintf(w, "  quiesce: after round %d -> %d\n", seg.Quiesce, seg.QuiesceTarget)
+		} else {
+			fmt.Fprintf(w, "  quiesce: none (ran full horizon)\n")
+		}
+		if len(seg.KappaEvals) > 0 {
+			fmt.Fprintf(w, "  verdicts: %s\n", verdictTally(seg.KappaEvals))
+		}
+	}
+	return nil
+}
+
+func writeSegmentHeader(w io.Writer, seg *Segment) {
+	if seg.Epoch < 0 {
+		fmt.Fprintf(w, "segment static")
+	} else {
+		fmt.Fprintf(w, "segment epoch=%d start_round=%d truth_kappa=%d", seg.Epoch, seg.StartRound, seg.Kappa)
+	}
+	if seg.HasVerdict {
+		agree := "no"
+		if seg.Agreement {
+			agree = "yes"
+		}
+		fmt.Fprintf(w, " verdict=%s agreement=%s", seg.Decision, agree)
+	}
+	fmt.Fprintln(w)
+}
+
+// verdictTally renders per-decision counts of a segment's kappa_eval
+// events, e.g. "NOT_PARTITIONABLE=12" — collect-then-sort over the
+// decision names.
+func verdictTally(evals []obs.Event) string {
+	m := make(map[string]int)
+	for _, ev := range evals {
+		m[ev.Key]++
+	}
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	out := ""
+	for i, k := range keys {
+		if i > 0 {
+			out += " "
+		}
+		out += fmt.Sprintf("%s=%d", k, m[k])
+	}
+	return out
+}

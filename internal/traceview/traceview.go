@@ -1,0 +1,199 @@
+// Package traceview is the consumption side of the trace layer
+// (DESIGN.md §13): it loads a JSONL event stream captured by obs
+// (Recorder.WriteJSONL or StreamSink) and answers the questions a
+// surprising run raises — what happened per round and epoch
+// (Summarize), why a given node reached its verdict (Explain), whether
+// the run shows anomalies (Lint), and where two traces first diverge
+// (Diff). cmd/nectar-trace is the CLI over this package.
+//
+// traceview sits inside the deterministic core: every report is a pure
+// function of the event slice, all aggregation maps are iterated
+// collect-then-sort, and no wall clock is read — identical traces
+// render identical bytes, which the golden tests pin.
+package traceview
+
+import (
+	"fmt"
+	"os"
+	"sort"
+
+	"github.com/nectar-repro/nectar/internal/obs"
+)
+
+// Load reads a JSONL trace file.
+func Load(path string) ([]obs.Event, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	events, err := obs.ReadJSONL(f)
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return events, nil
+}
+
+// Segment is one detection run's slice of the trace: everything between
+// an epoch_start and the next (dynamic traces), or the whole stream for
+// a static trace. Engine round numbers restart at 1 per segment, so all
+// per-round aggregation lives here.
+type Segment struct {
+	// Epoch is the 0-based epoch index, or -1 for a static trace's single
+	// segment.
+	Epoch int
+	// StartRound is the epoch's first global round (epoch_start.Round; 1
+	// for static traces).
+	StartRound int
+	// Kappa is the ground-truth connectivity announced by epoch_start
+	// (-1 when the trace carries none, i.e. static traces).
+	Kappa int
+	// Decision and Agreement mirror the epoch_verdict event ("" when the
+	// segment has none).
+	Decision           string
+	Agreement          bool
+	TruthPartitionable bool
+	HasVerdict         bool
+	// Rounds holds the per-round aggregates in round order.
+	Rounds []RoundStat
+	// Quiesce is the round at which the engine fast-forwarded (quiesce
+	// event), 0 if the segment ran its horizon.
+	Quiesce int
+	// QuiesceTarget is the round the engine fast-forwarded to.
+	QuiesceTarget int
+	// KappaEvals holds the segment's verdict-provenance events in
+	// emission (= ascending node) order.
+	KappaEvals []obs.Event
+	// Events is the segment's raw slice of the trace (aliasing the loaded
+	// stream), for per-node drill-down.
+	Events []obs.Event
+}
+
+// RoundStat aggregates one engine round of a segment.
+type RoundStat struct {
+	Round          int
+	Delivered      int64 // messages delivered (sum of msg_deliver N)
+	Recipients     int   // nodes that received anything
+	Accepts        int64 // chain_accept events
+	Rejects        int64 // chain_reject events
+	ReachGrowths   int64 // reach_grow events
+	DiscardNonEdge int64
+	DiscardLoss    int64
+	Bytes          int64 // round_end N
+	TopoSwap       bool
+}
+
+// Split partitions a trace into segments. Scheduler events (unit_*)
+// carry wall-clock ordering and are ignored here; everything else lands
+// in the segment opened by the most recent epoch_start. kappa_eval
+// events of static traces (Epoch 0, emitted after the run) land in the
+// single static segment.
+func Split(events []obs.Event) []Segment {
+	var segs []Segment
+	cur := -1 // index into segs
+	ensure := func() int {
+		if cur < 0 {
+			segs = append(segs, Segment{Epoch: -1, StartRound: 1, Kappa: -1})
+			cur = 0
+		}
+		return cur
+	}
+	for i, ev := range events {
+		switch ev.Type {
+		case obs.EvUnitStart, obs.EvUnitDone:
+			continue
+		case obs.EvEpochStart:
+			segs = append(segs, Segment{
+				Epoch:      ev.Epoch,
+				StartRound: ev.Round,
+				Kappa:      int(ev.N),
+			})
+			cur = len(segs) - 1
+			continue
+		}
+		s := &segs[ensure()]
+		s.Events = append(s.Events, events[i])
+		switch ev.Type {
+		case obs.EvEpochVerdict:
+			s.Decision = ev.Key
+			s.HasVerdict = true
+			s.Agreement = attr(ev, "agreement") == 1
+			s.TruthPartitionable = attr(ev, "truth_partitionable") == 1
+		case obs.EvKappaEval:
+			s.KappaEvals = append(s.KappaEvals, events[i])
+		case obs.EvQuiesce:
+			s.Quiesce = ev.Round
+			s.QuiesceTarget = int(ev.N)
+		}
+		if rs := s.roundStat(ev.Round, ev.Type); rs != nil {
+			switch ev.Type {
+			case obs.EvMsgDeliver:
+				rs.Delivered += ev.N
+				rs.Recipients++
+			case obs.EvChainAccept:
+				rs.Accepts++
+			case obs.EvChainReject:
+				rs.Rejects++
+			case obs.EvReachGrow:
+				rs.ReachGrowths++
+			case obs.EvMsgDiscard:
+				rs.DiscardNonEdge += attr(ev, "nonedge")
+				rs.DiscardLoss += attr(ev, "loss")
+			case obs.EvRoundEnd:
+				rs.Bytes = ev.N
+			case obs.EvTopoSwap:
+				rs.TopoSwap = true
+			}
+		}
+	}
+	return segs
+}
+
+// roundStat returns the segment's aggregate row for round r, appending
+// rows as rounds open. Engine events of one segment arrive with
+// non-decreasing rounds, so append-on-first-sight keeps Rounds ordered.
+// Non-round event types return nil.
+func (s *Segment) roundStat(r int, typ string) *RoundStat {
+	switch typ {
+	case obs.EvRoundStart, obs.EvRoundEnd, obs.EvMsgDeliver, obs.EvMsgDiscard,
+		obs.EvChainAccept, obs.EvChainReject, obs.EvReachGrow, obs.EvQuiesce, obs.EvTopoSwap:
+	default:
+		return nil
+	}
+	if n := len(s.Rounds); n > 0 && s.Rounds[n-1].Round == r {
+		return &s.Rounds[n-1]
+	}
+	s.Rounds = append(s.Rounds, RoundStat{Round: r})
+	return &s.Rounds[len(s.Rounds)-1]
+}
+
+// attr returns the value of the named attr, 0 if absent.
+func attr(ev obs.Event, key string) int64 {
+	for _, a := range ev.Attrs {
+		if a.K == key {
+			return a.V
+		}
+	}
+	return 0
+}
+
+// countByType tallies events per type and returns sorted (type, count)
+// rows — collect-then-sort, never map order.
+func countByType(events []obs.Event) []TypeCount {
+	m := make(map[string]int64)
+	for _, ev := range events {
+		m[ev.Type]++
+	}
+	out := make([]TypeCount, 0, len(m))
+	for typ, n := range m {
+		out = append(out, TypeCount{Type: typ, Count: n})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Type < out[j].Type })
+	return out
+}
+
+// TypeCount is one row of an event-type tally.
+type TypeCount struct {
+	Type  string
+	Count int64
+}

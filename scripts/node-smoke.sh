@@ -18,6 +18,7 @@ BASE=$((20000 + RANDOM % 20000))
 
 go build -o "$OUT/nectar-node" ./cmd/nectar-node
 go build -o "$OUT/nectar-sim" ./cmd/nectar-sim
+go build -o "$OUT/nectar-trace" ./cmd/nectar-trace
 
 # Deployment file: ring topology, one admin port per node.
 {
@@ -74,6 +75,11 @@ for ((i = 0; i < N; i++)); do
   h=$(curl -fsS "http://$(admin "$i")/healthz")
   echo "node $i healthz: $h"
   echo "$h" | grep -q '"status":"ok"' || { echo "FAIL: node $i unhealthy"; exit 1; }
+  # Peer-table health rides on /healthz. peer_downs can legitimately be
+  # nonzero here (peers that finish first close their connections), but
+  # the surface must exist and no protocol send may have been dropped.
+  echo "$h" | grep -q '{"k":"peer_downs","v":' || { echo "FAIL: node $i healthz lacks peer-table detail"; exit 1; }
+  echo "$h" | grep -q '{"k":"sends_dropped","v":0}' || { echo "FAIL: node $i dropped sends"; exit 1; }
 
   m=$(curl -fsS "http://$(admin "$i")/metrics")
   echo "$m" > "$OUT/metrics-node$i.txt"
@@ -96,5 +102,12 @@ echo "detection counters advanced: rounds $before -> $ROUNDS on all $N nodes"
 lines=$(wc -l < "$OUT/sample-trace.jsonl")
 [ "$lines" -gt 0 ] || { echo "FAIL: empty trace artifact"; exit 1; }
 echo "trace artifact: $OUT/sample-trace.jsonl ($lines events)"
+
+# Trace analytics over the artifact: summarize must render (saved as an
+# artifact alongside the trace) and lint must come back clean — it exits
+# nonzero on any anomaly finding.
+"$OUT/nectar-trace" summarize "$OUT/sample-trace.jsonl" | tee "$OUT/trace-summary.txt"
+"$OUT/nectar-trace" lint "$OUT/sample-trace.jsonl" \
+  || { echo "FAIL: nectar-trace lint found anomalies in a clean run"; exit 1; }
 
 echo "node smoke OK"

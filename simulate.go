@@ -211,7 +211,10 @@ func Simulate(cfg SimulationConfig) (*SimulationResult, error) {
 		if byz.Has(id) {
 			continue
 		}
-		o := nd.DecideShared(dc)
+		// Verdict provenance (DESIGN.md §13): under tracing each decision
+		// emits a kappa_eval event; nodes decide in ascending ID order on
+		// this one goroutine, so the events are deterministic.
+		o := nd.DecideTraced(dc, cfg.Tracer, 0)
 		res.Outcomes[id] = o
 		res.LazyDiscards += int64(nd.Stats().LazyDiscards)
 		if o.Confirmed {

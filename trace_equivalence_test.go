@@ -64,6 +64,23 @@ func TestTraceEquivalenceProperty(t *testing.T) {
 					label, ref.ActiveRounds, ref.Rounds)
 			}
 
+			// Evidence-level provenance (DESIGN.md §13) flows whenever a
+			// tracer is attached — and, per the byte-equality assertions
+			// above, without perturbing results: every correct node's
+			// verdict carries a kappa_eval, and the runs above always
+			// accept at least some chains and grow reachable sets.
+			correct := tc.cfg.Graph.N() - len(tc.cfg.Byzantine)
+			if counts[obs.EvKappaEval] != correct {
+				t.Errorf("%s: %d kappa_eval events, want one per correct node (%d)",
+					label, counts[obs.EvKappaEval], correct)
+			}
+			if counts[obs.EvChainAccept] == 0 {
+				t.Errorf("%s: no chain_accept events", label)
+			}
+			if counts[obs.EvReachGrow] == 0 {
+				t.Errorf("%s: no reach_grow events", label)
+			}
+
 			_, rec2 := run()
 			var a, b bytes.Buffer
 			if err := rec.WriteJSONL(&a); err != nil {
@@ -120,5 +137,14 @@ func TestDynamicTraceEquivalence(t *testing.T) {
 	if counts[obs.EvEpochStart] != len(ref.Epochs) || counts[obs.EvEpochVerdict] != len(ref.Epochs) {
 		t.Errorf("epoch events = %d start / %d verdict, want %d each",
 			counts[obs.EvEpochStart], counts[obs.EvEpochVerdict], len(ref.Epochs))
+	}
+	// One kappa_eval per correct, present node per epoch.
+	wantEvals := 0
+	for _, ep := range ref.Epochs {
+		wantEvals += len(ep.Outcomes)
+	}
+	if counts[obs.EvKappaEval] != wantEvals {
+		t.Errorf("%d kappa_eval events, want %d (one per outcome per epoch)",
+			counts[obs.EvKappaEval], wantEvals)
 	}
 }
