@@ -43,7 +43,7 @@ func run(args []string) error {
 	topo.Register(fs)
 	t := fs.Int("t", 1, "assumed Byzantine bound")
 	seed := fs.Int64("seed", 1, "random seed")
-	scheme := fs.String("scheme", "ed25519", "signature scheme: ed25519|hmac|insecure")
+	scheme := fs.String("scheme", "ed25519", "signature scheme: ed25519|hmac|insecure|slim")
 	rounds := fs.Int("rounds", 0, "round override (0 = n-1); the per-epoch horizon under -churn")
 	byzList := fs.String("byz", "", "comma-separated Byzantine node IDs")
 	behavior := fs.String("behavior", "crash",
@@ -56,6 +56,15 @@ func run(args []string) error {
 		"per-round link down probability (flap) or node leave probability (nodes)")
 	drift := fs.Float64("drift", 0.5, "barycenter separation added per epoch (mobility)")
 	workers := fs.Int("workers", 0, "engine worker cap (0 = GOMAXPROCS; never changes results)")
+	layout := fs.String("layout", "auto",
+		"round-engine staging layout: auto|aos|soa (never changes results)")
+	bloomDedup := fs.Bool("bloom", false,
+		"front each node's duplicate check with a Bloom filter (never changes results)")
+	noVerifyCache := fs.Bool("noverifycache", false,
+		"disable the run-wide signature-verification memo (never changes results; "+
+			"under -scheme slim the memo costs more than the checks it skips)")
+	kappaMode := fs.String("kappa", "exact",
+		"with -churn: ground-truth κ evaluation: exact|incremental|approx")
 	tracePath := fs.String("trace", "",
 		"write an engine event trace: *.jsonl streams events to disk as they happen (bounded memory, analyze with nectar-trace), anything else buffers in memory and writes Chrome trace JSON (chrome://tracing)")
 	metricsOut := fs.String("metrics-out", "",
@@ -113,7 +122,19 @@ func run(args []string) error {
 		}
 	}
 
+	eng, err := parseEngineFlags(*layout, *bloomDedup)
+	if err != nil {
+		return err
+	}
+	kmode, err := parseKappaMode(*kappaMode)
+	if err != nil {
+		return err
+	}
+
 	if *churn != "" {
+		if *noVerifyCache {
+			return fmt.Errorf("-noverifycache only applies to static runs (-churn epochs share one cache each)")
+		}
 		// Resolve the default once: buildSchedule (workload horizon) and
 		// the detection run must agree on the epoch count.
 		if *epochs == 0 {
@@ -124,11 +145,14 @@ func run(args []string) error {
 			epochRounds: *rounds, epochs: *epochs, rate: *churnRate,
 			drift: *drift, byzantine: byzantine, blocked: blockedMap,
 			workers: *workers, asJSON: *asJSON, tracePath: *tracePath,
-			metricsOut: *metricsOut,
+			metricsOut: *metricsOut, engine: eng, kappa: kmode,
 		})
 	}
 	if *metricsOut != "" {
 		return fmt.Errorf("-metrics-out only applies to -churn runs")
+	}
+	if kmode != nectar.KappaExact {
+		return fmt.Errorf("-kappa only applies to -churn runs")
 	}
 
 	rng := rand.New(rand.NewSource(*seed))
@@ -137,14 +161,17 @@ func run(args []string) error {
 		return err
 	}
 	cfg := nectar.SimulationConfig{
-		Graph:      g,
-		T:          *t,
-		Seed:       *seed,
-		SchemeName: *scheme,
-		Rounds:     *rounds,
-		Byzantine:  byzantine,
-		Blocked:    blockedMap,
-		Workers:    *workers,
+		Graph:         g,
+		T:             *t,
+		Seed:          *seed,
+		SchemeName:    *scheme,
+		Rounds:        *rounds,
+		Byzantine:     byzantine,
+		Blocked:       blockedMap,
+		Workers:       *workers,
+		Layout:        eng.layout,
+		BloomDedup:    eng.bloom,
+		NoVerifyCache: *noVerifyCache,
 	}
 	var sink *cliutil.TraceSink
 	if *tracePath != "" {
@@ -205,6 +232,39 @@ func run(args []string) error {
 	return nil
 }
 
+// engineFlags carries the result-preserving engine knobs (DESIGN.md §14).
+type engineFlags struct {
+	layout nectar.Layout
+	bloom  bool
+}
+
+func parseEngineFlags(layout string, bloom bool) (engineFlags, error) {
+	eng := engineFlags{bloom: bloom}
+	switch layout {
+	case "auto":
+		eng.layout = nectar.LayoutAuto
+	case "aos":
+		eng.layout = nectar.LayoutAoS
+	case "soa":
+		eng.layout = nectar.LayoutSoA
+	default:
+		return eng, fmt.Errorf("unknown -layout %q (valid: auto, aos, soa)", layout)
+	}
+	return eng, nil
+}
+
+func parseKappaMode(mode string) (nectar.KappaMode, error) {
+	switch mode {
+	case "exact":
+		return nectar.KappaExact, nil
+	case "incremental":
+		return nectar.KappaIncremental, nil
+	case "approx":
+		return nectar.KappaApprox, nil
+	}
+	return nectar.KappaExact, fmt.Errorf("unknown -kappa %q (valid: exact, incremental, approx)", mode)
+}
+
 // dynFlags carries the -churn run's parameters.
 type dynFlags struct {
 	kind        string
@@ -221,6 +281,8 @@ type dynFlags struct {
 	asJSON      bool
 	tracePath   string
 	metricsOut  string
+	engine      engineFlags
+	kappa       nectar.KappaMode
 }
 
 // buildSchedule compiles the selected dynamic workload over the chosen
@@ -286,6 +348,9 @@ func runDynamic(topo *cliutil.TopologyFlags, f dynFlags) error {
 		Byzantine:   f.byzantine,
 		Blocked:     f.blocked,
 		Workers:     f.workers,
+		Layout:      f.engine.layout,
+		BloomDedup:  f.engine.bloom,
+		Kappa:       nectar.KappaConfig{Mode: f.kappa},
 	}
 	var sink *cliutil.TraceSink
 	if f.tracePath != "" {
@@ -324,6 +389,7 @@ func runDynamic(topo *cliutil.TopologyFlags, f dynFlags) error {
 		type epochJSON struct {
 			Epoch        int    `json:"epoch"`
 			Kappa        int    `json:"kappa"`
+			KappaIsExact bool   `json:"kappa_is_exact"`
 			Truth        bool   `json:"truth_partitionable"`
 			Decision     string `json:"decision"`
 			Agreement    bool   `json:"agreement"`
@@ -334,13 +400,15 @@ func runDynamic(topo *cliutil.TopologyFlags, f dynFlags) error {
 		eps := make([]epochJSON, len(res.Epochs))
 		for i, ep := range res.Epochs {
 			eps[i] = epochJSON{
-				Epoch: ep.Epoch, Kappa: ep.Kappa, Truth: ep.TruthPartitionable,
+				Epoch: ep.Epoch, Kappa: ep.Kappa, KappaIsExact: ep.KappaIsExact,
+				Truth:    ep.TruthPartitionable,
 				Decision: ep.Decision.String(), Agreement: ep.Agreement,
 				Confirmed: ep.Confirmed, Absent: len(ep.Absent),
 				ActiveRounds: ep.ActiveRounds,
 			}
 		}
 		return json.NewEncoder(os.Stdout).Encode(map[string]any{
+			"kappa_stats":         res.KappaStats,
 			"workload":            f.kind,
 			"topology":            topo.Kind,
 			"n":                   sched.Base.N(),
@@ -363,9 +431,21 @@ func runDynamic(topo *cliutil.TopologyFlags, f dynFlags) error {
 		if ep.TruthPartitionable {
 			truth = "PART"
 		}
-		fmt.Printf("%-6d %-4d %-8s %-20v %-10v %-7d %d/%d\n",
-			ep.Epoch, ep.Kappa, truth, ep.Decision, ep.Agreement,
+		// Certified bounds and sampled estimates carry a ~ so the table
+		// never passes an inexact κ off as the exact value.
+		kappa := fmt.Sprintf("%d", ep.Kappa)
+		if !ep.KappaIsExact {
+			kappa = "~" + kappa
+		}
+		fmt.Printf("%-6d %-4s %-8s %-20v %-10v %-7d %d/%d\n",
+			ep.Epoch, kappa, truth, ep.Decision, ep.Agreement,
 			len(ep.Absent), ep.ActiveRounds, ep.Rounds)
+	}
+	if f.kappa != nectar.KappaExact {
+		ks := res.KappaStats
+		fmt.Printf("κ eval        %d exact, %d tracker-served (%d skips, %d witness hits), %d sampled, %d fallbacks\n",
+			ks.ExactEvals, ks.Tracker.Skips+ks.Tracker.WitnessHits,
+			ks.Tracker.Skips, ks.Tracker.WitnessHits, ks.ApproxAccepts, ks.ApproxFallbacks)
 	}
 	if len(res.Flips) == 0 {
 		fmt.Println("flips         none (ground truth never changed)")

@@ -26,6 +26,13 @@ type (
 	ScheduleEventKind = dynamic.EventKind
 	// MobilityConfig parameterizes DroneMobilitySchedule.
 	MobilityConfig = dynamic.MobilityConfig
+	// KappaConfig parameterizes the per-epoch ground-truth κ evaluation
+	// (DESIGN.md §14): exact (default), incremental, or sampled.
+	KappaConfig = dynamic.KappaConfig
+	// KappaMode selects the ground-truth κ evaluation strategy.
+	KappaMode = dynamic.KappaMode
+	// KappaEvalStats reports how a dynamic run's κ evaluations were served.
+	KappaEvalStats = dynamic.KappaStats
 )
 
 // Schedule event kinds.
@@ -34,6 +41,18 @@ const (
 	EdgeDown  = dynamic.EdgeDown
 	NodeLeave = dynamic.NodeLeave
 	NodeJoin  = dynamic.NodeJoin
+)
+
+// Ground-truth κ evaluation modes (see KappaConfig).
+const (
+	// KappaExact recomputes κ from scratch each epoch (the default).
+	KappaExact = dynamic.KappaExact
+	// KappaIncremental reuses the previous epoch's κ through certified
+	// drift bounds; verdicts are identical to exact mode.
+	KappaIncremental = dynamic.KappaIncremental
+	// KappaApprox evaluates a sampled upper bound with an exact fallback
+	// near the threshold.
+	KappaApprox = dynamic.KappaApprox
 )
 
 // StaticSchedule returns the schedule that never changes base.
@@ -108,6 +127,18 @@ type DynamicConfig struct {
 	// metrics — per-epoch κ-margin and detection-latency histograms under
 	// the nectar_dynamic_* names (DESIGN.md §13). Nil is free.
 	Registry *MetricsRegistry
+	// Kappa parameterizes the per-epoch ground-truth κ evaluation
+	// (DESIGN.md §14). The zero value recomputes exactly each epoch;
+	// KappaIncremental yields identical verdicts at a fraction of the cost
+	// under low churn; KappaApprox samples an upper bound with an exact
+	// fallback near the threshold.
+	Kappa KappaConfig
+	// Layout selects the round engine's staging data layout (see
+	// SimulationConfig.Layout). Results are byte-identical for every value.
+	Layout Layout
+	// BloomDedup fronts every node's duplicate check with a Bloom filter
+	// (see SimulationConfig.BloomDedup). Results are byte-identical.
+	BloomDedup bool
 }
 
 // EpochResult reports one epoch of a dynamic run.
@@ -118,7 +149,11 @@ type EpochResult struct {
 	// Kappa is the ground-truth vertex connectivity of the present
 	// nodes' subgraph at the epoch's first round, and TruthPartitionable
 	// is Kappa <= T (Corollary 1) — what a correct detector should say.
+	// Under KappaIncremental / KappaApprox evaluation, Kappa may be a
+	// certified bound rather than the exact value; KappaIsExact
+	// distinguishes the two (always true in the default exact mode).
 	Kappa              int
+	KappaIsExact       bool
 	TruthPartitionable bool
 	// Absent lists nodes churned out at the epoch's first round (they run
 	// no protocol and have no Outcome).
@@ -156,6 +191,9 @@ type DynamicResult struct {
 	// Flips lists every ground-truth transition with detection latency
 	// (the initial truth is not a flip).
 	Flips []DetectionFlip
+	// KappaStats reports how the run's per-epoch ground-truth κ
+	// evaluations were served (DESIGN.md §14).
+	KappaStats KappaEvalStats
 }
 
 // DetectionLatency summarizes Flips: mean latency in epochs over the
@@ -205,7 +243,11 @@ func SimulateDynamic(cfg DynamicConfig) (*DynamicResult, error) {
 		if err != nil {
 			return nil, err
 		}
-		nodes, err := BuildNodes(g, cfg.T, scheme, cfg.EpochRounds, WithVerifyCache(NewVerifyCache()))
+		buildOpts := []BuildOption{WithVerifyCache(NewVerifyCache())}
+		if cfg.BloomDedup {
+			buildOpts = append(buildOpts, WithBloomDedup())
+		}
+		nodes, err := BuildNodes(g, cfg.T, scheme, cfg.EpochRounds, buildOpts...)
 		if err != nil {
 			return nil, err
 		}
@@ -290,18 +332,21 @@ func SimulateDynamic(cfg DynamicConfig) (*DynamicResult, error) {
 		Workers:     cfg.Workers,
 		Tracer:      cfg.Tracer,
 		Registry:    cfg.Registry,
+		Kappa:       cfg.Kappa,
+		Layout:      cfg.Layout,
 	}, build)
 	if err != nil {
 		return nil, err
 	}
 
-	res := &DynamicResult{EpochRounds: inner.EpochRounds, Flips: inner.Flips}
+	res := &DynamicResult{EpochRounds: inner.EpochRounds, Flips: inner.Flips, KappaStats: inner.KappaStats}
 	for e, rep := range inner.Epochs {
 		en := perEpoch[e]
 		er := EpochResult{
 			Epoch:              rep.Epoch,
 			StartRound:         rep.StartRound,
 			Kappa:              rep.Kappa,
+			KappaIsExact:       rep.KappaIsExact,
 			TruthPartitionable: rep.TruthPartitionable,
 			Absent:             rep.Absent,
 			Outcomes:           make(map[NodeID]Outcome, len(en.correct)),

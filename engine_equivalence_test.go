@@ -3,9 +3,12 @@ package nectar
 // Engine v2 equivalence properties: quiescence early exit and parallel
 // routing are pure wall-clock optimizations — for every seeded scenario
 // the decisions, outcomes, and per-node byte counts must be byte-identical
-// to a full-horizon sequential run. The matrix covers the three scenario
-// shapes of the evaluation (ring, drone scatter, Byzantine bridge), every
-// Byzantine behaviour Simulate supports, and several seeds.
+// to a full-horizon sequential run. The matrix covers the four scenario
+// shapes of the evaluation (ring, drone scatter, hierarchical tree of
+// cliques, Byzantine bridge), every Byzantine behaviour Simulate
+// supports, and several seeds. The same matrix pins the large-n engine
+// variants (DESIGN.md §14): forced struct-of-arrays staging and the
+// Bloom-fronted duplicate check must also be byte-identical.
 
 import (
 	"fmt"
@@ -42,11 +45,17 @@ func equivalenceCases(t *testing.T, seed int64) []simCase {
 	if err != nil {
 		t.Fatal(err)
 	}
+	// The hierarchical family of the large-n benchmarks, sized so κ = 3
+	// straddles T = 2 (b = 3 matchings between 6-cliques).
+	tree, err := TreeOfCliques(3, 6, 3, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
 
 	for _, topo := range []struct {
 		name string
 		g    *Graph
-	}{{"ring", ring}, {"scatter", scatter}} {
+	}{{"ring", ring}, {"scatter", scatter}, {"tree", tree}} {
 		n := topo.g.N()
 		b0, b1 := NodeID(0), NodeID(n/2)
 		// One side of the network for the split-brain behaviour.
@@ -186,6 +195,52 @@ func TestVerifyCacheEquivalenceProperty(t *testing.T) {
 				if hit := got.VerifyCacheHits > 0; hit != v.wantHits {
 					t.Errorf("seed %d %s/%s: VerifyCacheHits=%d, want hits=%v",
 						seed, tc.name, v.name, got.VerifyCacheHits, v.wantHits)
+				}
+			}
+		}
+	}
+}
+
+// TestLargeNVariantEquivalenceProperty: the large-n engine variants —
+// forced struct-of-arrays round staging and the Bloom-fronted duplicate
+// check (DESIGN.md §14) — are pure wall-clock/allocation optimizations:
+// for every scenario of the matrix each variant must be byte-identical to
+// the default (AoS staging, filterless) run. The Bloom filter holds a
+// superset of each node's view, so a miss proves the edge unseen and a
+// hit falls through to the exact probe — the duplicate verdict, and with
+// it every counter and output, never changes.
+func TestLargeNVariantEquivalenceProperty(t *testing.T) {
+	variants := []struct {
+		name      string
+		mut       func(*SimulationConfig)
+		wantBloom bool // the filter must actually resolve misses, not no-op
+	}{
+		{"layout-soa", func(c *SimulationConfig) { c.Layout = LayoutSoA }, false},
+		{"bloom", func(c *SimulationConfig) { c.BloomDedup = true }, true},
+		{"bloom/soa", func(c *SimulationConfig) { c.BloomDedup = true; c.Layout = LayoutSoA }, true},
+		{"bloom/paranoid", func(c *SimulationConfig) { c.BloomDedup = true; c.ParanoidVerify = true }, true},
+	}
+	for _, seed := range []int64{1, 7} {
+		for _, tc := range equivalenceCases(t, seed) {
+			ref, err := Simulate(tc.cfg) // AoS via auto-layout, no filter
+			if err != nil {
+				t.Fatalf("seed %d %s: %v", seed, tc.name, err)
+			}
+			for _, v := range variants {
+				cfg := tc.cfg
+				v.mut(&cfg)
+				got, err := Simulate(cfg)
+				if err != nil {
+					t.Fatalf("seed %d %s/%s: %v", seed, tc.name, v.name, err)
+				}
+				label := fmt.Sprintf("seed %d %s/%s", seed, tc.name, v.name)
+				assertSimEquivalent(t, label, ref, got)
+				if fired := got.BloomSkips > 0; fired != v.wantBloom {
+					t.Errorf("%s: BloomSkips=%d, want fired=%v", label, got.BloomSkips, v.wantBloom)
+				}
+				if !cfg.ParanoidVerify && got.LazyDiscards != ref.LazyDiscards {
+					t.Errorf("%s: LazyDiscards diverge: got=%d ref=%d",
+						label, got.LazyDiscards, ref.LazyDiscards)
 				}
 			}
 		}

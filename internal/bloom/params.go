@@ -1,0 +1,81 @@
+package bloom
+
+import (
+	"fmt"
+	"math"
+)
+
+// This file adds the second consumer of the package (DESIGN.md §14): the
+// rounds-engine duplicate-suppression front, which filters 64-bit edge
+// keys rather than node IDs and needs its geometry derived from a target
+// false-positive rate instead of hand-picked constants.
+
+// Dimension returns the standard optimal Bloom geometry for n expected
+// insertions at target false-positive rate p:
+//
+//	m = ⌈-n·ln p / (ln 2)²⌉  bits,  k = max(1, round(m/n · ln 2))
+//
+// (Bloom 1970; see the pinned-formula unit test). The returned mBits is
+// what New rounds up to whole words.
+func Dimension(n int, p float64) (mBits, hashes int, err error) {
+	if n <= 0 {
+		return 0, 0, fmt.Errorf("bloom: Dimension needs n > 0, got %d", n)
+	}
+	if !(p > 0 && p < 1) {
+		return 0, 0, fmt.Errorf("bloom: Dimension needs 0 < p < 1, got %v", p)
+	}
+	ln2 := math.Ln2
+	m := math.Ceil(-float64(n) * math.Log(p) / (ln2 * ln2))
+	k := int(math.Round(m / float64(n) * ln2))
+	if k < 1 {
+		k = 1
+	}
+	return int(m), k, nil
+}
+
+// FalsePositiveRate returns the expected false-positive probability of an
+// (mBits, hashes) filter after n insertions: (1 - e^(-k·n/m))^k.
+func FalsePositiveRate(mBits, hashes, n int) float64 {
+	if mBits <= 0 || hashes <= 0 || n < 0 {
+		return 1
+	}
+	return math.Pow(1-math.Exp(-float64(hashes)*float64(n)/float64(mBits)), float64(hashes))
+}
+
+// keyHash derives the double-hashing pair for a 64-bit key via two rounds
+// of the splitmix64 finalizer — allocation-free, unlike the fnv.New64a
+// path behind the node-ID API, because the dedup front probes once per
+// delivered message.
+func keyHash(key uint64) (h1, h2 uint64) {
+	z := key + 0x9E3779B97F4A7C15
+	z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9
+	z = (z ^ (z >> 27)) * 0x94D049BB133111EB
+	h1 = z ^ (z >> 31)
+	z = h1 + 0x9E3779B97F4A7C15
+	z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9
+	z = (z ^ (z >> 27)) * 0x94D049BB133111EB
+	h2 = (z ^ (z >> 31)) | 1
+	return h1, h2
+}
+
+// AddKey inserts an arbitrary 64-bit key.
+func (f *Filter) AddKey(key uint64) {
+	h1, h2 := keyHash(key)
+	for i := 0; i < f.hashes; i++ {
+		idx := (h1 + uint64(i)*h2) % uint64(f.mBits)
+		f.bits[idx/64] |= 1 << (idx % 64)
+	}
+}
+
+// MightContainKey reports whether key may have been inserted with AddKey.
+// False positives are possible; false negatives are not.
+func (f *Filter) MightContainKey(key uint64) bool {
+	h1, h2 := keyHash(key)
+	for i := 0; i < f.hashes; i++ {
+		idx := (h1 + uint64(i)*h2) % uint64(f.mBits)
+		if f.bits[idx/64]&(1<<(idx%64)) == 0 {
+			return false
+		}
+	}
+	return true
+}

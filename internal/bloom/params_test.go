@@ -1,0 +1,99 @@
+package bloom
+
+import (
+	"math"
+	"testing"
+)
+
+func TestDimensionPinsFormula(t *testing.T) {
+	// Pin m = ⌈-n·ln p / (ln 2)²⌉ and k = round(m/n · ln 2) on known
+	// values: the classic 1% table gives ~9.585 bits/element, 7 hashes.
+	cases := []struct {
+		n      int
+		p      float64
+		mBits  int
+		hashes int
+	}{
+		{1000, 0.01, 9586, 7},
+		{1000, 0.001, 14378, 10},
+		{100, 0.05, 624, 4},
+		{1, 0.5, 2, 1},
+		{10000, 0.02, 81424, 6},
+	}
+	for _, tc := range cases {
+		m, k, err := Dimension(tc.n, tc.p)
+		if err != nil {
+			t.Fatalf("Dimension(%d,%v): %v", tc.n, tc.p, err)
+		}
+		if m != tc.mBits || k != tc.hashes {
+			t.Fatalf("Dimension(%d,%v) = (%d,%d), want (%d,%d)", tc.n, tc.p, m, k, tc.mBits, tc.hashes)
+		}
+	}
+}
+
+func TestDimensionErrors(t *testing.T) {
+	for _, tc := range []struct {
+		n int
+		p float64
+	}{{0, 0.01}, {-3, 0.01}, {10, 0}, {10, 1}, {10, 1.5}} {
+		if _, _, err := Dimension(tc.n, tc.p); err == nil {
+			t.Fatalf("Dimension(%d,%v) accepted", tc.n, tc.p)
+		}
+	}
+}
+
+func TestDimensionedFilterMeetsTargetRate(t *testing.T) {
+	// Insert exactly n keys into a Dimension-ed filter and measure the
+	// empirical false-positive rate on fresh keys: it must be within 3× of
+	// the target (the formula is asymptotic; 3× absorbs word rounding and
+	// sampling noise at this size).
+	const n = 5000
+	const target = 0.01
+	mBits, hashes, err := Dimension(n, target)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pred := FalsePositiveRate(mBits, hashes, n); math.Abs(pred-target) > target {
+		t.Fatalf("predicted rate %v far from target %v", pred, target)
+	}
+	f := New(mBits, hashes)
+	for i := 0; i < n; i++ {
+		f.AddKey(uint64(i) * 0x9E3779B97F4A7C15)
+	}
+	for i := 0; i < n; i++ {
+		if !f.MightContainKey(uint64(i) * 0x9E3779B97F4A7C15) {
+			t.Fatalf("false negative on key %d", i)
+		}
+	}
+	fp := 0
+	const probes = 20000
+	for i := 0; i < probes; i++ {
+		if f.MightContainKey(uint64(n+i)*0x9E3779B97F4A7C15 + 1) {
+			fp++
+		}
+	}
+	rate := float64(fp) / probes
+	if rate > 3*target {
+		t.Fatalf("empirical FP rate %v exceeds 3× target %v", rate, target)
+	}
+}
+
+func TestFalsePositiveRateDegenerate(t *testing.T) {
+	if r := FalsePositiveRate(0, 3, 10); r != 1 {
+		t.Fatalf("mBits=0 rate %v", r)
+	}
+	if r := FalsePositiveRate(1024, 3, 0); r != 0 {
+		t.Fatalf("empty filter rate %v", r)
+	}
+}
+
+func TestKeyAPIDisjointFromNodeIDAPI(t *testing.T) {
+	// AddKey and Add hash differently by design; the dedup front never
+	// mixes them in one filter, but nothing should crash if geometry is
+	// shared.
+	f := New(256, 3)
+	f.AddKey(42)
+	if !f.MightContainKey(42) {
+		t.Fatal("lost key 42")
+	}
+}

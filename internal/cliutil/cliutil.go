@@ -20,6 +20,7 @@ type TopologyFlags struct {
 	N      int
 	K      int
 	C      int
+	B      int
 	Parts  int
 	P      float64
 	D      float64
@@ -32,7 +33,7 @@ type TopologyFlags struct {
 func TopologyKinds() []string {
 	return []string{
 		"ring", "line", "star", "complete", "er", "harary", "randomregular",
-		"kdiamond", "kpasted", "gwheel", "mwheel", "drone",
+		"kdiamond", "kpasted", "gwheel", "mwheel", "drone", "tree", "cliquetree",
 	}
 }
 
@@ -41,8 +42,9 @@ func (t *TopologyFlags) Register(fs *flag.FlagSet) {
 	fs.StringVar(&t.Kind, "topo", "ring",
 		"topology: "+strings.Join(TopologyKinds(), "|"))
 	fs.IntVar(&t.N, "n", 20, "number of nodes")
-	fs.IntVar(&t.K, "k", 4, "connectivity parameter (harary/randomregular/kdiamond/kpasted)")
-	fs.IntVar(&t.C, "c", 2, "hub size (gwheel/mwheel)")
+	fs.IntVar(&t.K, "k", 4, "connectivity parameter (harary/randomregular/kdiamond/kpasted) or arity (tree/cliquetree)")
+	fs.IntVar(&t.C, "c", 2, "hub size (gwheel/mwheel) or clique size (cliquetree)")
+	fs.IntVar(&t.B, "b", 1, "inter-clique matching width, κ = min(b, c-1) (cliquetree)")
 	fs.IntVar(&t.Parts, "parts", 2, "hub parts (mwheel)")
 	fs.Float64Var(&t.P, "p", 0.3, "edge probability (er)")
 	fs.Float64Var(&t.D, "d", 2.5, "barycenter distance (drone)")
@@ -77,6 +79,13 @@ func (t *TopologyFlags) Build(rng *rand.Rand) (*graph.Graph, error) {
 	case "drone":
 		g, _, err := topology.Drone(t.N, t.D, t.Radius, rng)
 		return g, err
+	case "tree":
+		return topology.KaryTree(t.K, t.N)
+	case "cliquetree":
+		if t.C < 1 || t.N%t.C != 0 {
+			return nil, fmt.Errorf("cliquetree: n=%d is not a multiple of clique size c=%d", t.N, t.C)
+		}
+		return topology.TreeOfCliques(t.N/t.C, t.C, t.B, t.K)
 	}
 	return nil, fmt.Errorf("unknown topology %q (valid: %s)", t.Kind, strings.Join(TopologyKinds(), ", "))
 }

@@ -35,6 +35,8 @@ func TestBuildAllKinds(t *testing.T) {
 		{"-topo", "gwheel", "-c", "2", "-n", "10"},
 		{"-topo", "mwheel", "-c", "2", "-parts", "2", "-n", "10"},
 		{"-topo", "drone", "-n", "10", "-d", "1", "-radius", "1.5"},
+		{"-topo", "tree", "-k", "3", "-n", "13"},
+		{"-topo", "cliquetree", "-n", "12", "-c", "4", "-b", "2", "-k", "2"},
 	}
 	for _, args := range cases {
 		if _, err := buildKind(t, args...); err != nil {
@@ -47,8 +49,17 @@ func TestBuildAllKinds(t *testing.T) {
 // switch: every advertised kind must build with workable defaults, so a
 // kind added to one place but not the other fails here.
 func TestTopologyKindsMatchesBuild(t *testing.T) {
+	// cliquetree's constraint k*b ≤ c conflicts with the hub-sized C the
+	// other kinds want, so it carries its own workable parameters.
+	overrides := map[string]TopologyFlags{
+		"cliquetree": {N: 12, K: 2, C: 4, B: 2},
+	}
 	for _, kind := range TopologyKinds() {
-		tf := TopologyFlags{Kind: kind, N: 12, K: 4, C: 2, Parts: 2, P: 0.5, D: 1, Radius: 1.5}
+		tf, ok := overrides[kind]
+		if !ok {
+			tf = TopologyFlags{N: 12, K: 4, C: 2, B: 1, Parts: 2, P: 0.5, D: 1, Radius: 1.5}
+		}
+		tf.Kind = kind
 		if _, err := tf.Build(rand.New(rand.NewSource(1))); err != nil {
 			t.Errorf("advertised kind %q does not build: %v", kind, err)
 		}
@@ -61,6 +72,9 @@ func TestBuildErrors(t *testing.T) {
 	}
 	if _, err := buildKind(t, "-topo", "harary", "-k", "9", "-n", "4"); err == nil {
 		t.Error("invalid harary params accepted")
+	}
+	if _, err := buildKind(t, "-topo", "cliquetree", "-n", "13", "-c", "4", "-b", "2", "-k", "2"); err == nil {
+		t.Error("cliquetree with n not a multiple of c accepted")
 	}
 }
 

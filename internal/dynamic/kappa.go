@@ -1,0 +1,150 @@
+package dynamic
+
+import (
+	"github.com/nectar-repro/nectar/internal/graph"
+	"github.com/nectar-repro/nectar/internal/ids"
+)
+
+// Epoch ground-truth κ evaluation modes (DESIGN.md §14). Exact mode — the
+// default — recomputes the present subgraph's vertex connectivity from
+// scratch every epoch, which at large n dominates a low-churn run's cost.
+// Incremental mode reuses the previous epoch's result through a
+// graph.KappaTracker: unit edge-toggle sensitivity bounds the drift, a
+// remembered witness pair cheaply re-certifies κ ≤ t, and full recomputes
+// happen only when the certified interval straddles the threshold. Approx
+// mode evaluates a sampled upper bound κ̂ ≥ κ and falls back to the exact
+// computation whenever κ̂ lands within Margin above t — the band where the
+// one-sided error could flip the verdict.
+
+// KappaMode selects how each epoch's ground-truth κ is evaluated.
+type KappaMode int
+
+const (
+	// KappaExact recomputes κ from scratch each epoch (the default).
+	KappaExact KappaMode = iota
+	// KappaIncremental reuses the previous epoch's κ through certified
+	// drift bounds; verdicts are identical to exact mode, the reported
+	// Kappa may be a certified bound rather than the exact value (see
+	// EpochReport.KappaIsExact).
+	KappaIncremental
+	// KappaApprox evaluates a sampled upper bound κ̂ ≥ κ, trusting it away
+	// from the threshold and recomputing exactly within Margin of t. A κ̂
+	// accepted above t + Margin is probabilistic: with adversarially
+	// unlucky sampling it can misreport a partitionable epoch.
+	KappaApprox
+)
+
+// KappaConfig parameterizes the epoch ground-truth κ evaluation.
+type KappaConfig struct {
+	// Mode selects the evaluation strategy; the zero value is exact.
+	Mode KappaMode
+	// Slack is the incremental recompute cap's headroom above t+1
+	// (0 = default 1): higher slack makes each recompute dearer but banks
+	// more certified distance for future deletions to consume.
+	Slack int
+	// Samples is the number of pivot pairs the approx mode evaluates
+	// (0 = default 16; negative or ≥ the pivot family degrades to exact).
+	Samples int
+	// Margin is the approx mode's exact-fallback band: κ̂ ∈ (t, t+Margin]
+	// triggers a full recomputation (0 = default 1, negative = no band).
+	Margin int
+}
+
+// KappaStats reports how a run's per-epoch κ evaluations were served.
+type KappaStats struct {
+	// Tracker aggregates the incremental mode's evaluator outcomes.
+	Tracker graph.KappaTrackerStats
+	// ExactEvals counts epochs evaluated by a from-scratch κ — every epoch
+	// in exact mode, the fallback epochs in approx mode.
+	ExactEvals int
+	// ApproxAccepts counts epochs decided from the sampled bound alone.
+	ApproxAccepts int
+	// ApproxFallbacks counts approx epochs that fell into the margin band
+	// and recomputed exactly.
+	ApproxFallbacks int
+}
+
+// kappaEval carries the cross-epoch state of the ground-truth evaluator:
+// the tracker and the previous epoch's present subgraph (for edge
+// diffing) in incremental mode.
+type kappaEval struct {
+	cfg   KappaConfig
+	t     int
+	seed  int64
+	track *graph.KappaTracker
+	prev  *graph.Graph
+	stats KappaStats
+}
+
+func newKappaEval(cfg KappaConfig, t int, seed int64) *kappaEval {
+	slack := cfg.Slack
+	if slack <= 0 {
+		slack = 1
+	}
+	return &kappaEval{cfg: cfg, t: t, seed: seed, track: graph.NewKappaTracker(t, slack)}
+}
+
+// eval returns the epoch's ground-truth κ (exact value or certified
+// bound), whether it is exact, and the partitionability verdict κ ≤ t.
+func (ke *kappaEval) eval(epoch int, g *graph.Graph, absent ids.Set) (kappa int, exact, partitionable bool) {
+	switch ke.cfg.Mode {
+	case KappaIncremental:
+		sub := presentSubgraph(g, absent)
+		if sub == nil {
+			// ≤ 1 present vertex: κ = 0 by convention. The tracker keeps
+			// its state; the next well-formed epoch recomputes on the N
+			// change.
+			return 0, true, true
+		}
+		adds, dels := 0, 0
+		if ke.prev != nil && ke.prev.N() == sub.N() {
+			adds, dels = graph.EdgeDiff(ke.prev, sub)
+		}
+		b := ke.track.Eval(sub, adds, dels)
+		ke.prev = sub
+		ke.stats.Tracker = ke.track.Stats()
+		// Report the bound that certifies the verdict: the upper bound
+		// when partitionable (Hi ≤ t), the lower bound otherwise (Lo > t).
+		k := b.Hi
+		if !b.Partitionable {
+			k = b.Lo
+		}
+		return k, b.Exact, b.Partitionable
+	case KappaApprox:
+		sub := presentSubgraph(g, absent)
+		if sub == nil {
+			return 0, true, true
+		}
+		samples := ke.cfg.Samples
+		if samples == 0 {
+			samples = 16
+		}
+		khat := sub.ApproxConnectivity(samples, ke.seed^(int64(epoch)*epochSeedStride))
+		if khat <= ke.t {
+			// κ ≤ κ̂ ≤ t: the verdict is certain even though κ̂ itself is
+			// only an upper bound.
+			ke.stats.ApproxAccepts++
+			return khat, false, true
+		}
+		margin := ke.cfg.Margin
+		if margin == 0 {
+			margin = 1
+		} else if margin < 0 {
+			margin = 0
+		}
+		if khat > ke.t+margin {
+			ke.stats.ApproxAccepts++
+			return khat, false, false
+		}
+		// κ̂ within the band above t: the one-sided error could hide a
+		// partitionable epoch, so recompute exactly.
+		ke.stats.ApproxFallbacks++
+		ke.stats.ExactEvals++
+		k := sub.Connectivity()
+		return k, true, k <= ke.t
+	default:
+		ke.stats.ExactEvals++
+		k := presentKappa(g, absent)
+		return k, true, k <= ke.t
+	}
+}

@@ -1,0 +1,133 @@
+package dynamic
+
+import (
+	"math/rand"
+	"testing"
+
+	"github.com/nectar-repro/nectar/internal/topology"
+)
+
+// runModes executes the same schedule under every κ evaluation mode and
+// returns the three results.
+func runModes(t *testing.T, s *EdgeSchedule, thresh int) (exact, incr, approx *Result) {
+	t.Helper()
+	for _, m := range []struct {
+		mode KappaMode
+		dst  **Result
+	}{
+		{KappaExact, &exact},
+		{KappaIncremental, &incr},
+		{KappaApprox, &approx},
+	} {
+		res, err := Run(Config{Schedule: s, T: thresh, Seed: 9, Kappa: KappaConfig{Mode: m.mode}},
+			buildOracle(thresh, 0))
+		if err != nil {
+			t.Fatalf("mode %v: %v", m.mode, err)
+		}
+		*m.dst = res
+	}
+	return exact, incr, approx
+}
+
+func TestKappaModesAgreeOnVerdicts(t *testing.T) {
+	cases := []struct {
+		name   string
+		build  func() (*EdgeSchedule, error)
+		thresh int
+	}{
+		{"partition-heal", func() (*EdgeSchedule, error) {
+			return PartitionHeal(topology.Ring(8), 11, 29)
+		}, 1},
+		{"flapping", func() (*EdgeSchedule, error) {
+			return Flapping(topology.ErdosRenyi(16, 0.35, rand.New(rand.NewSource(5))),
+				0.08, 0.5, 60, rand.New(rand.NewSource(2)))
+		}, 1},
+		{"churn", func() (*EdgeSchedule, error) {
+			return PoissonChurn(topology.Complete(10), 0.05, 6, 50, rand.New(rand.NewSource(3)))
+		}, 2},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			s, err := tc.build()
+			if err != nil {
+				t.Fatal(err)
+			}
+			exact, incr, approx := runModes(t, s, tc.thresh)
+			if len(incr.Epochs) != len(exact.Epochs) || len(approx.Epochs) != len(exact.Epochs) {
+				t.Fatalf("epoch counts differ: exact=%d incr=%d approx=%d",
+					len(exact.Epochs), len(incr.Epochs), len(approx.Epochs))
+			}
+			for e := range exact.Epochs {
+				ex, in, ap := exact.Epochs[e], incr.Epochs[e], approx.Epochs[e]
+				if !ex.KappaIsExact {
+					t.Fatalf("epoch %d: exact mode reported inexact κ", e)
+				}
+				// Incremental: verdicts identical, bounds certified.
+				if in.TruthPartitionable != ex.TruthPartitionable {
+					t.Fatalf("epoch %d: incremental verdict flip (exact κ=%d, incr κ=%d)",
+						e, ex.Kappa, in.Kappa)
+				}
+				if in.KappaIsExact && in.Kappa != ex.Kappa {
+					t.Fatalf("epoch %d: incremental claimed exact κ=%d, want %d", e, in.Kappa, ex.Kappa)
+				}
+				if !in.KappaIsExact {
+					// The certified bound must sit on the verdict's side.
+					if in.TruthPartitionable && in.Kappa < ex.Kappa {
+						t.Fatalf("epoch %d: upper bound %d below exact %d", e, in.Kappa, ex.Kappa)
+					}
+					if !in.TruthPartitionable && in.Kappa > ex.Kappa {
+						t.Fatalf("epoch %d: lower bound %d above exact %d", e, in.Kappa, ex.Kappa)
+					}
+				}
+				// Approx: zero verdict flips on these schedules, and any
+				// inexact κ̂ is an upper bound.
+				if ap.TruthPartitionable != ex.TruthPartitionable {
+					t.Fatalf("epoch %d: approx verdict flip (exact κ=%d, approx κ=%d)",
+						e, ex.Kappa, ap.Kappa)
+				}
+				if !ap.KappaIsExact && ap.Kappa < ex.Kappa {
+					t.Fatalf("epoch %d: approx κ̂=%d below exact %d", e, ap.Kappa, ex.Kappa)
+				}
+			}
+			// Flip bookkeeping — a pure function of the verdicts — must
+			// match across modes.
+			if len(incr.Flips) != len(exact.Flips) || len(approx.Flips) != len(exact.Flips) {
+				t.Fatalf("flip counts differ: exact=%d incr=%d approx=%d",
+					len(exact.Flips), len(incr.Flips), len(approx.Flips))
+			}
+			// Stats must partition the epochs.
+			ts := incr.KappaStats.Tracker
+			if ts.Evals == 0 || ts.Skips+ts.WitnessHits+ts.Recomputes != ts.Evals {
+				t.Fatalf("tracker stats do not partition: %+v", ts)
+			}
+			as := approx.KappaStats
+			if as.ApproxAccepts+as.ApproxFallbacks == 0 {
+				t.Fatalf("approx mode served no epochs: %+v", as)
+			}
+		})
+	}
+}
+
+func TestKappaIncrementalSkipsQuietEpochs(t *testing.T) {
+	// A static schedule over a κ=2 ring with T=0: after the first exact
+	// evaluation every later epoch is identical, so the tracker must serve
+	// them without recomputation.
+	s := Static(topology.Ring(8))
+	res, err := Run(Config{Schedule: s, T: 0, Seed: 4, Epochs: 6,
+		Kappa: KappaConfig{Mode: KappaIncremental}}, buildOracle(0, 0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := res.KappaStats.Tracker
+	if ts.Evals != 6 {
+		t.Fatalf("evals = %d, want 6", ts.Evals)
+	}
+	if ts.Recomputes != 1 {
+		t.Fatalf("recomputes = %d, want 1 (first epoch only); stats %+v", ts.Recomputes, ts)
+	}
+	for e, ep := range res.Epochs {
+		if ep.TruthPartitionable {
+			t.Fatalf("epoch %d: ring κ=2 > T=0 reported partitionable", e)
+		}
+	}
+}

@@ -67,6 +67,15 @@ type Config struct {
 	// nectar_dynamic_* names. Nil by default; publishing never changes
 	// results.
 	Registry *obs.Registry
+	// Kappa parameterizes the ground-truth κ evaluation (DESIGN.md §14).
+	// The zero value recomputes exactly each epoch; incremental mode
+	// produces identical verdicts with certified bounds instead of exact
+	// values on skipped epochs; approx mode is probabilistic away from the
+	// threshold.
+	Kappa KappaConfig
+	// Layout selects each epoch engine's staging data layout (DESIGN.md
+	// §14). Results are byte-identical for every value.
+	Layout rounds.Layout
 }
 
 // EpochReport scores one epoch.
@@ -76,8 +85,14 @@ type EpochReport struct {
 	StartRound int
 	// Kappa is the ground-truth vertex connectivity of the subgraph
 	// induced by present nodes at the epoch's first round; mid-epoch
-	// changes are attributed to the next epoch's truth.
+	// changes are attributed to the next epoch's truth. In incremental or
+	// approximate evaluation modes it may be a certified bound rather than
+	// the exact value — KappaIsExact distinguishes the two, and the bound
+	// always certifies TruthPartitionable's side of the threshold.
 	Kappa int
+	// KappaIsExact reports whether Kappa is the exact connectivity (always
+	// true in the default exact mode).
+	KappaIsExact bool
 	// TruthPartitionable is Kappa <= T (Corollary 1).
 	TruthPartitionable bool
 	// Absent lists the nodes churned out at the epoch's first round.
@@ -131,6 +146,9 @@ type Result struct {
 	// Flips lists every ground-truth transition with its detection
 	// latency. The initial truth is not a flip.
 	Flips []Flip
+	// KappaStats reports how the per-epoch ground-truth κ evaluations
+	// were served (DESIGN.md §14).
+	KappaStats KappaStats
 }
 
 // DetectionLatency summarizes Flips: the mean latency over detected
@@ -191,6 +209,7 @@ func Run(cfg Config, build BuildFn) (*Result, error) {
 	}
 
 	res := &Result{EpochRounds: epochRounds}
+	ke := newKappaEval(cfg.Kappa, cfg.T, cfg.Seed)
 	for e := 0; e < epochs; e++ {
 		offset := e * epochRounds
 		w, err := WindowAt(cfg.Schedule, offset)
@@ -207,7 +226,7 @@ func Run(cfg Config, build BuildFn) (*Result, error) {
 		// Ground truth is a pure function of the epoch's start state, so
 		// it can be computed up front and announced on the epoch_start
 		// event.
-		kappa := presentKappa(gStart, absent)
+		kappa, kappaExact, truthPart := ke.eval(e, gStart, absent)
 		if cfg.Tracer != nil {
 			cfg.Tracer.Emit(obs.Event{Type: obs.EvEpochStart, Epoch: e, Round: offset + 1, N: int64(kappa)})
 		}
@@ -217,6 +236,7 @@ func Run(cfg Config, build BuildFn) (*Result, error) {
 			Seed:        seed,
 			FullHorizon: cfg.FullHorizon,
 			Workers:     cfg.Workers,
+			Layout:      cfg.Layout,
 			Tracer:      cfg.Tracer,
 		}, stack.Protos)
 		if err != nil {
@@ -227,7 +247,8 @@ func Run(cfg Config, build BuildFn) (*Result, error) {
 			Epoch:              e,
 			StartRound:         offset + 1,
 			Kappa:              kappa,
-			TruthPartitionable: kappa <= cfg.T,
+			KappaIsExact:       kappaExact,
+			TruthPartitionable: truthPart,
 			Absent:             absent.Sorted(),
 			Verdicts:           verdicts,
 			Agreement:          true,
@@ -276,6 +297,7 @@ func Run(cfg Config, build BuildFn) (*Result, error) {
 			}
 		}
 	}
+	res.KappaStats = ke.stats
 	res.publish(cfg.Registry, cfg.T)
 	return res, nil
 }
@@ -332,6 +354,24 @@ func presentKappa(g *graph.Graph, absent ids.Set) int {
 	if absent.Len() == 0 {
 		return g.Connectivity()
 	}
+	sub := presentSubgraph(g, absent)
+	if sub == nil {
+		return 0
+	}
+	return sub.Connectivity()
+}
+
+// presentSubgraph returns the compacted subgraph induced by the present
+// vertices, or nil when ≤ 1 vertex is present. With nobody absent it
+// returns a clone, so callers (the incremental κ evaluator) may retain the
+// result across epochs.
+func presentSubgraph(g *graph.Graph, absent ids.Set) *graph.Graph {
+	if g.N() <= 1 {
+		return nil
+	}
+	if absent.Len() == 0 {
+		return g.Clone()
+	}
 	compact := make([]ids.NodeID, 0, g.N()-absent.Len())
 	index := make(map[ids.NodeID]ids.NodeID, g.N())
 	for v := 0; v < g.N(); v++ {
@@ -341,7 +381,7 @@ func presentKappa(g *graph.Graph, absent ids.Set) int {
 		}
 	}
 	if len(compact) <= 1 {
-		return 0
+		return nil
 	}
 	sub := graph.New(len(compact))
 	for _, v := range compact {
@@ -351,7 +391,7 @@ func presentKappa(g *graph.Graph, absent ids.Set) int {
 			}
 		}
 	}
-	return sub.Connectivity()
+	return sub
 }
 
 // b2i renders a bool as a trace attr value.

@@ -13,6 +13,14 @@ import (
 // capacity n), and κ(G) is a minimum over a small set of pairs chosen so
 // that at least one of them realizes a minimum vertex cut.
 //
+// The flow network is stored in compressed-sparse-row form and built once
+// per graph: per-pair evaluation resets the capacity array to its pristine
+// copy (one memcpy) instead of reallocating the arc lists, which dominated
+// the profile at large n. Arc order within each node reproduces the append
+// order of the historical per-pair builder exactly, so augmenting-path
+// choices — and therefore the residual graph MinVertexCut extracts a cut
+// from — are unchanged (DESIGN.md §14).
+//
 // Corollary 1 of the paper states that G is t-Byzantine partitionable iff
 // κ(G) ≤ t, and NECTAR's decision phase needs exactly the predicate
 // κ(G) > t, so ConnectivityAtLeast supports early termination.
@@ -42,6 +50,9 @@ func (g *Graph) IsComplete() bool {
 // single vertex). By convention κ(K_n) = n-1, κ of a disconnected graph is
 // 0, and κ of graphs with fewer than two vertices is 0.
 func (g *Graph) Connectivity() int {
+	if g.kappaIsOne() {
+		return 1
+	}
 	k, _, _ := g.connectivity(g.n)
 	return k
 }
@@ -56,8 +67,25 @@ func (g *Graph) ConnectivityAtLeast(k int) bool {
 	if k > g.n-1 {
 		return false
 	}
+	if k == 1 {
+		return g.IsConnected()
+	}
+	if g.kappaIsOne() {
+		return false
+	}
 	got, _, _ := g.connectivity(k)
 	return got >= k
+}
+
+// kappaIsOne reports κ(G) == 1 in O(n+m) via articulation points: a
+// connected non-complete graph has κ = 1 iff it has a cut vertex, or is
+// K₂. This is the fast path that makes tree-topology ground truth and
+// t ≥ 1 decisions linear — the n=10⁴ runs never reach max-flow on trees.
+func (g *Graph) kappaIsOne() bool {
+	if g.n < 2 || g.IsComplete() || !g.IsConnected() {
+		return false
+	}
+	return g.n == 2 || g.HasArticulationPoint()
 }
 
 // IsTByzPartitionable reports whether G is t-Byzantine partitionable:
@@ -98,19 +126,15 @@ func (g *Graph) connectivity(limit int) (k int, s, t ids.NodeID) {
 	}
 	// κ ≤ δ, so the minimum-degree vertex bounds the search; choosing it
 	// as the pivot also keeps the neighbor-pair enumeration small.
-	var v0 ids.NodeID
-	for v := 1; v < g.n; v++ {
-		if g.Degree(ids.NodeID(v)) < g.Degree(v0) {
-			v0 = ids.NodeID(v)
-		}
-	}
+	v0 := g.minDegreeVertex()
 	best := min(g.Degree(v0), limit)
 	bs, bt := v0, v0
+	f := newFlowNet(g)
 	consider := func(a, b ids.NodeID) {
 		if best == 0 {
 			return
 		}
-		f := newFlowNet(g)
+		f.reset()
 		if c := f.maxflow(outNode(a), inNode(b), best); c < best {
 			best, bs, bt = c, a, b
 		}
@@ -118,6 +142,25 @@ func (g *Graph) connectivity(limit int) (k int, s, t ids.NodeID) {
 	// Any minimum cut either avoids v0 — then it separates v0 from some
 	// non-neighbor — or contains v0 — then it separates two neighbors of
 	// v0 (see DESIGN.md §1/S2 and the package tests for the argument).
+	forEachPivotPair(g, v0, consider)
+	return best, bs, bt
+}
+
+// minDegreeVertex returns the lowest-ID vertex of minimum degree.
+func (g *Graph) minDegreeVertex() ids.NodeID {
+	var v0 ids.NodeID
+	for v := 1; v < g.n; v++ {
+		if g.Degree(ids.NodeID(v)) < g.Degree(v0) {
+			v0 = ids.NodeID(v)
+		}
+	}
+	return v0
+}
+
+// forEachPivotPair enumerates the candidate pair family for pivot v0 —
+// v0 × its non-neighbors, then non-adjacent pairs of its neighbors — in
+// the canonical order shared by exact and sampled κ.
+func forEachPivotPair(g *Graph, v0 ids.NodeID, consider func(a, b ids.NodeID)) {
 	for v := 0; v < g.n; v++ {
 		w := ids.NodeID(v)
 		if w != v0 && !g.HasEdge(v0, w) {
@@ -132,7 +175,6 @@ func (g *Graph) connectivity(limit int) (k int, s, t ids.NodeID) {
 			}
 		}
 	}
-	return best, bs, bt
 }
 
 func min(a, b int) int {
@@ -142,44 +184,82 @@ func min(a, b int) int {
 	return b
 }
 
-// ---- Dinic max-flow on the vertex-split digraph ----
+// ---- Dinic max-flow on the vertex-split digraph, CSR arc storage ----
 
 func inNode(v ids.NodeID) int  { return 2 * int(v) }
 func outNode(v ids.NodeID) int { return 2*int(v) + 1 }
 
-type flowArc struct {
-	to  int
-	rev int // index of the reverse arc in arcs[to]
-	cap int
-}
-
+// flowNet is the vertex-split flow network in CSR form. Node x's arcs are
+// arcTo[off[x]:off[x+1]]; arcPair[i] is the index of arc i's reverse. The
+// pristine capacities live in cap0 so reset is a single copy.
 type flowNet struct {
-	arcs [][]flowArc
+	off     []int32
+	arcTo   []int32
+	arcPair []int32
+	arcCap  []int32
+	cap0    []int32
 	// scratch buffers for Dinic
-	level []int
-	iter  []int
+	level []int32
+	iter  []int32
+	queue []int32
 }
 
 func newFlowNet(g *Graph) *flowNet {
+	nn := 2 * g.n
+	arcs := 2*g.n + 4*g.m
 	f := &flowNet{
-		arcs:  make([][]flowArc, 2*g.n),
-		level: make([]int, 2*g.n),
-		iter:  make([]int, 2*g.n),
+		off:     make([]int32, nn+1),
+		arcTo:   make([]int32, arcs),
+		arcPair: make([]int32, arcs),
+		arcCap:  make([]int32, arcs),
+		cap0:    make([]int32, arcs),
+		level:   make([]int32, nn),
+		iter:    make([]int32, nn),
+		queue:   make([]int32, 0, nn),
+	}
+	// Both halves of vertex v carry 1 + deg(v) arcs: in(v) has the split
+	// arc plus one reverse stub per incident edge; out(v) has the split
+	// stub plus one forward arc per incident edge.
+	for v := 0; v < g.n; v++ {
+		d := int32(1 + len(g.nbr[v]))
+		f.off[inNode(ids.NodeID(v))+1] = d
+		f.off[outNode(ids.NodeID(v))+1] = d
+	}
+	for x := 0; x < nn; x++ {
+		f.off[x+1] += f.off[x]
+	}
+	// Fill in the historical builder's chronological order: split arcs for
+	// v = 0..n-1, then both directions of each edge in Edges() order. The
+	// per-node cursor walk makes CSR slot order equal append order.
+	cur := make([]int32, nn)
+	copy(cur, f.off[:nn])
+	addArc := func(from, to, cap int) {
+		i, j := cur[from], cur[to]
+		cur[from]++
+		cur[to]++
+		f.arcTo[i], f.cap0[i], f.arcPair[i] = int32(to), int32(cap), j
+		f.arcTo[j], f.cap0[j], f.arcPair[j] = int32(from), 0, i
 	}
 	inf := g.n + 1
 	for v := 0; v < g.n; v++ {
-		f.addArc(inNode(ids.NodeID(v)), outNode(ids.NodeID(v)), 1)
+		addArc(inNode(ids.NodeID(v)), outNode(ids.NodeID(v)), 1)
 	}
-	for _, e := range g.Edges() {
-		f.addArc(outNode(e.U), inNode(e.V), inf)
-		f.addArc(outNode(e.V), inNode(e.U), inf)
+	for u := 0; u < g.n; u++ {
+		for _, v := range g.nbr[u] {
+			if ids.NodeID(u) < v {
+				addArc(outNode(ids.NodeID(u)), inNode(v), inf)
+				addArc(outNode(v), inNode(ids.NodeID(u)), inf)
+			}
+		}
 	}
+	copy(f.arcCap, f.cap0)
 	return f
 }
 
-func (f *flowNet) addArc(from, to, cap int) {
-	f.arcs[from] = append(f.arcs[from], flowArc{to: to, rev: len(f.arcs[to]), cap: cap})
-	f.arcs[to] = append(f.arcs[to], flowArc{to: from, rev: len(f.arcs[from]) - 1, cap: 0})
+// reset restores all capacities to their pristine values, readying the
+// network for another source/sink pair.
+func (f *flowNet) reset() {
+	copy(f.arcCap, f.cap0)
 }
 
 // maxflow returns min(maxflow(s→t), limit).
@@ -193,7 +273,7 @@ func (f *flowNet) maxflow(s, t, limit int) int {
 			f.iter[i] = 0
 		}
 		for flow < limit {
-			pushed := f.dfs(s, t, limit-flow)
+			pushed := f.dfs(int32(s), int32(t), limit-flow)
 			if pushed == 0 {
 				break
 			}
@@ -208,33 +288,35 @@ func (f *flowNet) bfs(s, t int) bool {
 		f.level[i] = -1
 	}
 	f.level[s] = 0
-	queue := []int{s}
-	for len(queue) > 0 {
-		u := queue[0]
-		queue = queue[1:]
-		for _, a := range f.arcs[u] {
-			if a.cap > 0 && f.level[a.to] < 0 {
-				f.level[a.to] = f.level[u] + 1
-				queue = append(queue, a.to)
+	queue := append(f.queue[:0], int32(s))
+	for head := 0; head < len(queue); head++ {
+		u := queue[head]
+		lv := f.level[u] + 1
+		for i := f.off[u]; i < f.off[u+1]; i++ {
+			if to := f.arcTo[i]; f.arcCap[i] > 0 && f.level[to] < 0 {
+				f.level[to] = lv
+				queue = append(queue, to)
 			}
 		}
 	}
+	f.queue = queue[:0]
 	return f.level[t] >= 0
 }
 
-func (f *flowNet) dfs(u, t, want int) int {
+func (f *flowNet) dfs(u, t int32, want int) int {
 	if u == t {
 		return want
 	}
-	for ; f.iter[u] < len(f.arcs[u]); f.iter[u]++ {
-		a := &f.arcs[u][f.iter[u]]
-		if a.cap <= 0 || f.level[a.to] != f.level[u]+1 {
+	for ; f.iter[u] < f.off[u+1]-f.off[u]; f.iter[u]++ {
+		i := f.off[u] + f.iter[u]
+		to := f.arcTo[i]
+		if f.arcCap[i] <= 0 || f.level[to] != f.level[u]+1 {
 			continue
 		}
-		pushed := f.dfs(a.to, t, min(want, a.cap))
+		pushed := f.dfs(to, t, min(want, int(f.arcCap[i])))
 		if pushed > 0 {
-			a.cap -= pushed
-			f.arcs[a.to][a.rev].cap += pushed
+			f.arcCap[i] -= int32(pushed)
+			f.arcCap[f.arcPair[i]] += int32(pushed)
 			return pushed
 		}
 	}
@@ -247,17 +329,18 @@ func (f *flowNet) dfs(u, t, want int) int {
 func (f *flowNet) cutVertices(s, n int) []ids.NodeID {
 	reach := make([]bool, 2*n)
 	reach[s] = true
-	stack := []int{s}
+	stack := append(f.queue[:0], int32(s))
 	for len(stack) > 0 {
 		u := stack[len(stack)-1]
 		stack = stack[:len(stack)-1]
-		for _, a := range f.arcs[u] {
-			if a.cap > 0 && !reach[a.to] {
-				reach[a.to] = true
-				stack = append(stack, a.to)
+		for i := f.off[u]; i < f.off[u+1]; i++ {
+			if to := f.arcTo[i]; f.arcCap[i] > 0 && !reach[to] {
+				reach[to] = true
+				stack = append(stack, to)
 			}
 		}
 	}
+	f.queue = stack[:0]
 	var cut []ids.NodeID
 	for v := 0; v < n; v++ {
 		if reach[inNode(ids.NodeID(v))] && !reach[outNode(ids.NodeID(v))] {

@@ -53,17 +53,32 @@ func (e Edge) Other(x ids.NodeID) ids.NodeID {
 // String implements fmt.Stringer.
 func (e Edge) String() string { return fmt.Sprintf("{%v,%v}", e.U, e.V) }
 
+// bitsetDegreeThreshold is the degree at which a vertex graduates from
+// binary-searched neighbor lists to a dense bitset row. Below it a sorted
+// scan of ≤ 64 IDs beats the cache miss on a (n+63)/64-word row; above it
+// HasEdge must be O(1) for the router's per-delivery edge checks.
+const bitsetDegreeThreshold = 64
+
 // Graph is a simple undirected graph over the fixed vertex set [0, n).
 // Vertices are ids.NodeID values; the vertex count is fixed at creation
 // (the system model assumes all processes know n). The zero value is an
 // empty graph over zero vertices; use New for a usable instance.
 //
+// Storage is a hybrid tuned for the n=10⁴-node regime (DESIGN.md §14):
+// sorted neighbor lists are always maintained (O(n+m) per graph — a
+// protocol run holds one discovered view per node, so quadratic-in-n rows
+// per view are unaffordable), and dense []uint64 bitset rows are attached
+// lazily to vertices whose degree crosses bitsetDegreeThreshold, giving
+// O(1) HasEdge on exactly the rows where a binary search would hurt. The
+// outer row table is itself allocated on first use, so sparse views (trees,
+// rings, bounded-degree scatters) never pay for it.
+//
 // Graph is not safe for concurrent mutation; concurrent reads are safe.
 type Graph struct {
-	n   int
-	adj [][]bool
-	nbr [][]ids.NodeID // sorted neighbor lists, kept in sync with adj
-	m   int            // number of edges
+	n    int
+	nbr  [][]ids.NodeID // sorted neighbor lists, the source of truth
+	bits [][]uint64     // lazy dense rows; nil table / nil rows = absent
+	m    int            // number of edges
 }
 
 // New returns an empty graph over n vertices.
@@ -71,15 +86,10 @@ func New(n int) *Graph {
 	if n < 0 {
 		panic("graph: negative vertex count")
 	}
-	g := &Graph{
+	return &Graph{
 		n:   n,
-		adj: make([][]bool, n),
 		nbr: make([][]ids.NodeID, n),
 	}
-	for i := range g.adj {
-		g.adj[i] = make([]bool, n)
-	}
-	return g
 }
 
 // FromEdges builds a graph over n vertices with the given edges.
@@ -104,6 +114,40 @@ func (g *Graph) valid(v ids.NodeID) {
 	}
 }
 
+// row returns v's bitset row, or nil if v is below the dense threshold.
+func (g *Graph) row(v ids.NodeID) []uint64 {
+	if g.bits == nil {
+		return nil
+	}
+	return g.bits[v]
+}
+
+// ensureRow materializes v's bitset row from its neighbor list.
+func (g *Graph) ensureRow(v ids.NodeID) []uint64 {
+	if g.bits == nil {
+		g.bits = make([][]uint64, g.n)
+	}
+	r := g.bits[v]
+	if r == nil {
+		r = make([]uint64, (g.n+63)/64)
+		for _, w := range g.nbr[v] {
+			r[w>>6] |= 1 << (w & 63)
+		}
+		g.bits[v] = r
+	}
+	return r
+}
+
+// hasNeighbor is the raw membership test behind HasEdge (no validation).
+func (g *Graph) hasNeighbor(u, v ids.NodeID) bool {
+	if r := g.row(u); r != nil {
+		return r[v>>6]&(1<<(v&63)) != 0
+	}
+	s := g.nbr[u]
+	i := sort.Search(len(s), func(i int) bool { return s[i] >= v })
+	return i < len(s) && s[i] == v
+}
+
 // AddEdge inserts the undirected edge {u, v}. Adding an existing edge is a
 // no-op. It panics on self-loops or out-of-range vertices.
 func (g *Graph) AddEdge(u, v ids.NodeID) {
@@ -112,27 +156,45 @@ func (g *Graph) AddEdge(u, v ids.NodeID) {
 	}
 	g.valid(u)
 	g.valid(v)
-	if g.adj[u][v] {
+	if g.hasNeighbor(u, v) {
 		return
 	}
-	g.adj[u][v] = true
-	g.adj[v][u] = true
 	g.nbr[u] = insertSorted(g.nbr[u], v)
 	g.nbr[v] = insertSorted(g.nbr[v], u)
+	g.setBit(u, v)
+	g.setBit(v, u)
 	g.m++
+}
+
+// setBit records v in u's bitset row, materializing the row if u's degree
+// just crossed the dense threshold.
+func (g *Graph) setBit(u, v ids.NodeID) {
+	r := g.row(u)
+	if r == nil {
+		if len(g.nbr[u]) < bitsetDegreeThreshold {
+			return
+		}
+		g.ensureRow(u) // includes v: nbr[u] is already updated
+		return
+	}
+	r[v>>6] |= 1 << (v & 63)
 }
 
 // RemoveEdge deletes the undirected edge {u, v} if present.
 func (g *Graph) RemoveEdge(u, v ids.NodeID) {
 	g.valid(u)
 	g.valid(v)
-	if u == v || !g.adj[u][v] {
+	if u == v || !g.hasNeighbor(u, v) {
 		return
 	}
-	g.adj[u][v] = false
-	g.adj[v][u] = false
 	g.nbr[u] = removeSorted(g.nbr[u], v)
 	g.nbr[v] = removeSorted(g.nbr[v], u)
+	if r := g.row(u); r != nil {
+		r[v>>6] &^= 1 << (v & 63)
+	}
+	if r := g.row(v); r != nil {
+		r[u>>6] &^= 1 << (u & 63)
+	}
 	g.m--
 }
 
@@ -140,7 +202,7 @@ func (g *Graph) RemoveEdge(u, v ids.NodeID) {
 func (g *Graph) HasEdge(u, v ids.NodeID) bool {
 	g.valid(u)
 	g.valid(v)
-	return u != v && g.adj[u][v]
+	return u != v && g.hasNeighbor(u, v)
 }
 
 // Degree returns the number of neighbors of v.
@@ -187,8 +249,15 @@ func (g *Graph) Edges() []Edge {
 func (g *Graph) Clone() *Graph {
 	c := New(g.n)
 	for u := 0; u < g.n; u++ {
-		copy(c.adj[u], g.adj[u])
 		c.nbr[u] = append([]ids.NodeID(nil), g.nbr[u]...)
+	}
+	if g.bits != nil {
+		c.bits = make([][]uint64, g.n)
+		for u, r := range g.bits {
+			if r != nil {
+				c.bits[u] = append([]uint64(nil), r...)
+			}
+		}
 	}
 	c.m = g.m
 	return c
@@ -200,8 +269,12 @@ func (g *Graph) Equal(h *Graph) bool {
 		return false
 	}
 	for u := 0; u < g.n; u++ {
-		for v := u + 1; v < g.n; v++ {
-			if g.adj[u][v] != h.adj[u][v] {
+		a, b := g.nbr[u], h.nbr[u]
+		if len(a) != len(b) {
+			return false
+		}
+		for i := range a {
+			if a[i] != b[i] {
 				return false
 			}
 		}
@@ -214,35 +287,22 @@ func (g *Graph) Equal(h *Graph) bool {
 // (up to SHA-256 collisions). NECTAR's decision memoization keys the
 // expensive connectivity predicate by view fingerprint (DESIGN.md §9);
 // a collision-resistant hash is required there because Byzantine nodes
-// influence the views being compared.
+// influence the views being compared. The digest hashes the sorted edge
+// list (O(n+m)) rather than the n²/2 adjacency triangle, so fingerprinting
+// stays viable at n=10⁴ where the triangle alone would be 6MB per view.
 func (g *Graph) Fingerprint() [32]byte {
 	h := sha256.New()
-	var hdr [8]byte
-	binary.BigEndian.PutUint64(hdr[:], uint64(g.n))
-	h.Write(hdr[:])
-	// Pack the upper triangle of the adjacency matrix row-major, eight
-	// cells per byte.
-	var acc byte
-	nbits := 0
-	flush := func(bit byte) {
-		acc = acc<<1 | bit
-		nbits++
-		if nbits == 8 {
-			h.Write([]byte{acc})
-			acc, nbits = 0, 0
-		}
-	}
+	var buf [8]byte
+	binary.BigEndian.PutUint64(buf[:], uint64(g.n))
+	h.Write(buf[:])
 	for u := 0; u < g.n; u++ {
-		for v := u + 1; v < g.n; v++ {
-			if g.adj[u][v] {
-				flush(1)
-			} else {
-				flush(0)
+		for _, v := range g.nbr[u] {
+			if ids.NodeID(u) < v {
+				binary.BigEndian.PutUint32(buf[:4], uint32(u))
+				binary.BigEndian.PutUint32(buf[4:], uint32(v))
+				h.Write(buf[:])
 			}
 		}
-	}
-	if nbits > 0 {
-		h.Write([]byte{acc << (8 - nbits)})
 	}
 	var out [32]byte
 	h.Sum(out[:0])
@@ -332,6 +392,23 @@ func (g *Graph) DOT(name string) string {
 
 func insertSorted(s []ids.NodeID, v ids.NodeID) []ids.NodeID {
 	i := sort.Search(len(s), func(i int) bool { return s[i] >= v })
+	if len(s) == cap(s) {
+		// Grow straight to a small round capacity instead of letting append
+		// walk 1→2→4: with n views of n lists each, those doubling steps
+		// were the dominant allocation count of a whole detection run. Four
+		// entries, not more — degree-1 leaves dominate the sparse large-n
+		// families, and n² of their lists exist at once, so per-list slack
+		// is paid in gigabytes at n=10⁴.
+		c := 2 * cap(s)
+		if c < 4 {
+			c = 4
+		}
+		ns := make([]ids.NodeID, len(s)+1, c)
+		copy(ns, s[:i])
+		ns[i] = v
+		copy(ns[i+1:], s[i:])
+		return ns
+	}
 	s = append(s, 0)
 	copy(s[i+1:], s[i:])
 	s[i] = v

@@ -1,0 +1,216 @@
+package graph
+
+import "github.com/nectar-repro/nectar/internal/ids"
+
+// This file holds the two scale paths for the per-epoch κ(Gi) ground truth
+// of the dynamic driver (DESIGN.md §14): an incremental tracker that turns
+// low-churn epochs into interval-arithmetic skips, and a sampled estimator
+// whose one-sided error makes the partitionable verdict sound. Both are
+// opt-in; the default epoch path stays Connectivity().
+
+// KappaBound is a certified interval Lo ≤ κ(G) ≤ Hi together with the
+// verdict against the tracker's threshold t. Partitionable (κ ≤ t,
+// Corollary 1) is always correct: an eval only skips recomputation when
+// the interval is entirely on one side of t. Exact additionally reports
+// Lo == Hi == κ.
+type KappaBound struct {
+	Lo, Hi        int
+	Partitionable bool
+	Exact         bool
+}
+
+// KappaTrackerStats counts how evals were resolved.
+type KappaTrackerStats struct {
+	Evals       int // total Eval calls
+	Skips       int // resolved by interval arithmetic alone
+	WitnessHits int // resolved by re-checking the previous witness pair
+	Recomputes  int // full (capped) connectivity computations
+}
+
+// KappaTracker maintains certified κ bounds across an edge-churn sequence.
+// It exploits the unit sensitivity of vertex connectivity — inserting one
+// edge raises κ by at most 1 and never lowers it; deleting one edge lowers
+// it by at most 1 and never raises it — so after a insertions and d
+// deletions the previous interval [lo, hi] widens to [lo-d, hi+a]. An
+// epoch whose widened interval clears the threshold t needs no max-flow at
+// all; one that straddles it first re-checks the previous minimizing pair
+// (κ(s,t) ≤ t certifies κ ≤ t on its own) and only then recomputes, capped
+// at t+1+slack so the recompute stops as early as the verdict allows while
+// banking slack headroom for future deletions.
+type KappaTracker struct {
+	t     int
+	slack int
+	n     int  // vertex count of the last evaluated graph (-1 = none)
+	lo    int  // certified lower bound
+	hi    int  // certified upper bound
+	hasW  bool // ws/wt hold the last minimizing non-adjacent pair
+	ws    ids.NodeID
+	wt    ids.NodeID
+	stats KappaTrackerStats
+}
+
+// NewKappaTracker returns a tracker deciding κ ≤ t with the given slack
+// (extra recompute headroom above t+1; negative means the default of 1).
+func NewKappaTracker(t, slack int) *KappaTracker {
+	if slack < 0 {
+		slack = 1
+	}
+	return &KappaTracker{t: t, slack: slack, n: -1}
+}
+
+// Stats returns the resolution counters so far.
+func (k *KappaTracker) Stats() KappaTrackerStats { return k.stats }
+
+// Eval returns certified κ bounds and the partitionability verdict for g,
+// given that adds edge insertions and dels edge deletions (counted
+// individually, e.g. via EdgeDiff) turned the previously evaluated graph
+// into g. The first call, or a call after a vertex-count change, always
+// recomputes.
+func (k *KappaTracker) Eval(g *Graph, adds, dels int) KappaBound {
+	k.stats.Evals++
+	if k.n != g.N() {
+		return k.recompute(g)
+	}
+	k.lo -= dels
+	k.hi += adds
+	if k.lo < 0 {
+		k.lo = 0
+	}
+	if max := g.N() - 1; k.hi > max {
+		k.hi = max
+	}
+	if k.hi <= k.t || k.lo > k.t {
+		k.stats.Skips++
+		return k.bound(false)
+	}
+	// Interval straddles t. Cheap certificate first: if the previous
+	// minimizing pair is still non-adjacent and still has κ(s,t) ≤ t, then
+	// κ ≤ t without touching the full pair family.
+	if k.hasW && !g.HasEdge(k.ws, k.wt) {
+		f := newFlowNet(g)
+		if c := f.maxflow(outNode(k.ws), inNode(k.wt), k.t+1); c <= k.t {
+			if c < k.hi {
+				k.hi = c
+			}
+			if k.lo > k.hi {
+				k.lo = k.hi
+			}
+			k.stats.WitnessHits++
+			return k.bound(false)
+		}
+	}
+	return k.recompute(g)
+}
+
+// recompute runs the capped exact computation and resets the interval.
+func (k *KappaTracker) recompute(g *Graph) KappaBound {
+	k.stats.Recomputes++
+	k.n = g.N()
+	cap := k.t + 1 + k.slack
+	got, s, t := g.connectivity(cap)
+	k.hasW = s != t
+	k.ws, k.wt = s, t
+	if got < cap {
+		k.lo, k.hi = got, got
+		return k.bound(true)
+	}
+	// Capped: only κ ≥ cap is certified (got == cap implies cap ≤ n-1, so
+	// the interval is well-formed).
+	k.lo, k.hi = cap, g.N()-1
+	return k.bound(false)
+}
+
+func (k *KappaTracker) bound(exact bool) KappaBound {
+	return KappaBound{Lo: k.lo, Hi: k.hi, Partitionable: k.hi <= k.t, Exact: exact && k.lo == k.hi}
+}
+
+// EdgeDiff counts the edge insertions (in b but not a) and deletions (in a
+// but not b) between two graphs over the same vertex set, in O(n+m) by
+// merging sorted neighbor lists.
+func EdgeDiff(a, b *Graph) (adds, dels int) {
+	if a.N() != b.N() {
+		panic("graph: EdgeDiff over different vertex counts")
+	}
+	for u := 0; u < a.N(); u++ {
+		la, lb := a.nbr[u], b.nbr[u]
+		i, j := 0, 0
+		for i < len(la) && j < len(lb) {
+			switch {
+			case la[i] == lb[j]:
+				i++
+				j++
+			case la[i] < lb[j]:
+				if la[i] > ids.NodeID(u) {
+					dels++
+				}
+				i++
+			default:
+				if lb[j] > ids.NodeID(u) {
+					adds++
+				}
+				j++
+			}
+		}
+		for ; i < len(la); i++ {
+			if la[i] > ids.NodeID(u) {
+				dels++
+			}
+		}
+		for ; j < len(lb); j++ {
+			if lb[j] > ids.NodeID(u) {
+				adds++
+			}
+		}
+	}
+	return adds, dels
+}
+
+// ApproxConnectivity returns a sampled upper bound κ̂ ≥ κ(G): the minimum
+// of κ(s,t) over `samples` pairs drawn deterministically (from seed) out
+// of the same pivot candidate family exact connectivity scans. Because
+// every candidate pair's local connectivity is ≥ κ, the estimate errs in
+// one direction only — κ̂ ≤ t soundly certifies t-Byzantine
+// partitionability, while κ̂ > t may be a sampling miss, which is why
+// callers near the threshold must fall back to the exact path
+// (DESIGN.md §14). samples ≤ 0 or ≥ the family size degrades to exact.
+func (g *Graph) ApproxConnectivity(samples int, seed int64) int {
+	if g.n < 2 {
+		return 0
+	}
+	if g.IsComplete() {
+		return g.n - 1
+	}
+	if !g.IsConnected() {
+		return 0
+	}
+	v0 := g.minDegreeVertex()
+	best := g.Degree(v0)
+	var pairs []Edge // candidate (s,t) pairs, not edges of g
+	forEachPivotPair(g, v0, func(a, b ids.NodeID) {
+		pairs = append(pairs, Edge{U: a, V: b})
+	})
+	if samples <= 0 || samples > len(pairs) {
+		samples = len(pairs)
+	}
+	// Partial Fisher–Yates over the candidate list with a splitmix64
+	// stream: deterministic for a given (graph, samples, seed).
+	state := uint64(seed) ^ 0x9E3779B97F4A7C15
+	next := func() uint64 {
+		state += 0x9E3779B97F4A7C15
+		z := state
+		z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9
+		z = (z ^ (z >> 27)) * 0x94D049BB133111EB
+		return z ^ (z >> 31)
+	}
+	f := newFlowNet(g)
+	for i := 0; i < samples && best > 0; i++ {
+		j := i + int(next()%uint64(len(pairs)-i))
+		pairs[i], pairs[j] = pairs[j], pairs[i]
+		p := pairs[i]
+		f.reset()
+		if c := f.maxflow(outNode(p.U), inNode(p.V), best); c < best {
+			best = c
+		}
+	}
+	return best
+}

@@ -87,16 +87,27 @@ func DecodeEdgeMsg(data []byte, sigSize, n int) (EdgeMsg, error) {
 
 // decodeEdgeMsgNoCopy parses an EdgeMsg whose signature slices alias data.
 func decodeEdgeMsgNoCopy(data []byte, sigSize, n int) (EdgeMsg, error) {
+	m, _, err := decodeEdgeMsgInto(data, sigSize, n, nil)
+	return m, err
+}
+
+// decodeEdgeMsgInto is decodeEdgeMsgNoCopy with the chain decoded into
+// hops[:0] (growing it as needed). It returns the message and the grown
+// scratch so a per-node deliver loop allocates zero hop slices at steady
+// state. Everything in the result — signatures and hops alike — is only
+// valid until the caller's next use of data or the scratch; retainers copy
+// (Node.accept).
+func decodeEdgeMsgInto(data []byte, sigSize, n int, hops []sig.Hop) (EdgeMsg, []sig.Hop, error) {
 	r := wire.ReaderOf(data)
 	p, err := decodeProofNoCopy(&r, sigSize, n)
 	if err != nil {
-		return EdgeMsg{}, err
+		return EdgeMsg{}, hops, err
 	}
-	chain := sig.DecodeHopsNoCopy(&r, sigSize)
+	chain := sig.DecodeHopsInto(hops, &r, sigSize)
 	if err := r.Close(); err != nil {
-		return EdgeMsg{}, err
+		return EdgeMsg{}, chain, err
 	}
-	return EdgeMsg{Proof: p, Chain: chain}, nil
+	return EdgeMsg{Proof: p, Chain: chain}, chain, nil
 }
 
 // ForgeEdgeMsg builds a round-1 announcement of the edge between the two
@@ -138,6 +149,22 @@ var (
 // Cheap structural checks run first so that the expensive signature
 // verifications only happen for plausible messages.
 func checkMsg(v sig.Verifier, m EdgeMsg, from ids.NodeID, round int) error {
+	var sc msgScratch
+	return sc.check(v, m, from, round)
+}
+
+// msgScratch carries the reusable buffers of the verification path — the
+// proof-statement writer and the chain signing-input scratch — so a node
+// checking Θ(m) surviving messages allocates neither per message
+// (DESIGN.md §14). The zero value is ready; not safe for concurrent use.
+type msgScratch struct {
+	stmt wire.Writer
+	cs   sig.ChainScratch
+}
+
+// check applies exactly checkMsg's policy with the scratch's buffers. The
+// verdicts and the bytes handed to v are identical.
+func (sc *msgScratch) check(v sig.Verifier, m EdgeMsg, from ids.NodeID, round int) error {
 	if len(m.Chain) != round {
 		return fmt.Errorf("%w: %d hops in round %d", errChainLength, len(m.Chain), round)
 	}
@@ -151,10 +178,11 @@ func checkMsg(v sig.Verifier, m EdgeMsg, from ids.NodeID, round int) error {
 	if last := m.Chain[len(m.Chain)-1].Signer; last != from {
 		return fmt.Errorf("%w: signed %v, delivered by %v", errChainSender, last, from)
 	}
-	if !m.Proof.Verify(v) {
+	stmt := proofStatementInto(&sc.stmt, m.Proof.Edge)
+	if !m.Proof.verifyStmt(v, stmt) {
 		return errProofSig
 	}
-	if !sig.VerifyChain(v, proofStatement(m.Proof.Edge), m.Chain) {
+	if !sc.cs.Verify(v, stmt, m.Chain) {
 		return errChainSig
 	}
 	return nil

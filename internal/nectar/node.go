@@ -4,6 +4,7 @@ import (
 	"errors"
 	"fmt"
 
+	"github.com/nectar-repro/nectar/internal/bloom"
 	"github.com/nectar-repro/nectar/internal/graph"
 	"github.com/nectar-repro/nectar/internal/ids"
 	"github.com/nectar-repro/nectar/internal/obs"
@@ -108,6 +109,14 @@ type Config struct {
 	// so signatures re-verified at every recipient of a flood are checked
 	// once (DESIGN.md §9). Nil disables memoization.
 	VerifyCache *sig.VerifyCache
+	// DedupBloom puts a Bloom filter in front of the duplicate check
+	// (DESIGN.md §14). The filter holds every edge of Gi (seeded with the
+	// initial neighborhood, extended on every accept), so a probe that
+	// misses proves the edge unseen and skips the exact Gi lookup; a hit —
+	// true or false positive — falls through to the exact check. No
+	// classification, counter, or output changes either way; the
+	// equivalence tests pin runs byte-identical with the knob on and off.
+	DedupBloom bool
 }
 
 // Stats counts a node's message-handling outcomes; useful to tests and
@@ -130,13 +139,21 @@ type Stats struct {
 	// VerifyCacheHits counts signature verifications this node served from
 	// the shared VerifyCache (0 when no cache is configured).
 	VerifyCacheHits int
+	// BloomSkips counts duplicate checks resolved by a dedup Bloom-filter
+	// miss alone, skipping the exact edge-set probe (0 without the filter;
+	// see Config.DedupBloom).
+	BloomSkips int
 }
 
 // relayItem is a first-received edge message queued for relay in the next
 // round, remembering the neighbor it came from (Alg. 1 l. 11: relay to
-// Γ(i) \ {k}).
+// Γ(i) \ {k}). The message is retained as its canonical wire bytes (owned
+// by the accept arena), not as a decoded EdgeMsg: a flood queues Θ(m)
+// messages per node at the wave peak, and hop structs cost ~4× the wire
+// bytes plus a pointer per signature for the GC to chase (DESIGN.md §14).
 type relayItem struct {
-	msg  EdgeMsg
+	raw  []byte     // canonical encoding: proof ‖ hop count ‖ hops
+	edge graph.Edge // the proof's edge, for the relay statement
 	from ids.NodeID
 }
 
@@ -160,6 +177,18 @@ type Node struct {
 	// side copies what it retains.
 	enc     wire.Writer
 	sendBuf []rounds.Send
+	// Deliver-side allocation reuse (DESIGN.md §14): the hop slice the
+	// zero-copy decode fills, the verification scratch (statement writer +
+	// chain signing-input buffer), and the accept arena that owns the
+	// queued messages' wire bytes. The scratch contents are transient per
+	// Deliver call; the arena lives until the queue is drained and is
+	// truncated at the end of the draining Emit. dedup, when non-nil, is
+	// the Bloom front of the duplicate check — it holds a superset of Gi's
+	// edges, so a miss proves the edge unseen.
+	hopScratch []sig.Hop
+	scr        msgScratch
+	arenaRaw   []byte
+	dedup      *bloom.Filter
 	// Evidence tracing (DESIGN.md §13): off by default and enabled only by
 	// the engine's TraceEvidence call when a run has a Tracer, so the
 	// untraced hot path buffers nothing. evbuf fills during Deliver (one
@@ -224,7 +253,31 @@ func NewNode(cfg Config) (*Node, error) {
 		}
 		nd.view.AddEdge(cfg.Me, nb)
 	}
+	if cfg.DedupBloom {
+		// Size for ~4n distinct edges at 1% FP: sparse detection topologies
+		// (rings, trees, geometric graphs) stay under that; denser graphs
+		// only raise the FP rate, which costs an exact lookup per hit and
+		// changes nothing else.
+		est := 4 * cfg.N
+		if est < 64 {
+			est = 64
+		}
+		mBits, hashes, err := bloom.Dimension(est, 0.01)
+		if err != nil {
+			return nil, fmt.Errorf("nectar: sizing dedup bloom: %w", err)
+		}
+		nd.dedup = bloom.New(mBits, hashes)
+		for _, nb := range cfg.Neighbors {
+			nd.dedup.AddKey(edgeKey(graph.NewEdge(cfg.Me, nb)))
+		}
+	}
 	return nd, nil
+}
+
+// edgeKey packs a canonical (U < V) edge into the 64-bit key the dedup
+// Bloom filter indexes.
+func edgeKey(e graph.Edge) uint64 {
+	return uint64(e.U)<<32 | uint64(e.V)
 }
 
 // Rounds returns the number of edge-propagation rounds this node runs
@@ -248,7 +301,7 @@ func (nd *Node) Emit(round int) []rounds.Send {
 			p := nd.cfg.Proofs[j]
 			msg := EdgeMsg{
 				Proof: p,
-				Chain: sig.AppendHop(nd.cfg.Signer, proofStatement(p.Edge), nil),
+				Chain: nd.scr.cs.AppendInto(nd.cfg.Signer, proofStatementInto(&nd.scr.stmt, p.Edge), nil),
 			}
 			data := nd.encodeMsg(msg)
 			for _, dest := range nd.cfg.Neighbors {
@@ -258,19 +311,26 @@ func (nd *Node) Emit(round int) []rounds.Send {
 		nd.sendBuf = out
 		return out
 	}
+	sigSize := nd.cfg.Verifier.SigSize()
+	ps := proofWireSize(sigSize)
 	for _, item := range nd.queue {
-		relay := EdgeMsg{
-			Proof: item.msg.Proof,
-			Chain: sig.AppendHop(nd.cfg.Signer, proofStatement(item.msg.Proof.Edge), item.msg.Chain),
-		}
-		data := nd.encodeMsg(relay)
+		// Extend the retained wire bytes directly: sign over the raw hop
+		// region (bit-for-bit the input AppendInto would build from decoded
+		// hops), then emit proof and existing hops verbatim with the new
+		// hop appended — no []Hop is ever materialized on the relay path.
+		stmt := proofStatementInto(&nd.scr.stmt, item.edge)
+		sg := nd.scr.cs.SignRawChain(nd.cfg.Signer, stmt, item.raw[ps+2:], sigSize)
+		data := nd.encodeRelay(item.raw, ps, sg, sigSize)
 		for _, dest := range nd.cfg.Neighbors {
 			if dest != item.from {
 				out = append(out, rounds.Send{To: dest, Data: data})
 			}
 		}
 	}
+	// The queue is drained, so nothing references the accept arena any
+	// more: recycle it for the deliveries of this round.
 	nd.queue = nd.queue[:0]
+	nd.arenaRaw = nd.arenaRaw[:0]
 	nd.sendBuf = out
 	return out
 }
@@ -282,6 +342,30 @@ func (nd *Node) Emit(round int) []rounds.Send {
 func (nd *Node) encodeMsg(m EdgeMsg) []byte {
 	start := nd.enc.Len()
 	m.encodeTo(&nd.enc, nd.cfg.Verifier.SigSize())
+	return nd.enc.Bytes()[start:]
+}
+
+// encodeRelay appends the relay of a retained message to the encode arena:
+// the proof and hop regions of raw copied verbatim, the hop count bumped,
+// and the node's own hop appended. Every retained field is fixed-width, so
+// the verbatim copy is byte-for-byte what re-encoding the decoded message
+// would produce.
+func (nd *Node) encodeRelay(raw []byte, ps int, sg []byte, sigSize int) []byte {
+	start := nd.enc.Len()
+	r := wire.ReaderOf(raw[ps:])
+	count := r.U16()
+	nd.enc.Raw(raw[:ps])
+	nd.enc.U16(count + 1)
+	nd.enc.Raw(raw[ps+2:])
+	nd.enc.NodeID(nd.cfg.Me)
+	if len(sg) != sigSize {
+		// Honest signers emit exactly sigSize bytes; normalize defensively,
+		// mirroring EncodeHops.
+		fixed := make([]byte, sigSize)
+		copy(fixed, sg)
+		sg = fixed
+	}
+	nd.enc.Raw(sg)
 	return nd.enc.Bytes()[start:]
 }
 
@@ -301,22 +385,23 @@ func (nd *Node) Deliver(round int, from ids.NodeID, data []byte) {
 	if nd.cfg.ParanoidVerify {
 		// Literal Alg. 1 order: full decode and verification first, then
 		// the duplicate check.
-		m, err := decodeEdgeMsgNoCopy(data, sigSize, nd.cfg.N)
+		m, hops, err := decodeEdgeMsgInto(data, sigSize, nd.cfg.N, nd.hopScratch)
+		nd.hopScratch = hops
 		if err != nil {
 			nd.stats.Rejected++
 			nd.traceReject(round, from, 0, err)
 			return
 		}
-		if err := checkMsg(nd.ver, m, from, round); err != nil {
+		if err := nd.scr.check(nd.ver, m, from, round); err != nil {
 			nd.stats.Rejected++
 			nd.traceReject(round, from, len(m.Chain), err)
 			return
 		}
-		if nd.view.HasEdge(m.Proof.Edge.U, m.Proof.Edge.V) {
+		if nd.knownEdge(m.Proof.Edge) {
 			nd.stats.Duplicates++
 			return
 		}
-		nd.accept(round, m, from)
+		nd.accept(round, m.Proof.Edge, len(m.Chain), from, data)
 		return
 	}
 	e, err := DecodeEdgeHeader(data, nd.cfg.N)
@@ -325,41 +410,66 @@ func (nd *Node) Deliver(round int, from ids.NodeID, data []byte) {
 		nd.traceReject(round, from, 0, err)
 		return
 	}
-	if nd.view.HasEdge(e.U, e.V) {
+	if nd.knownEdge(e) {
 		nd.stats.Duplicates++
 		nd.stats.LazyDiscards++
 		return
 	}
-	m, err := decodeEdgeMsgNoCopy(data, sigSize, nd.cfg.N)
+	m, hops, err := decodeEdgeMsgInto(data, sigSize, nd.cfg.N, nd.hopScratch)
+	nd.hopScratch = hops
 	if err != nil {
 		nd.stats.Rejected++
 		nd.traceReject(round, from, 0, err)
 		return
 	}
-	if err := checkMsg(nd.ver, m, from, round); err != nil {
+	if err := nd.scr.check(nd.ver, m, from, round); err != nil {
 		nd.stats.Rejected++
 		nd.traceReject(round, from, len(m.Chain), err)
 		return
 	}
-	nd.accept(round, m, from)
+	nd.accept(round, m.Proof.Edge, len(m.Chain), from, data)
 }
 
-// accept records a first-seen valid edge and queues the message for relay.
-// The message aliases the delivered buffer, whose lifetime ends with the
-// round, so it is copied into owned memory here — the only copy on the
-// deliver path, paid once per distinct edge.
-func (nd *Node) accept(round int, m EdgeMsg, from ids.NodeID) {
-	m = m.Copy()
-	nd.view.AddEdge(m.Proof.Edge.U, m.Proof.Edge.V)
-	nd.queue = append(nd.queue, relayItem{msg: m, from: from})
+// knownEdge reports whether e is already in Gi — the duplicate predicate
+// of Alg. 1 l. 14, optionally fronted by the dedup Bloom filter. The
+// filter holds a superset of Gi's edges (NewNode seeds it, accept extends
+// it), so a miss proves e unseen without touching the exact structure; a
+// hit is resolved by the exact lookup, making the verdict — and therefore
+// every downstream counter and output — identical with and without the
+// filter.
+func (nd *Node) knownEdge(e graph.Edge) bool {
+	if nd.dedup != nil && !nd.dedup.MightContainKey(edgeKey(e)) {
+		nd.stats.BloomSkips++
+		return false
+	}
+	return nd.view.HasEdge(e.U, e.V)
+}
+
+// accept records a first-seen valid edge e (carried by a message whose
+// validated decode had hops chain links) and queues the message for relay.
+// data aliases the delivered buffer, whose lifetime ends with the round,
+// so the message's canonical wire prefix is copied into the accept arena
+// here — one contiguous copy per distinct edge, the only copy on the
+// deliver path, with no per-hop structures retained (DESIGN.md §14).
+func (nd *Node) accept(round int, e graph.Edge, hops int, from ids.NodeID, data []byte) {
+	wl := MsgWireSize(nd.cfg.Verifier.SigSize(), hops)
+	nd.queue = append(nd.queue, relayItem{
+		raw:  nd.copyToArena(data[:wl]),
+		edge: e,
+		from: from,
+	})
+	nd.view.AddEdge(e.U, e.V)
+	if nd.dedup != nil {
+		nd.dedup.AddKey(edgeKey(e))
+	}
 	nd.stats.Accepted++
 	if nd.tracing {
 		nd.evbuf = append(nd.evbuf, obs.Event{
 			Type: obs.EvChainAccept, Round: round, Node: int(nd.cfg.Me),
-			N: int64(len(m.Chain)),
+			N: int64(hops),
 			Attrs: []obs.Attr{
-				{K: "u", V: int64(m.Proof.Edge.U)},
-				{K: "v", V: int64(m.Proof.Edge.V)},
+				{K: "u", V: int64(e.U)},
+				{K: "v", V: int64(e.V)},
 				{K: "from", V: int64(from)},
 			},
 		})
@@ -376,6 +486,18 @@ func (nd *Node) accept(round int, m EdgeMsg, from ids.NodeID) {
 			nd.lastReach = r
 		}
 	}
+}
+
+// copyToArena copies b into the accept arena and returns the owned, capped
+// sub-slice, so later appends can never write through it. Arena growth
+// reallocates the backing and leaves earlier sub-slices on the old array —
+// intact, exactly like the encode arena (DESIGN.md §9). The arena is
+// truncated when the queue drains at the end of Emit.
+func (nd *Node) copyToArena(b []byte) []byte {
+	start := len(nd.arenaRaw)
+	nd.arenaRaw = append(nd.arenaRaw, b...)
+	n := len(nd.arenaRaw)
+	return nd.arenaRaw[start:n:n]
 }
 
 // traceReject buffers a chain_reject evidence event (no-op unless the

@@ -32,10 +32,22 @@ type Proof struct {
 	SigV []byte // Edge.V's signature over the statement
 }
 
+// proofTag is the domain-separation prefix of every proof statement.
+var proofTag = []byte("nbr-proof-v1")
+
 // proofStatement returns the canonical byte statement both endpoints sign.
 func proofStatement(e graph.Edge) []byte {
 	w := wire.NewWriter(24)
-	w.Raw([]byte("nbr-proof-v1"))
+	return proofStatementInto(w, e)
+}
+
+// proofStatementInto rebuilds the canonical statement for e in w (reset
+// first) and returns the encoded bytes — the allocation-free variant for
+// per-message hot paths, which hold one statement writer per node. The
+// returned slice is valid until the writer's next reset.
+func proofStatementInto(w *wire.Writer, e graph.Edge) []byte {
+	w.Reset()
+	w.Raw(proofTag)
 	w.NodeID(e.U)
 	w.NodeID(e.V)
 	return w.Bytes()
@@ -60,7 +72,11 @@ func MakeProof(a, b sig.Signer) Proof {
 
 // Verify reports whether both endpoint signatures are valid.
 func (p Proof) Verify(v sig.Verifier) bool {
-	stmt := proofStatement(p.Edge)
+	return p.verifyStmt(v, proofStatement(p.Edge))
+}
+
+// verifyStmt is Verify with the statement precomputed by the caller.
+func (p Proof) verifyStmt(v sig.Verifier, stmt []byte) bool {
 	return v.Verify(p.Edge.U, stmt, p.SigU) && v.Verify(p.Edge.V, stmt, p.SigV)
 }
 

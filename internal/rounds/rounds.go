@@ -164,6 +164,12 @@ type Config struct {
 	// way (the skipped rounds are provably silent); the knob exists for
 	// equivalence tests and ablations.
 	FullHorizon bool
+	// Layout selects the router's staging data layout (DESIGN.md §14):
+	// LayoutAuto (zero value) uses struct-of-arrays staging at or above
+	// SoAThreshold nodes and the classic per-recipient-slice layout below
+	// it; LayoutAoS / LayoutSoA force one side. Results are byte-identical
+	// for every value.
+	Layout Layout
 	// LossRate drops each routed message independently with the given
 	// probability (0 = reliable channels, the paper's model). Message
 	// loss violates NECTAR's channel assumption and exists to reproduce
@@ -308,9 +314,10 @@ type engine struct {
 	quiescers []Quiescer // non-nil only when every node implements Quiescer
 	m         *Metrics
 	outboxes  [][]Send
-	shards    []*routeShard
-	inboxes   [][]delivery // per-recipient merged+shuffled inbox, reused
-	rngs      []*rand.Rand // per-worker shuffle RNGs, reseeded per recipient
+	shards    []*routeShard // AoS staging, nil when soa is active
+	soa       []*soaShard   // SoA staging, nil when shards is active
+	inboxes   [][]delivery  // per-recipient merged+shuffled inbox, reused
+	rngs      []*rand.Rand  // per-worker shuffle RNGs, reseeded per recipient
 	// traceDelivered[i] is recipient i's delivery count for the current
 	// round, written by deliver (each recipient is handled by exactly one
 	// worker per round, so writes never contend) and drained into
@@ -377,13 +384,20 @@ func Run(cfg Config, nodes []Protocol) (*Metrics, error) {
 			Rounds:         cfg.Rounds,
 		},
 		outboxes: make([][]Send, n),
-		shards:   make([]*routeShard, workers),
 		inboxes:  make([][]delivery, n),
 	}
-	for w := range e.shards {
-		e.shards[w] = &routeShard{
-			inbox: make([][]delivery, n),
-			seen:  make(map[uint64]bool),
+	if cfg.Layout == LayoutSoA || (cfg.Layout == LayoutAuto && n >= SoAThreshold) {
+		e.soa = make([]*soaShard, workers)
+		for w := range e.soa {
+			e.soa[w] = &soaShard{seen: make(map[uint64]bool)}
+		}
+	} else {
+		e.shards = make([]*routeShard, workers)
+		for w := range e.shards {
+			e.shards[w] = &routeShard{
+				inbox: make([][]delivery, n),
+				seen:  make(map[uint64]bool),
+			}
 		}
 	}
 	if cfg.Tracer != nil {
@@ -460,15 +474,27 @@ func (e *engine) run() {
 		// Phase 2: route. Each worker owns a contiguous sender stripe, so
 		// per-sender metric rows are contention-free and staged inboxes
 		// concatenate back to sender-major order.
-		parallelChunks(e.n, e.workers, func(w, lo, hi int) {
-			e.route(e.shards[w], r, lo, hi)
-		})
 		var dropNonEdge, dropLoss int64
-		for _, sh := range e.shards {
-			e.m.BytesByRound[r-1] += sh.bytesThisRound
-			dropNonEdge += sh.droppedNonEdge
-			dropLoss += sh.droppedLoss
-			sh.bytesThisRound, sh.droppedNonEdge, sh.droppedLoss = 0, 0, 0
+		if e.soa != nil {
+			parallelChunks(e.n, e.workers, func(w, lo, hi int) {
+				e.routeSoA(e.soa[w], r, lo, hi)
+			})
+			for _, sh := range e.soa {
+				e.m.BytesByRound[r-1] += sh.bytesThisRound
+				dropNonEdge += sh.droppedNonEdge
+				dropLoss += sh.droppedLoss
+				sh.bytesThisRound, sh.droppedNonEdge, sh.droppedLoss = 0, 0, 0
+			}
+		} else {
+			parallelChunks(e.n, e.workers, func(w, lo, hi int) {
+				e.route(e.shards[w], r, lo, hi)
+			})
+			for _, sh := range e.shards {
+				e.m.BytesByRound[r-1] += sh.bytesThisRound
+				dropNonEdge += sh.droppedNonEdge
+				dropLoss += sh.droppedLoss
+				sh.bytesThisRound, sh.droppedNonEdge, sh.droppedLoss = 0, 0, 0
+			}
 		}
 		e.m.DroppedNonEdge += dropNonEdge
 		e.m.DroppedLoss += dropLoss
@@ -584,9 +610,15 @@ func (e *engine) route(sh *routeShard, round, lo, hi int) {
 // w selects the calling worker's reusable shuffle RNG.
 func (e *engine) deliver(w, i, round int) {
 	inbox := e.inboxes[i][:0]
-	for _, sh := range e.shards {
-		inbox = append(inbox, sh.inbox[i]...)
-		sh.inbox[i] = sh.inbox[i][:0]
+	if e.soa != nil {
+		for _, sh := range e.soa {
+			inbox = sh.gather(i, inbox)
+		}
+	} else {
+		for _, sh := range e.shards {
+			inbox = append(inbox, sh.inbox[i]...)
+			sh.inbox[i] = sh.inbox[i][:0]
+		}
 	}
 	e.inboxes[i] = inbox
 	if len(inbox) == 0 {

@@ -94,10 +94,27 @@ func VerifyChain(v Verifier, payload []byte, chain []Hop) bool {
 	return true
 }
 
+// distinctScanMax is the chain length up to which DistinctSigners uses
+// the allocation-free quadratic scan. Honest chains are bounded by the
+// graph diameter (quiescence, §IV-E), so virtually every checked chain
+// takes the scan path; only adversarially long chains on full-horizon
+// runs pay the map.
+const distinctScanMax = 32
+
 // DistinctSigners reports whether no node signed the chain twice. The
 // Dolev–Strong argument behind Lemma 2 requires relayed chains to carry
 // pairwise-distinct signers; correct nodes discard chains violating this.
 func DistinctSigners(chain []Hop) bool {
+	if len(chain) <= distinctScanMax {
+		for i := 1; i < len(chain); i++ {
+			for j := 0; j < i; j++ {
+				if chain[j].Signer == chain[i].Signer {
+					return false
+				}
+			}
+		}
+		return true
+	}
 	seen := make(ids.Set, len(chain))
 	for _, h := range chain {
 		if seen.Has(h.Signer) {

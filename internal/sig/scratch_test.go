@@ -1,0 +1,116 @@
+package sig
+
+import (
+	"bytes"
+	"testing"
+
+	"github.com/nectar-repro/nectar/internal/ids"
+	"github.com/nectar-repro/nectar/internal/wire"
+)
+
+func TestAppendIntoMatchesAppendHop(t *testing.T) {
+	for _, s := range []Scheme{NewEd25519(8, 1), NewHMAC(8, 1)} {
+		t.Run(s.Name(), func(t *testing.T) {
+			payload := []byte("proof(p0,p1)")
+			var cs ChainScratch
+			var chain []Hop
+			for hop, id := range []ids.NodeID{0, 3, 5, 7} {
+				want := AppendHop(s.SignerFor(id), payload, chain)
+				got := cs.AppendInto(s.SignerFor(id), payload, chain)
+				if len(got) != len(want) {
+					t.Fatalf("hop %d: length %d vs %d", hop, len(got), len(want))
+				}
+				for i := range got {
+					if got[i].Signer != want[i].Signer || !bytes.Equal(got[i].Sig, want[i].Sig) {
+						t.Fatalf("hop %d: index %d differs", hop, i)
+					}
+				}
+				// Retain by copy, as the contract requires, then extend again.
+				chain = append([]Hop(nil), got...)
+				for i := range chain {
+					chain[i].Sig = append([]byte(nil), chain[i].Sig...)
+				}
+			}
+			if !VerifyChain(s.Verifier(), payload, chain) {
+				t.Fatal("scratch-built chain does not verify")
+			}
+		})
+	}
+}
+
+func TestScratchVerifyMatchesVerifyChain(t *testing.T) {
+	s := NewHMAC(6, 2)
+	v := s.Verifier()
+	payload := []byte("edge{p0,p4}")
+	good := buildChain(s, payload, 0, 2, 4)
+	var cs ChainScratch
+	if !cs.Verify(v, payload, good) {
+		t.Error("valid chain rejected")
+	}
+	if !cs.Verify(v, payload, nil) {
+		t.Error("empty chain should verify trivially")
+	}
+	if cs.Verify(v, []byte("edge{p0,p5}"), good) {
+		t.Error("chain accepted over different payload")
+	}
+	bad := append([]Hop(nil), good...)
+	bad[1].Sig = append([]byte(nil), bad[1].Sig...)
+	bad[1].Sig[0] ^= 0xFF
+	if cs.Verify(v, payload, bad) {
+		t.Error("tampered chain accepted")
+	}
+	// Reuse after a failure must not poison later verdicts.
+	if !cs.Verify(v, payload, good) {
+		t.Error("valid chain rejected after scratch reuse")
+	}
+}
+
+func TestDecodeHopsIntoMatchesNoCopy(t *testing.T) {
+	s := NewHMAC(6, 3)
+	sigSize := s.Verifier().SigSize()
+	payload := []byte("p")
+	chain := buildChain(s, payload, 1, 3, 5)
+	var w wire.Writer
+	EncodeHops(&w, chain, sigSize)
+	data := w.Bytes()
+
+	var scratch []Hop
+	for round := 0; round < 2; round++ {
+		r := wire.ReaderOf(data)
+		scratch = DecodeHopsInto(scratch, &r, sigSize)
+		if err := r.Close(); err != nil {
+			t.Fatal(err)
+		}
+		if len(scratch) != len(chain) {
+			t.Fatalf("decoded %d hops", len(scratch))
+		}
+		for i := range chain {
+			if scratch[i].Signer != chain[i].Signer || !bytes.Equal(scratch[i].Sig, chain[i].Sig) {
+				t.Fatalf("round %d: hop %d differs", round, i)
+			}
+		}
+	}
+
+	// Truncated input: error set, empty result, scratch reusable.
+	r := wire.ReaderOf(data[:len(data)-1])
+	scratch = DecodeHopsInto(scratch, &r, sigSize)
+	if r.Err() == nil || len(scratch) != 0 {
+		t.Fatalf("truncated decode: err=%v len=%d", r.Err(), len(scratch))
+	}
+}
+
+func TestDistinctSignersLongChainUsesMapPath(t *testing.T) {
+	// Above distinctScanMax the map path must agree with the scan.
+	n := distinctScanMax + 8
+	chain := make([]Hop, n)
+	for i := range chain {
+		chain[i].Signer = ids.NodeID(i)
+	}
+	if !DistinctSigners(chain) {
+		t.Fatal("distinct long chain rejected")
+	}
+	chain[n-1].Signer = chain[0].Signer
+	if DistinctSigners(chain) {
+		t.Fatal("duplicate signer in long chain accepted")
+	}
+}

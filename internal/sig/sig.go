@@ -206,6 +206,7 @@ func (v hmacVerifier) SigSize() int { return 64 }
 type Insecure struct {
 	n       int
 	sigSize int
+	name    string
 }
 
 var _ Scheme = (*Insecure)(nil)
@@ -213,11 +214,24 @@ var _ Scheme = (*Insecure)(nil)
 // NewInsecure builds the ablation scheme for n nodes with sigSize-byte
 // pseudo-signatures.
 func NewInsecure(n, sigSize int) *Insecure {
-	return &Insecure{n: n, sigSize: sigSize}
+	return &Insecure{n: n, sigSize: sigSize, name: "insecure"}
+}
+
+// SlimSigSize is the "slim" scheme's signature width: just the 4-byte
+// signer tag, the minimum SignerFor can stamp.
+const SlimSigSize = 4
+
+// NewSlim builds the large-n scaling scheme (DESIGN.md §14): the
+// Insecure verifier with SlimSigSize-byte pseudo-signatures, so hop
+// chains shrink ~8× versus "insecure"'s Ed25519-width padding. Use it
+// when measuring engine wall clock at n=10⁴; use "insecure" when the
+// byte costs must stay faithful to real signatures.
+func NewSlim(n int) *Insecure {
+	return &Insecure{n: n, sigSize: SlimSigSize, name: "slim"}
 }
 
 // Name implements Scheme.
-func (s *Insecure) Name() string { return "insecure" }
+func (s *Insecure) Name() string { return s.name }
 
 // N implements Scheme.
 func (s *Insecure) N() int { return s.n }
@@ -225,10 +239,14 @@ func (s *Insecure) N() int { return s.n }
 // SignerFor implements Scheme.
 func (s *Insecure) SignerFor(id ids.NodeID) Signer {
 	tag := make([]byte, s.sigSize)
-	binary.BigEndian.PutUint32(tag, uint32(id))
-	return funcSigner{id: id, sign: func([]byte) []byte {
-		return append([]byte(nil), tag...)
-	}}
+	if s.sigSize >= 4 {
+		binary.BigEndian.PutUint32(tag, uint32(id))
+	}
+	// Every Sign call returns the same backing array: the scheme exists
+	// for cost and scale ablations, where a per-signature allocation
+	// would mask the engine being measured. Signatures are immutable by
+	// convention everywhere downstream (encode, arena copy, cache key).
+	return funcSigner{id: id, sign: func([]byte) []byte { return tag }}
 }
 
 // Verifier implements Scheme.
@@ -244,10 +262,10 @@ func (v insecureVerifier) SigSize() int { return v.s.sigSize }
 
 // Names lists the scheme names ByName accepts, for error messages and
 // flag validation.
-func Names() []string { return []string{"ed25519", "hmac", "insecure"} }
+func Names() []string { return []string{"ed25519", "hmac", "insecure", "slim"} }
 
-// ByName constructs a scheme by name: "ed25519", "hmac" or "insecure".
-// Unknown names return nil.
+// ByName constructs a scheme by name: "ed25519", "hmac", "insecure" or
+// "slim". Unknown names return nil.
 func ByName(name string, n int, seed int64) Scheme {
 	switch name {
 	case "ed25519":
@@ -256,6 +274,8 @@ func ByName(name string, n int, seed int64) Scheme {
 		return NewHMAC(n, seed)
 	case "insecure":
 		return NewInsecure(n, Ed25519SigSize)
+	case "slim":
+		return NewSlim(n)
 	}
 	return nil
 }

@@ -1,0 +1,79 @@
+package topology
+
+import (
+	"fmt"
+
+	"github.com/nectar-repro/nectar/internal/graph"
+	"github.com/nectar-repro/nectar/internal/ids"
+)
+
+// Hierarchical topologies after Kailkhura et al., "Distributed Detection
+// in Tree Topologies with Byzantines" (PAPERS.md): sensor networks and
+// fleet command structures are trees of bounded branching, the natural
+// sparse family for the large-n regime — n=10⁴ tree runs carry O(n) edges
+// where a geometric scatter of the same size would carry ~10⁶.
+
+// KaryTree returns the balanced k-ary tree over n vertices in heap order:
+// vertex v > 0 hangs off parent (v-1)/k. Trees have κ = 1 everywhere
+// (every internal vertex is a cut vertex), the worst detection case of
+// Corollary 1: a single Byzantine node partitions the network.
+func KaryTree(k, n int) (*graph.Graph, error) {
+	if k < 1 {
+		return nil, fmt.Errorf("topology: k-ary tree needs k >= 1, got %d", k)
+	}
+	if n < 1 {
+		return nil, fmt.Errorf("topology: k-ary tree needs n >= 1, got %d", n)
+	}
+	g := graph.New(n)
+	for v := 1; v < n; v++ {
+		g.AddEdge(ids.NodeID(v), ids.NodeID((v-1)/k))
+	}
+	return g, nil
+}
+
+// TreeOfCliques returns a hierarchy of `cliques` cliques of size c each,
+// arranged as a k-ary tree in heap order, with every parent/child clique
+// pair joined by a b-edge matching (child i of a parent uses a distinct
+// block of b parent vertices, which requires k*b ≤ c so sibling matchings
+// don't share parent endpoints). Vertices are numbered clique-major:
+// clique q owns [q*c, (q+1)*c).
+//
+// The minimum vertex cut is the smaller of the two obvious ones — the b
+// matching endpoints above a leaf clique, or the c-1 clique-mates around a
+// single vertex — so κ = min(b, c-1) for cliques ≥ 2; the property tests
+// verify this against exact max-flow κ. It is the tunable-κ hierarchical
+// family: b = t+1 makes the hierarchy exactly t-resilient.
+func TreeOfCliques(cliques, c, b, k int) (*graph.Graph, error) {
+	if cliques < 1 {
+		return nil, fmt.Errorf("topology: tree-of-cliques needs cliques >= 1, got %d", cliques)
+	}
+	if c < 2 {
+		return nil, fmt.Errorf("topology: tree-of-cliques needs clique size >= 2, got %d", c)
+	}
+	if b < 1 || b > c {
+		return nil, fmt.Errorf("topology: matching width %d outside [1,%d]", b, c)
+	}
+	if k < 1 {
+		return nil, fmt.Errorf("topology: tree-of-cliques needs k >= 1, got %d", k)
+	}
+	if k*b > c {
+		return nil, fmt.Errorf("topology: k*b = %d exceeds clique size %d (sibling matchings would collide)", k*b, c)
+	}
+	g := graph.New(cliques * c)
+	vert := func(q, i int) ids.NodeID { return ids.NodeID(q*c + i) }
+	for q := 0; q < cliques; q++ {
+		for i := 0; i < c; i++ {
+			for j := i + 1; j < c; j++ {
+				g.AddEdge(vert(q, i), vert(q, j))
+			}
+		}
+	}
+	for q := 1; q < cliques; q++ {
+		parent := (q - 1) / k
+		slot := (q - 1) % k // which child of parent, selecting its endpoint block
+		for i := 0; i < b; i++ {
+			g.AddEdge(vert(parent, slot*b+i), vert(q, i))
+		}
+	}
+	return g, nil
+}

@@ -1,0 +1,95 @@
+package topology
+
+import (
+	"testing"
+
+	"github.com/nectar-repro/nectar/internal/ids"
+)
+
+func TestKaryTreeProperties(t *testing.T) {
+	for _, k := range []int{1, 2, 3, 5} {
+		for _, n := range []int{1, 2, 7, 20, 41} {
+			g, err := KaryTree(k, n)
+			if err != nil {
+				t.Fatalf("KaryTree(%d,%d): %v", k, n, err)
+			}
+			if g.N() != n || g.M() != n-1 {
+				t.Fatalf("KaryTree(%d,%d): n=%d m=%d", k, n, g.N(), g.M())
+			}
+			if n > 1 && !g.IsConnected() {
+				t.Fatalf("KaryTree(%d,%d) disconnected", k, n)
+			}
+			for v := 0; v < n; v++ {
+				max := k + 1
+				if v == 0 {
+					max = k
+				}
+				if d := g.Degree(ids.NodeID(v)); d > max {
+					t.Fatalf("KaryTree(%d,%d): deg(%d)=%d > %d", k, n, v, d, max)
+				}
+			}
+			// Trees are the κ = 1 worst case (except degenerate sizes).
+			if n >= 3 {
+				if kap := g.Connectivity(); kap != 1 {
+					t.Fatalf("KaryTree(%d,%d): κ=%d", k, n, kap)
+				}
+			}
+		}
+	}
+}
+
+func TestKaryTreeErrors(t *testing.T) {
+	if _, err := KaryTree(0, 5); err == nil {
+		t.Fatal("k=0 accepted")
+	}
+	if _, err := KaryTree(2, 0); err == nil {
+		t.Fatal("n=0 accepted")
+	}
+}
+
+func TestTreeOfCliquesKappaIsCliqueCut(t *testing.T) {
+	// κ = min(b, c-1): the matching above a leaf clique vs the clique-mates
+	// of a single vertex, verified against exact max-flow κ.
+	cases := []struct{ cliques, c, b, k int }{
+		{1, 4, 1, 2},  // single clique: complete, κ = c-1
+		{3, 4, 1, 2},  // b=1: bridges dominate
+		{3, 4, 2, 2},  // b=2 < c-1=3
+		{4, 6, 3, 2},  // b=3 < c-1=5
+		{5, 5, 2, 2},  // deeper tree
+		{7, 6, 2, 3},  // 3-ary
+		{3, 3, 2, 1},  // b=2 = c-1: tie
+		{2, 5, 4, 1},  // b=4 = c-1: tie at 4
+		{13, 4, 1, 3}, // wide 3-ary
+	}
+	for _, tc := range cases {
+		g, err := TreeOfCliques(tc.cliques, tc.c, tc.b, tc.k)
+		if err != nil {
+			t.Fatalf("TreeOfCliques(%+v): %v", tc, err)
+		}
+		if g.N() != tc.cliques*tc.c {
+			t.Fatalf("TreeOfCliques(%+v): n=%d", tc, g.N())
+		}
+		want := tc.c - 1
+		if tc.cliques > 1 && tc.b < want {
+			want = tc.b
+		}
+		if kap := g.Connectivity(); kap != want {
+			t.Fatalf("TreeOfCliques(%+v): κ=%d want %d", tc, kap, want)
+		}
+	}
+}
+
+func TestTreeOfCliquesErrors(t *testing.T) {
+	bad := []struct{ cliques, c, b, k int }{
+		{0, 4, 1, 2}, // no cliques
+		{3, 1, 1, 2}, // clique too small
+		{3, 4, 0, 2}, // empty matching
+		{3, 4, 5, 2}, // matching wider than clique
+		{3, 4, 3, 2}, // k*b > c: sibling collision
+	}
+	for _, tc := range bad {
+		if _, err := TreeOfCliques(tc.cliques, tc.c, tc.b, tc.k); err == nil {
+			t.Fatalf("TreeOfCliques(%+v) accepted", tc)
+		}
+	}
+}

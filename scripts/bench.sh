@@ -9,16 +9,30 @@
 #
 # Usage: scripts/bench.sh            # 3 iterations per benchmark
 #        BENCHTIME=10x scripts/bench.sh
+#
+# The large-n scaling benchmarks (DESIGN.md §14) are recorded separately —
+# full detections at n=10³/10⁴ are too heavy for the default trajectory:
+#   SCALE=1 scripts/bench.sh         # writes BENCH_scale.json, 1 iteration
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-BENCHTIME="${BENCHTIME:-3x}"
-PATTERN='^(BenchmarkFig[34567]|BenchmarkDeliver$|BenchmarkEmitRelay$|BenchmarkVerifyChain$)'
-OUT="${OUT:-BENCH_baseline.json}"
+if [[ -n "${SCALE:-}" ]]; then
+  BENCHTIME="${BENCHTIME:-1x}"
+  PATTERN='^(BenchmarkLargeN$|BenchmarkKappaIncremental$)'
+  OUT="${OUT:-BENCH_scale.json}"
+  TIMEOUT=90m # the connected n=10⁴ flood alone is minutes of Θ(n·m) work
+  export NECTAR_SCALE=1 # unlock the heavy n=10⁴ cases
+else
+  BENCHTIME="${BENCHTIME:-3x}"
+  PATTERN='^(BenchmarkFig[34567]|BenchmarkDeliver$|BenchmarkEmitRelay$|BenchmarkVerifyChain$)'
+  OUT="${OUT:-BENCH_baseline.json}"
+  TIMEOUT=20m
+fi
 RAW="$(mktemp)"
 trap 'rm -f "$RAW"' EXIT
 
-go test -run='^$' -bench "$PATTERN" -benchmem -benchtime "$BENCHTIME" -count 1 \
+go test -run='^$' -bench "$PATTERN" -benchmem -benchtime "$BENCHTIME" \
+  -count 1 -timeout "$TIMEOUT" \
   . ./internal/nectar ./internal/sig | tee "$RAW"
 
 go run ./cmd/benchdiff parse -note "scripts/bench.sh -benchtime $BENCHTIME" \

@@ -64,6 +64,21 @@ func (b Behavior) Valid() bool {
 	return false
 }
 
+// Layout selects the round engine's staging data layout (DESIGN.md §14).
+// Results are byte-identical for every value.
+type Layout = rounds.Layout
+
+// Router staging layouts.
+const (
+	// LayoutAuto picks struct-of-arrays staging at or above
+	// rounds.SoAThreshold nodes.
+	LayoutAuto = rounds.LayoutAuto
+	// LayoutAoS forces the per-recipient-slice staging layout.
+	LayoutAoS = rounds.LayoutAoS
+	// LayoutSoA forces the flat struct-of-arrays staging layout.
+	LayoutSoA = rounds.LayoutSoA
+)
+
 // SimulationConfig drives one in-memory NECTAR execution.
 type SimulationConfig struct {
 	// Graph is the communication network. Required.
@@ -101,6 +116,14 @@ type SimulationConfig struct {
 	// Results are identical for any worker count (DESIGN.md §6, §10);
 	// bound it when sharing a machine with other runs.
 	Workers int
+	// Layout selects the round engine's staging data layout (DESIGN.md
+	// §14): the zero value picks struct-of-arrays automatically at large n.
+	// Results are byte-identical for every value.
+	Layout rounds.Layout
+	// BloomDedup fronts every node's duplicate check with a Bloom filter
+	// (DESIGN.md §14). Results are byte-identical either way; the filter
+	// only short-cuts exact lookups it proves unnecessary.
+	BloomDedup bool
 	// Tracer, when non-nil, receives per-round engine trace events
 	// (DESIGN.md §12). Tracing never changes results; nil is free.
 	Tracer obs.Tracer
@@ -164,6 +187,9 @@ func Simulate(cfg SimulationConfig) (*SimulationResult, error) {
 	if cfg.ParanoidVerify {
 		opts = append(opts, WithParanoidVerify())
 	}
+	if cfg.BloomDedup {
+		opts = append(opts, WithBloomDedup())
+	}
 	nodes, err := BuildNodes(cfg.Graph, cfg.T, scheme, cfg.Rounds, opts...)
 	if err != nil {
 		return nil, err
@@ -190,6 +216,7 @@ func Simulate(cfg SimulationConfig) (*SimulationResult, error) {
 		Seed:        cfg.Seed,
 		FullHorizon: cfg.FullHorizon,
 		Workers:     cfg.Workers,
+		Layout:      cfg.Layout,
 		Tracer:      cfg.Tracer,
 	}, protos)
 	if err != nil {
@@ -217,6 +244,7 @@ func Simulate(cfg SimulationConfig) (*SimulationResult, error) {
 		o := nd.DecideTraced(dc, cfg.Tracer, 0)
 		res.Outcomes[id] = o
 		res.LazyDiscards += int64(nd.Stats().LazyDiscards)
+		res.BloomSkips += int64(nd.Stats().BloomSkips)
 		if o.Confirmed {
 			res.Confirmed = true
 		}

@@ -62,6 +62,16 @@ func MultipartiteWheel(c, parts, n int) (*Graph, error) {
 	return topology.MultipartiteWheel(c, parts, n)
 }
 
+// KaryTree returns the balanced k-ary tree over n vertices in heap order
+// (κ = 1): the sparse hierarchical family of the large-n benchmarks.
+func KaryTree(k, n int) (*Graph, error) { return topology.KaryTree(k, n) }
+
+// TreeOfCliques returns a k-ary hierarchy of c-cliques joined by b-edge
+// matchings (κ = min(b, c-1)) — the tunable-κ hierarchical family.
+func TreeOfCliques(cliques, c, b, k int) (*Graph, error) {
+	return topology.TreeOfCliques(cliques, c, b, k)
+}
+
 // Drone generates the drone scenario (§V-B, Fig. 2): two uniform scatters
 // around barycenters at distance d, edges within the communication scope
 // radius. Returns the graph and drone positions.
