@@ -30,3 +30,30 @@ func bareDirective() {
 	//nectar:allow-wallclock
 	_ = time.Now() // want `without a justification`
 }
+
+// leaseLoop mirrors the shape of internal/exp/dist's coordinator,
+// which is deliberately inside deterministic scope: lease tickers and
+// dispatch-deadline reads are transport policy (they never shape
+// results), so each wall-clock touch carries its justification in
+// place. This pins that the timer-heavy idiom keeps passing the gate
+// with directives — and keeps firing without them (below).
+func leaseLoop(stop chan struct{}) {
+	tick := time.NewTicker(time.Second) //nectar:allow-wallclock fixture: lease expiry is transport policy, not part of any result
+	defer tick.Stop()
+	for {
+		select {
+		case <-stop:
+			return
+		case <-tick.C:
+			//nectar:allow-wallclock fixture: deadline check against the dispatch clock
+			if !time.Now().IsZero() {
+				return
+			}
+		}
+	}
+}
+
+func unjustifiedLease() {
+	tick := time.NewTicker(time.Second) // want `time.NewTicker`
+	tick.Stop()
+}

@@ -1,0 +1,571 @@
+package dist
+
+import (
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"time"
+
+	"github.com/nectar-repro/nectar/internal/exp"
+	"github.com/nectar-repro/nectar/internal/obs"
+	"github.com/nectar-repro/nectar/internal/tcpnet"
+)
+
+// Coordinator shards one plan's pending units across a worker fleet; it
+// implements exp.Backend, so the exp scheduler keeps sole ownership of
+// resume, dedupe, checkpointing, and aggregation. Dispatch is
+// work-stealing with a lease per in-flight unit:
+//
+//   - each worker's dispatch window is its own advertised jobs budget;
+//   - an idle worker with an empty queue steals a duplicate copy of
+//     another worker's in-flight unit (at most two holders per unit);
+//   - a unit whose lease expires is requeued (bounded by MaxRetries);
+//   - a worker whose connection drops has its solely-held units
+//     requeued immediately, and the run survives any worker deaths
+//     short of all of them.
+//
+// Duplicate results — the price of stealing and reassignment — are
+// legal by the Backend contract: the scheduler commits only the first
+// outcome per unit, which is what keeps distributed aggregates
+// bit-identical to a serial local run.
+type Coordinator struct {
+	// Workers are the fleet's "host:port" addresses. Startup is strict —
+	// every named worker must connect and pass the handshake — while
+	// mid-run deaths are tolerated down to the last worker.
+	Workers []string
+	// Blob is the opaque plan request sent in the hello; each worker
+	// rebuilds the plan from it with its own BuildFunc.
+	Blob []byte
+	// Lease bounds how long a dispatched unit may stay in flight before
+	// it is requeued elsewhere (0 = 60s).
+	Lease time.Duration
+	// MaxRetries bounds lease-expiry requeues per unit before the unit
+	// is failed (0 = 3).
+	MaxRetries int
+	// DialTimeout bounds fleet connection at startup (0 = 10s).
+	DialTimeout time.Duration
+	// Registry, when non-nil, receives nectar_dist_* metrics: dispatch /
+	// retry / steal / duplicate / worker-down counters, connected and
+	// in-flight gauges, and one latency histogram per worker.
+	Registry *obs.Registry
+	// Tracer, when non-nil, receives the dispatch ledger:
+	// unit_dispatch / unit_result / worker_down events.
+	Tracer obs.Tracer
+	// Logf, when non-nil, receives progress lines.
+	Logf func(format string, args ...any)
+}
+
+// unitState is the coordinator's view of one pending unit.
+type unitState struct {
+	idx      int // position in run.units (and the dispatch queue's currency)
+	ref      exp.UnitRef
+	seed     int64
+	holders  []int // worker indices currently leased (≤ 2)
+	deadline time.Time
+	queued   bool
+	resolved bool // committed or failed; terminal either way
+	retries  int
+}
+
+// workerConn is one fleet member's live state.
+type workerConn struct {
+	idx      int
+	addr     string
+	conn     net.Conn
+	jobs     int
+	inflight int
+	down     bool
+	latency  *obs.Histogram
+}
+
+// coordRun is the mutable state of one Coordinator.Run call.
+type coordRun struct {
+	c     *Coordinator
+	plan  *exp.Plan
+	emit  func(exp.UnitOutcome) bool
+	lease time.Duration
+
+	mu        sync.Mutex
+	cond      *sync.Cond
+	units     []*unitState
+	byRef     map[exp.UnitRef]int // lookup only; iteration order never observed
+	queue     []int
+	workers   []*workerConn
+	remaining int
+	stopped   bool
+	closing   bool
+	fatal     error
+
+	wg sync.WaitGroup
+
+	// nectar_dist_* instruments; all nil without a Registry.
+	mDispatched, mRetried, mStolen *obs.Counter
+	mDup, mDown                    *obs.Counter
+	gConnected, gInflight          *obs.Gauge
+}
+
+// Run implements exp.Backend.
+func (c *Coordinator) Run(plan *exp.Plan, pending []exp.UnitRef, interrupt <-chan struct{}, emit func(exp.UnitOutcome) bool) error {
+	if len(c.Workers) == 0 {
+		return fmt.Errorf("dist: no workers")
+	}
+	r := &coordRun{
+		c:         c,
+		plan:      plan,
+		emit:      emit,
+		lease:     c.Lease,
+		byRef:     make(map[exp.UnitRef]int, len(pending)),
+		remaining: len(pending),
+	}
+	if r.lease <= 0 {
+		r.lease = 60 * time.Second
+	}
+	r.cond = sync.NewCond(&r.mu)
+	for i, u := range pending {
+		sp := plan.Specs[u.Spec]
+		r.units = append(r.units, &unitState{idx: i, ref: u, seed: sp.Runner.UnitSeed(u.Unit)})
+		r.byRef[u] = i
+		r.queue = append(r.queue, i)
+	}
+	if reg := c.Registry; reg != nil {
+		r.mDispatched = reg.Counter("nectar_dist_units_dispatched_total", "Unit dispatches sent to workers (retries and steals included).")
+		r.mRetried = reg.Counter("nectar_dist_units_retried_total", "Units requeued after a lease expiry or a worker death.")
+		r.mStolen = reg.Counter("nectar_dist_units_stolen_total", "Duplicate dispatches issued by idle workers stealing in-flight units.")
+		r.mDup = reg.Counter("nectar_dist_units_duplicate_total", "Duplicate results dropped (the unit had already committed).")
+		r.mDown = reg.Counter("nectar_dist_worker_down_total", "Worker connections lost mid-run.")
+		r.gConnected = reg.Gauge("nectar_dist_workers_connected", "Workers currently connected.")
+		r.gInflight = reg.Gauge("nectar_dist_units_inflight", "Unit dispatches currently awaiting a result.")
+	}
+
+	if err := r.connect(); err != nil {
+		return err
+	}
+
+	// Interrupt watcher: a closed interrupt stops dispatch; in-flight
+	// results keep committing while the fleet winds down.
+	interrupted := make(chan struct{})
+	done := make(chan struct{})
+	defer close(done)
+	go func() {
+		select {
+		case <-interrupt:
+			r.mu.Lock()
+			if !r.stopped {
+				r.stopped = true
+				close(interrupted)
+			}
+			r.cond.Broadcast()
+			r.mu.Unlock()
+		case <-done:
+		}
+	}()
+
+	leaseStop := make(chan struct{})
+	r.wg.Add(1)
+	go r.leaseLoop(leaseStop)
+	for _, w := range r.workers {
+		r.wg.Add(2)
+		go r.sender(w)
+		go r.receiver(w)
+	}
+
+	r.mu.Lock()
+	for r.remaining > 0 && !r.stopped {
+		r.cond.Wait()
+	}
+	// Quiesce before closing sockets: receivers hitting read errors now
+	// must not count as worker deaths, and dispatches still in flight
+	// (dropped duplicates, a stopped run's stragglers) must drain from
+	// the in-flight gauge.
+	r.closing = true
+	for _, w := range r.workers {
+		if r.gInflight != nil {
+			r.gInflight.Add(int64(-w.inflight))
+		}
+		w.inflight = 0
+	}
+	r.cond.Broadcast()
+	fatal := r.fatal
+	r.mu.Unlock()
+
+	close(leaseStop)
+	for _, w := range r.workers {
+		w.conn.Close()
+	}
+	r.wg.Wait()
+
+	if fatal != nil {
+		return fatal
+	}
+	select {
+	case <-interrupted:
+		return exp.ErrInterrupted
+	default:
+	}
+	return nil
+}
+
+// connect dials and handshakes every named worker concurrently; any
+// failure or refusal is fatal (startup is strict — a fleet member that
+// cannot run this plan is configuration drift, not noise).
+func (r *coordRun) connect() error {
+	hello := encodeHello(r.c.Blob, specTable(r.plan))
+	dialTimeout := r.c.DialTimeout
+	if dialTimeout <= 0 {
+		dialTimeout = 10 * time.Second
+	}
+	//nectar:allow-wallclock dial deadline for fleet startup; transport-only, never feeds trial records or aggregates
+	deadline := time.Now().Add(dialTimeout)
+	r.workers = make([]*workerConn, len(r.c.Workers))
+	errs := make([]error, len(r.c.Workers))
+	var wg sync.WaitGroup
+	for i, addr := range r.c.Workers {
+		wg.Add(1)
+		go func(i int, addr string) {
+			defer wg.Done()
+			conn, err := tcpnet.DialPeer(addr, 0, deadline)
+			if err != nil {
+				errs[i] = err
+				return
+			}
+			if err := tcpnet.WriteFrame(conn, hello); err != nil {
+				conn.Close()
+				errs[i] = fmt.Errorf("dist: hello to %s: %w", addr, err)
+				return
+			}
+			payload, err := tcpnet.ReadFrame(conn, MaxFrame)
+			if err != nil {
+				conn.Close()
+				errs[i] = fmt.Errorf("dist: ack from %s: %w", addr, err)
+				return
+			}
+			refuse, jobs, err := decodeHelloAck(payload)
+			if err == nil && refuse != "" {
+				err = fmt.Errorf("dist: %s refused the plan: %s", addr, refuse)
+			}
+			if err == nil && jobs < 1 {
+				err = fmt.Errorf("dist: %s advertised jobs=%d", addr, jobs)
+			}
+			if err != nil {
+				conn.Close()
+				errs[i] = err
+				return
+			}
+			w := &workerConn{idx: i, addr: addr, conn: conn, jobs: jobs}
+			if reg := r.c.Registry; reg != nil {
+				w.latency = reg.Histogram(fmt.Sprintf("nectar_dist_unit_seconds_worker%d", i),
+					fmt.Sprintf("Remote unit latency at worker %d (%s).", i, addr), obs.DefBuckets)
+			}
+			r.workers[i] = w
+		}(i, addr)
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			for _, w := range r.workers {
+				if w != nil {
+					w.conn.Close()
+				}
+			}
+			return fmt.Errorf("dist: worker %s: %w", r.c.Workers[i], err)
+		}
+	}
+	if r.gConnected != nil {
+		r.gConnected.Set(int64(len(r.workers)))
+	}
+	r.logf("dist: %d workers connected", len(r.workers))
+	return nil
+}
+
+// sender dispatches units to one worker: queued units first, then — with
+// an empty queue and spare window — a stolen duplicate of another
+// worker's in-flight unit.
+func (r *coordRun) sender(w *workerConn) {
+	defer r.wg.Done()
+	for {
+		r.mu.Lock()
+		var st *unitState
+		steal := false
+		for st == nil {
+			if r.stopped || r.remaining == 0 || w.down || r.closing {
+				r.mu.Unlock()
+				return
+			}
+			if w.inflight < w.jobs {
+				for len(r.queue) > 0 && st == nil {
+					cand := r.units[r.queue[0]]
+					r.queue = r.queue[1:]
+					cand.queued = false
+					if !cand.resolved {
+						st = cand
+					}
+				}
+				if st == nil {
+					if si := r.stealable(w.idx); si >= 0 {
+						st, steal = r.units[si], true
+					}
+				}
+			}
+			if st == nil {
+				r.cond.Wait()
+			}
+		}
+		st.holders = append(st.holders, w.idx)
+		//nectar:allow-wallclock lease timekeeping for dead-worker reassignment; transport-only, never feeds trial records or aggregates
+		st.deadline = time.Now().Add(r.lease)
+		w.inflight++
+		retries := st.retries
+		key := r.plan.Specs[st.ref.Spec].Key
+		r.mu.Unlock()
+
+		if r.gInflight != nil {
+			r.gInflight.Inc()
+			r.mDispatched.Inc()
+			if steal {
+				r.mStolen.Inc()
+			}
+		}
+		if r.c.Tracer != nil {
+			r.c.Tracer.Emit(obs.Event{Type: obs.EvUnitDispatch, Key: key, Unit: st.ref.Unit, Attrs: []obs.Attr{
+				{K: "worker", V: int64(w.idx)}, {K: "retry", V: int64(retries)}, {K: "steal", V: b2i(steal)},
+			}})
+		}
+		if err := tcpnet.WriteFrame(w.conn, encodeRun(st.ref, st.seed)); err != nil {
+			r.workerDown(w, err)
+			return
+		}
+	}
+}
+
+// stealable returns the index of a unit worth duplicating for worker
+// wi: in flight somewhere else, not already queued or duplicated. The
+// in-order scan makes the choice deterministic given the state.
+func (r *coordRun) stealable(wi int) int {
+	for _, st := range r.units {
+		if st.resolved || st.queued || len(st.holders) != 1 || st.holders[0] == wi {
+			continue
+		}
+		if r.workers[st.holders[0]].down {
+			continue // workerDown is about to requeue it
+		}
+		return st.idx
+	}
+	return -1
+}
+
+// receiver drains one worker's results into the scheduler's commit path.
+func (r *coordRun) receiver(w *workerConn) {
+	defer r.wg.Done()
+	for {
+		payload, err := tcpnet.ReadFrame(w.conn, MaxFrame)
+		if err != nil {
+			r.workerDown(w, err)
+			return
+		}
+		u, micros, data, errText, err := decodeResult(payload)
+		if err != nil {
+			r.workerDown(w, err)
+			return
+		}
+		r.mu.Lock()
+		ui, ok := r.byRef[u]
+		if !ok {
+			r.mu.Unlock()
+			r.workerDown(w, fmt.Errorf("dist: result for undispatched unit %v", u))
+			return
+		}
+		st := r.units[ui]
+		// A straggler landing after shutdown zeroed the counts must not
+		// push them negative.
+		decInflight := w.inflight > 0
+		if decInflight {
+			w.inflight--
+		}
+		dropHolder(st, w.idx)
+		dup := st.resolved
+		if !dup {
+			st.resolved = true
+			r.remaining--
+		}
+		done := r.remaining == 0
+		r.cond.Broadcast()
+		key := r.plan.Specs[u.Spec].Key
+		r.mu.Unlock()
+
+		if r.gInflight != nil {
+			if decInflight {
+				r.gInflight.Dec()
+			}
+			if dup {
+				r.mDup.Inc()
+			}
+			w.latency.Observe(float64(micros) / 1e6)
+		}
+		if r.c.Tracer != nil {
+			r.c.Tracer.Emit(obs.Event{Type: obs.EvUnitResult, Key: key, Unit: u.Unit, N: micros, Attrs: []obs.Attr{
+				{K: "worker", V: int64(w.idx)}, {K: "dup", V: b2i(dup)}, {K: "failed", V: b2i(errText != "")},
+			}})
+		}
+		if dup {
+			continue
+		}
+		var runErr error
+		if errText != "" {
+			runErr = errors.New(errText)
+		}
+		stop := r.emit(exp.UnitOutcome{
+			Ref:     u,
+			Data:    data,
+			Elapsed: time.Duration(micros) * time.Microsecond,
+			Err:     runErr,
+		})
+		if stop || done {
+			r.mu.Lock()
+			if stop {
+				r.stopped = true
+			}
+			r.cond.Broadcast()
+			r.mu.Unlock()
+		}
+	}
+}
+
+// leaseLoop requeues units whose lease expired (the holding worker is
+// alive but too slow, or silently wedged) and fails units that blow
+// through MaxRetries.
+func (r *coordRun) leaseLoop(stop <-chan struct{}) {
+	defer r.wg.Done()
+	maxRetries := r.c.MaxRetries
+	if maxRetries <= 0 {
+		maxRetries = 3
+	}
+	//nectar:allow-wallclock lease expiry ticker; transport-only, never feeds trial records or aggregates
+	ticker := time.NewTicker(r.lease / 4)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-stop:
+			return
+		case <-ticker.C:
+		}
+		//nectar:allow-wallclock lease expiry check; transport-only, never feeds trial records or aggregates
+		now := time.Now()
+		var failed []*unitState
+		r.mu.Lock()
+		if r.stopped || r.closing {
+			r.mu.Unlock()
+			return
+		}
+		for _, st := range r.units {
+			if st.resolved || st.queued || len(st.holders) == 0 || now.Before(st.deadline) {
+				continue
+			}
+			st.retries++
+			if r.mRetried != nil {
+				r.mRetried.Inc()
+			}
+			if st.retries > maxRetries {
+				st.resolved = true
+				r.remaining--
+				failed = append(failed, st)
+				continue
+			}
+			if len(st.holders) < 2 {
+				st.queued = true
+				r.queue = append(r.queue, st.idx)
+			} else {
+				// Both holders are still working on it; give the pair
+				// another lease before escalating further.
+				st.deadline = now.Add(r.lease)
+			}
+		}
+		r.cond.Broadcast()
+		r.mu.Unlock()
+		for _, st := range failed {
+			key := r.plan.Specs[st.ref.Spec].Key
+			r.logf("dist: %s unit %d failed after %d expired leases", key, st.ref.Unit, st.retries)
+			if r.emit(exp.UnitOutcome{Ref: st.ref, Err: fmt.Errorf("dist: lease expired %d times", st.retries)}) {
+				r.mu.Lock()
+				r.stopped = true
+				r.cond.Broadcast()
+				r.mu.Unlock()
+			}
+		}
+	}
+}
+
+// workerDown records one worker's connection loss: its solely-held
+// units go back to the queue immediately (no need to wait for their
+// leases), and losing the whole fleet fails the run.
+func (r *coordRun) workerDown(w *workerConn, cause error) {
+	r.mu.Lock()
+	if w.down || r.closing {
+		r.mu.Unlock()
+		return
+	}
+	w.down = true
+	if r.gInflight != nil {
+		r.gInflight.Add(int64(-w.inflight))
+		r.gConnected.Dec()
+		r.mDown.Inc()
+	}
+	w.inflight = 0
+	requeued := 0
+	for _, st := range r.units {
+		if st.resolved || !dropHolder(st, w.idx) {
+			continue
+		}
+		if len(st.holders) == 0 && !st.queued {
+			st.queued = true
+			st.retries++
+			if r.mRetried != nil {
+				r.mRetried.Inc()
+			}
+			r.queue = append(r.queue, st.idx)
+			requeued++
+		}
+	}
+	allDown := true
+	for _, o := range r.workers {
+		if !o.down {
+			allDown = false
+			break
+		}
+	}
+	if allDown && r.remaining > 0 && r.fatal == nil {
+		r.fatal = fmt.Errorf("dist: all %d workers down (last: %s: %v)", len(r.workers), w.addr, cause)
+		r.stopped = true
+	}
+	r.cond.Broadcast()
+	r.mu.Unlock()
+	r.logf("dist: worker %s down (%v), %d units requeued", w.addr, cause, requeued)
+	if r.c.Tracer != nil {
+		r.c.Tracer.Emit(obs.Event{Type: obs.EvWorkerDown, Key: w.addr, N: int64(requeued)})
+	}
+	w.conn.Close()
+}
+
+// dropHolder removes wi from st.holders, reporting whether it held.
+func dropHolder(st *unitState, wi int) bool {
+	for i, h := range st.holders {
+		if h == wi {
+			st.holders = append(st.holders[:i], st.holders[i+1:]...)
+			return true
+		}
+	}
+	return false
+}
+
+func (r *coordRun) logf(format string, args ...any) {
+	if r.c.Logf != nil {
+		r.c.Logf(format, args...)
+	}
+}
+
+func b2i(b bool) int64 {
+	if b {
+		return 1
+	}
+	return 0
+}

@@ -1,0 +1,515 @@
+package dist
+
+import (
+	"encoding/json"
+	"fmt"
+	"net"
+	"os"
+	"path/filepath"
+	"reflect"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"github.com/nectar-repro/nectar/internal/exp"
+	"github.com/nectar-repro/nectar/internal/obs"
+	"github.com/nectar-repro/nectar/internal/tcpnet"
+)
+
+// fakeRecord / fakeRunner mirror the exp package's test runner: records
+// are pure functions of (seed base, unit index), and the fold is
+// order-sensitive so any misordering or double count shows up in the
+// aggregate.
+type fakeRecord struct {
+	Seed  int64   `json:"seed"`
+	Value float64 `json:"value"`
+}
+
+type fakeRunner struct {
+	name  string
+	seed  int64
+	units int
+	delay time.Duration
+	// maxEng tracks the largest engine-worker share any unit received
+	// (shared across in-process "remote" workers; nil = untracked).
+	maxEng *atomic.Int64
+}
+
+func (r *fakeRunner) Fingerprint() string { return fmt.Sprintf("fake|%s|%d", r.name, r.seed) }
+func (r *fakeRunner) Units() int          { return r.units }
+func (r *fakeRunner) UnitSeed(i int) int64 {
+	return r.seed + int64(i)*0x9E3779B9
+}
+func (r *fakeRunner) Run(i, engineWorkers int) (any, error) {
+	if engineWorkers < 1 {
+		return nil, fmt.Errorf("engineWorkers=%d", engineWorkers)
+	}
+	if r.maxEng != nil {
+		for {
+			cur := r.maxEng.Load()
+			if int64(engineWorkers) <= cur || r.maxEng.CompareAndSwap(cur, int64(engineWorkers)) {
+				break
+			}
+		}
+	}
+	if r.delay > 0 {
+		time.Sleep(r.delay)
+	}
+	s := r.UnitSeed(i)
+	return fakeRecord{Seed: s, Value: float64(s%1000) / 7}, nil
+}
+func (r *fakeRunner) Decode(data json.RawMessage) (any, error) {
+	var rec fakeRecord
+	err := json.Unmarshal(data, &rec)
+	return rec, err
+}
+func (r *fakeRunner) Finalize(records []any) (any, error) {
+	var sum float64
+	for i, rec := range records {
+		sum += float64(i+1) * rec.(fakeRecord).Value
+	}
+	return sum, nil
+}
+
+// planSpec is the test plan blob: the same JSON travels to every
+// in-process worker, which rebuilds an identical plan from it.
+type planSpec struct {
+	Name  string `json:"name"`
+	Seed  int64  `json:"seed"`
+	Units int    `json:"units"`
+}
+
+func testBlob(t *testing.T, specs []planSpec) []byte {
+	t.Helper()
+	blob, err := json.Marshal(specs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return blob
+}
+
+// builder returns a BuildFunc reconstructing the fake plan from the
+// blob; delay and maxEng parameterize the built runners.
+func builder(delay time.Duration, maxEng *atomic.Int64) BuildFunc {
+	return func(blob []byte) (*exp.Plan, error) {
+		var specs []planSpec
+		if err := json.Unmarshal(blob, &specs); err != nil {
+			return nil, err
+		}
+		p := &exp.Plan{}
+		for _, s := range specs {
+			r := &fakeRunner{name: s.Name, seed: s.Seed, units: s.Units, delay: delay, maxEng: maxEng}
+			if err := p.Add(s.Name, r); err != nil {
+				return nil, err
+			}
+		}
+		return p, nil
+	}
+}
+
+// trackListener records accepted connections so tests can kill a live
+// worker session mid-run.
+type trackListener struct {
+	net.Listener
+	mu    sync.Mutex
+	conns []net.Conn
+}
+
+func (l *trackListener) Accept() (net.Conn, error) {
+	c, err := l.Listener.Accept()
+	if c != nil {
+		l.mu.Lock()
+		l.conns = append(l.conns, c)
+		l.mu.Unlock()
+	}
+	return c, err
+}
+
+func (l *trackListener) killSessions() {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	for _, c := range l.conns {
+		c.Close()
+	}
+}
+
+// startWorker serves one in-process worker; the returned stop func
+// closes its listener after the coordinator session ends.
+func startWorker(t *testing.T, jobs int, build BuildFunc) (addr string, tl *trackListener, stop func()) {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	tl = &trackListener{Listener: ln}
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		_ = Serve(tl, build, WorkerConfig{Jobs: jobs})
+	}()
+	return ln.Addr().String(), tl, func() { ln.Close(); <-done }
+}
+
+// localReference runs the plan serially in-process with a collector and
+// returns the aggregates plus the sorted checkpoint lines.
+func localReference(t *testing.T, specs []planSpec, dir string) (map[string]any, []string) {
+	t.Helper()
+	plan, err := builder(0, nil)(testBlob(t, specs))
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(dir, "local.jsonl")
+	col, err := exp.OpenCollector(path, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := exp.Execute(plan, exp.Options{Jobs: 1, Collector: col})
+	if err != nil {
+		t.Fatal(err)
+	}
+	col.Close()
+	return aggregates(t, res), sortedLines(t, path)
+}
+
+func aggregates(t *testing.T, res *exp.Results) map[string]any {
+	t.Helper()
+	out := make(map[string]any)
+	for _, sr := range res.Specs {
+		if sr.Err != nil {
+			t.Fatalf("spec %s: %v", sr.Key, sr.Err)
+		}
+		out[sr.Key] = sr.Aggregate
+	}
+	return out
+}
+
+// sortedLines reads a JSONL checkpoint and sorts its lines: completion
+// order is scheduling-dependent by design, the line *set* is not.
+func sortedLines(t *testing.T, path string) []string {
+	t.Helper()
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSuffix(string(data), "\n"), "\n")
+	sort.Strings(lines)
+	return lines
+}
+
+func TestProtocolRoundTrip(t *testing.T) {
+	blob := []byte(`{"x":1}`)
+	rows := []specInfo{{key: "a", fpHash: "0011", units: 7}, {key: "b", fpHash: "ff", units: 1}}
+	gotBlob, gotRows, err := decodeHello(encodeHello(blob, rows))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(gotBlob) != string(blob) || !reflect.DeepEqual(gotRows, rows) {
+		t.Fatalf("hello round trip: %q %+v", gotBlob, gotRows)
+	}
+
+	refuse, jobs, err := decodeHelloAck(encodeHelloAck("", 8))
+	if err != nil || refuse != "" || jobs != 8 {
+		t.Fatalf("ack round trip: %q %d %v", refuse, jobs, err)
+	}
+	refuse, _, err = decodeHelloAck(encodeHelloAck("spec drift", 0))
+	if err != nil || refuse != "spec drift" {
+		t.Fatalf("refusal round trip: %q %v", refuse, err)
+	}
+
+	u, seed, err := decodeRun(encodeRun(exp.UnitRef{Spec: 3, Unit: 41}, -7))
+	if err != nil || u != (exp.UnitRef{Spec: 3, Unit: 41}) || seed != -7 {
+		t.Fatalf("run round trip: %+v %d %v", u, seed, err)
+	}
+
+	ru, micros, data, errText, err := decodeResult(encodeResult(exp.UnitRef{Spec: 1, Unit: 2}, 12345, []byte(`{"v":1}`), ""))
+	if err != nil || ru != (exp.UnitRef{Spec: 1, Unit: 2}) || micros != 12345 || string(data) != `{"v":1}` || errText != "" {
+		t.Fatalf("result round trip: %+v %d %q %q %v", ru, micros, data, errText, err)
+	}
+	_, _, _, errText, err = decodeResult(encodeResult(exp.UnitRef{}, 0, nil, "boom"))
+	if err != nil || errText != "boom" {
+		t.Fatalf("error result round trip: %q %v", errText, err)
+	}
+
+	if _, _, err := decodeHello(encodeHelloAck("", 1)); err == nil {
+		t.Fatal("decodeHello accepted an ack frame")
+	}
+}
+
+// TestFleetMatchesLocal is the tentpole invariant: a 3-worker fleet
+// produces aggregates and a checkpoint line set identical to a serial
+// local run.
+func TestFleetMatchesLocal(t *testing.T) {
+	specs := []planSpec{{"a", 11, 9}, {"b", 22, 1}, {"c", 33, 14}}
+	dir := t.TempDir()
+	wantAgg, wantLines := localReference(t, specs, dir)
+
+	var addrs []string
+	for i := 0; i < 3; i++ {
+		addr, _, stop := startWorker(t, 2, builder(0, nil))
+		defer stop()
+		addrs = append(addrs, addr)
+	}
+	plan, err := builder(0, nil)(testBlob(t, specs))
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(dir, "fleet.jsonl")
+	col, err := exp.OpenCollector(path, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	reg := obs.NewRegistry()
+	rec := obs.NewRecorder(nil)
+	coord := &Coordinator{Workers: addrs, Blob: testBlob(t, specs), Registry: reg, Tracer: rec}
+	res, err := exp.Execute(plan, exp.Options{Backend: coord, Collector: col})
+	if err != nil {
+		t.Fatal(err)
+	}
+	col.Close()
+
+	if got := aggregates(t, res); !reflect.DeepEqual(got, wantAgg) {
+		t.Errorf("fleet aggregates differ: got %v want %v", got, wantAgg)
+	}
+	if got := sortedLines(t, path); !reflect.DeepEqual(got, wantLines) {
+		t.Errorf("fleet checkpoint line set differs from local run")
+	}
+	if res.UnitWorkers != 0 || res.EngineWorkers != 0 {
+		t.Errorf("backend run reported local worker split %d/%d", res.UnitWorkers, res.EngineWorkers)
+	}
+	counts := rec.CountByType()
+	total := 9 + 1 + 14
+	if counts[obs.EvUnitDispatch] < total {
+		t.Errorf("unit_dispatch events: %d < %d units", counts[obs.EvUnitDispatch], total)
+	}
+	if counts[obs.EvUnitResult] < total {
+		t.Errorf("unit_result events: %d < %d units", counts[obs.EvUnitResult], total)
+	}
+	if counts[obs.EvWorkerDown] != 0 {
+		t.Errorf("worker_down events on a clean run: %d", counts[obs.EvWorkerDown])
+	}
+}
+
+// TestWorkerKilledMidRun kills one of three workers partway through and
+// requires the surviving fleet to finish with aggregates and a
+// checkpoint identical to the serial run — the reassignment + dedupe
+// path end to end.
+func TestWorkerKilledMidRun(t *testing.T) {
+	specs := []planSpec{{"a", 101, 12}, {"b", 202, 12}, {"c", 303, 12}}
+	dir := t.TempDir()
+	wantAgg, wantLines := localReference(t, specs, dir)
+
+	delay := 10 * time.Millisecond
+	var addrs []string
+	var victims *trackListener
+	for i := 0; i < 3; i++ {
+		addr, tl, stop := startWorker(t, 2, builder(delay, nil))
+		defer stop()
+		addrs = append(addrs, addr)
+		if i == 0 {
+			victims = tl
+		}
+	}
+	plan, err := builder(0, nil)(testBlob(t, specs))
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(dir, "fleet.jsonl")
+	col, err := exp.OpenCollector(path, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	reg := obs.NewRegistry()
+	rec := obs.NewRecorder(nil)
+	coord := &Coordinator{Workers: addrs, Blob: testBlob(t, specs), Registry: reg, Tracer: rec}
+
+	// 36 units × 10ms over ≤ 6 slots ≥ 60ms of wall time: a 25ms kill
+	// lands mid-run with a wide margin.
+	kill := time.AfterFunc(25*time.Millisecond, victims.killSessions)
+	defer kill.Stop()
+
+	res, err := exp.Execute(plan, exp.Options{Backend: coord, Collector: col})
+	if err != nil {
+		t.Fatal(err)
+	}
+	col.Close()
+
+	if got := aggregates(t, res); !reflect.DeepEqual(got, wantAgg) {
+		t.Errorf("post-kill aggregates differ: got %v want %v", got, wantAgg)
+	}
+	if got := sortedLines(t, path); !reflect.DeepEqual(got, wantLines) {
+		t.Errorf("post-kill checkpoint line set differs from local run")
+	}
+	if got := rec.CountByType()[obs.EvWorkerDown]; got != 1 {
+		t.Errorf("worker_down events: got %d, want 1", got)
+	}
+	down := reg.Counter("nectar_dist_worker_down_total", "")
+	if down.Value() != 1 {
+		t.Errorf("nectar_dist_worker_down_total = %d, want 1", down.Value())
+	}
+}
+
+// TestHandshakeRejectsDriftedWorker pins the fingerprint gate: a worker
+// whose reconstructed plan differs refuses the session and the
+// coordinator fails fast, before any unit runs.
+func TestHandshakeRejectsDriftedWorker(t *testing.T) {
+	specs := []planSpec{{"a", 11, 3}}
+	drifted := func(blob []byte) (*exp.Plan, error) {
+		p := &exp.Plan{}
+		return p, p.Add("a", &fakeRunner{name: "a", seed: 99, units: 3})
+	}
+	addr, _, stop := startWorker(t, 2, drifted)
+	defer stop()
+
+	plan, err := builder(0, nil)(testBlob(t, specs))
+	if err != nil {
+		t.Fatal(err)
+	}
+	coord := &Coordinator{Workers: []string{addr}, Blob: testBlob(t, specs)}
+	_, err = exp.Execute(plan, exp.Options{Backend: coord})
+	if err == nil || !strings.Contains(err.Error(), "refused") {
+		t.Fatalf("want handshake refusal, got %v", err)
+	}
+}
+
+// TestLeaseExpiryRequeues runs a worker that swallows its first
+// dispatched unit; the lease must expire and the redispatch must
+// complete the run.
+func TestLeaseExpiryRequeues(t *testing.T) {
+	specs := []planSpec{{"a", 7, 6}}
+	blob := testBlob(t, specs)
+	build := builder(0, nil)
+
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+	go func() {
+		conn, err := ln.Accept()
+		if err != nil {
+			return
+		}
+		defer conn.Close()
+		hello, err := tcpnet.ReadFrame(conn, MaxFrame)
+		if err != nil {
+			return
+		}
+		b, _, err := decodeHello(hello)
+		if err != nil {
+			return
+		}
+		plan, err := build(b)
+		if err != nil {
+			return
+		}
+		if tcpnet.WriteFrame(conn, encodeHelloAck("", 4)) != nil {
+			return
+		}
+		swallowed := false
+		var wmu sync.Mutex
+		for {
+			p, err := tcpnet.ReadFrame(conn, MaxFrame)
+			if err != nil {
+				return
+			}
+			u, _, err := decodeRun(p)
+			if err != nil {
+				return
+			}
+			if !swallowed {
+				swallowed = true // black-hole the first dispatch
+				continue
+			}
+			go func() {
+				rec, err := plan.Specs[u.Spec].Runner.Run(u.Unit, 1)
+				if err != nil {
+					return
+				}
+				data, _ := json.Marshal(rec)
+				wmu.Lock()
+				defer wmu.Unlock()
+				_ = tcpnet.WriteFrame(conn, encodeResult(u, 1, data, ""))
+			}()
+		}
+	}()
+
+	plan, err := build(blob)
+	if err != nil {
+		t.Fatal(err)
+	}
+	reg := obs.NewRegistry()
+	coord := &Coordinator{
+		Workers:  []string{ln.Addr().String()},
+		Blob:     blob,
+		Lease:    200 * time.Millisecond,
+		Registry: reg,
+	}
+	res, err := exp.Execute(plan, exp.Options{Backend: coord})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref, err := exp.Execute(mustLocalPlan(t, blob), exp.Options{Jobs: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, want := aggregates(t, res), aggregates(t, ref); !reflect.DeepEqual(got, want) {
+		t.Errorf("aggregates differ after lease requeue: got %v want %v", got, want)
+	}
+	if retried := reg.Counter("nectar_dist_units_retried_total", "").Value(); retried < 1 {
+		t.Errorf("nectar_dist_units_retried_total = %d, want ≥ 1", retried)
+	}
+}
+
+func mustLocalPlan(t *testing.T, blob []byte) *exp.Plan {
+	t.Helper()
+	plan, err := builder(0, nil)(blob)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return plan
+}
+
+// TestWorkerUsesOwnBudget pins the SplitBudget contract's distributed
+// half: engine-worker shares on a worker come from that worker's own
+// jobs budget, never the coordinator's.
+func TestWorkerUsesOwnBudget(t *testing.T) {
+	specs := []planSpec{{"a", 5, 10}}
+	var maxEng atomic.Int64
+	addr, _, stop := startWorker(t, 3, builder(time.Millisecond, &maxEng))
+	defer stop()
+
+	plan, err := builder(0, nil)(testBlob(t, specs))
+	if err != nil {
+		t.Fatal(err)
+	}
+	coord := &Coordinator{Workers: []string{addr}, Blob: testBlob(t, specs)}
+	if _, err := exp.Execute(plan, exp.Options{Backend: coord, Jobs: 64}); err != nil {
+		t.Fatal(err)
+	}
+	if got := maxEng.Load(); got < 1 || got > 3 {
+		t.Errorf("engine-worker share %d outside the worker's own jobs budget [1,3]", got)
+	}
+}
+
+// TestAllWorkersDownFails pins the fatal path: losing the whole fleet
+// mid-run fails the run instead of hanging it.
+func TestAllWorkersDownFails(t *testing.T) {
+	specs := []planSpec{{"a", 9, 8}}
+	addr, tl, stop := startWorker(t, 2, builder(20*time.Millisecond, nil))
+	defer stop()
+
+	plan, err := builder(0, nil)(testBlob(t, specs))
+	if err != nil {
+		t.Fatal(err)
+	}
+	coord := &Coordinator{Workers: []string{addr}, Blob: testBlob(t, specs)}
+	kill := time.AfterFunc(30*time.Millisecond, tl.killSessions)
+	defer kill.Stop()
+	_, err = exp.Execute(plan, exp.Options{Backend: coord})
+	if err == nil || !strings.Contains(err.Error(), "workers down") {
+		t.Fatalf("want all-workers-down failure, got %v", err)
+	}
+}

@@ -1,0 +1,211 @@
+// Package dist fans one exp.Plan out across a fleet of worker processes
+// over TCP (DESIGN.md §15): nectar-bench -workers host1,host2,... runs
+// the Coordinator, which implements exp.Backend; nectar-bench -worker
+// addr runs Serve. The coordinator owns dispatch — work-stealing, a
+// lease per in-flight unit, reassignment on worker death — while every
+// result flows through the exp scheduler's single commit path, so
+// checkpoints, -resume, and aggregates stay bit-identical to a local
+// -jobs N run regardless of worker count, interleaving, or mid-run
+// crashes.
+//
+// The protocol rides the generic tcpnet [len:4][payload] frame with
+// internal/wire payloads:
+//
+//	coordinator → worker   hello   magic, version, plan blob, spec table
+//	worker → coordinator   ack     jobs budget, or a refusal
+//	coordinator → worker   run     spec index, unit index, unit seed
+//	worker → coordinator   result  spec, unit, elapsed, record JSON or error
+//
+// The hello's spec table carries every spec's (key, fingerprint hash,
+// unit count); the worker reconstructs the plan from the opaque blob
+// with its own builder and refuses the session unless its table matches
+// exactly — a worker whose binary or experiment registry drifted from
+// the coordinator's is rejected before any unit runs. Each run message
+// additionally carries the unit's seed, re-checked against the worker's
+// plan, pinning the full (fingerprint, unit index, unit seed) resume key
+// end to end.
+package dist
+
+import (
+	"fmt"
+
+	"github.com/nectar-repro/nectar/internal/exp"
+	"github.com/nectar-repro/nectar/internal/wire"
+)
+
+// Magic and Version open every hello; a worker refuses anything else.
+const (
+	Magic   = "NDST"
+	Version = 1
+)
+
+// Frame types. Sessions are strictly hello → ack → (run → result)*.
+const (
+	msgHello    = 1
+	msgHelloAck = 2
+	msgRun      = 3
+	msgResult   = 4
+)
+
+// MaxFrame bounds dist frames. Plan blobs are small JSON requests and
+// unit records are aggregate-sized JSON, so the tcpnet default (1 MiB)
+// is generous; it is a named constant so both ends agree.
+const MaxFrame = 1 << 20
+
+// specInfo is one row of the hello's spec table.
+type specInfo struct {
+	key    string
+	fpHash string
+	units  int
+}
+
+// specTable derives the hello rows from a plan.
+func specTable(plan *exp.Plan) []specInfo {
+	rows := make([]specInfo, len(plan.Specs))
+	for i, sp := range plan.Specs {
+		rows[i] = specInfo{
+			key:    sp.Key,
+			fpHash: exp.FingerprintHash(sp.Runner.Fingerprint()),
+			units:  sp.Runner.Units(),
+		}
+	}
+	return rows
+}
+
+// encodeHello builds the hello payload: magic, version, plan blob, spec
+// table.
+func encodeHello(blob []byte, rows []specInfo) []byte {
+	w := wire.NewWriter(len(Magic) + 1 + 8 + len(blob) + 32*len(rows))
+	w.Raw([]byte(Magic))
+	w.U8(Version)
+	w.U8(msgHello)
+	w.LenBytes(blob)
+	w.U32(uint32(len(rows)))
+	for _, r := range rows {
+		w.LenString(r.key)
+		w.LenString(r.fpHash)
+		w.U32(uint32(r.units))
+	}
+	return w.Bytes()
+}
+
+func decodeHello(payload []byte) (blob []byte, rows []specInfo, err error) {
+	r := wire.NewReader(payload)
+	magic := r.Raw(len(Magic))
+	ver := r.U8()
+	typ := r.U8()
+	if r.Err() == nil {
+		if string(magic) != Magic {
+			return nil, nil, fmt.Errorf("dist: bad magic %q", magic)
+		}
+		if ver != Version {
+			return nil, nil, fmt.Errorf("dist: protocol version %d, want %d", ver, Version)
+		}
+		if typ != msgHello {
+			return nil, nil, fmt.Errorf("dist: first frame is type %d, want hello", typ)
+		}
+	}
+	blob = r.LenBytes()
+	n := int(r.U32())
+	if r.Err() == nil && n > 1<<16 {
+		return nil, nil, fmt.Errorf("dist: hello claims %d specs", n)
+	}
+	for i := 0; i < n && r.Err() == nil; i++ {
+		rows = append(rows, specInfo{
+			key:    r.LenString(),
+			fpHash: r.LenString(),
+			units:  int(r.U32()),
+		})
+	}
+	if err := r.Close(); err != nil {
+		return nil, nil, fmt.Errorf("dist: hello: %w", err)
+	}
+	return blob, rows, nil
+}
+
+// encodeHelloAck builds the ack payload: refusal text (empty = accepted)
+// and the worker's own jobs budget, which sizes the coordinator's
+// dispatch window for this worker.
+func encodeHelloAck(refuse string, jobs int) []byte {
+	w := wire.NewWriter(16 + len(refuse))
+	w.U8(msgHelloAck)
+	w.LenString(refuse)
+	w.U32(uint32(jobs))
+	return w.Bytes()
+}
+
+func decodeHelloAck(payload []byte) (refuse string, jobs int, err error) {
+	r := wire.NewReader(payload)
+	if typ := r.U8(); r.Err() == nil && typ != msgHelloAck {
+		return "", 0, fmt.Errorf("dist: ack frame is type %d", typ)
+	}
+	refuse = r.LenString()
+	jobs = int(r.U32())
+	if err := r.Close(); err != nil {
+		return "", 0, fmt.Errorf("dist: ack: %w", err)
+	}
+	return refuse, jobs, nil
+}
+
+// encodeRun builds one dispatch: the unit's coordinates and its seed,
+// re-validated by the worker against its reconstructed plan.
+func encodeRun(u exp.UnitRef, seed int64) []byte {
+	w := wire.NewWriter(17)
+	w.U8(msgRun)
+	w.U32(uint32(u.Spec))
+	w.U32(uint32(u.Unit))
+	w.U64(uint64(seed))
+	return w.Bytes()
+}
+
+func decodeRun(payload []byte) (u exp.UnitRef, seed int64, err error) {
+	r := wire.NewReader(payload)
+	if typ := r.U8(); r.Err() == nil && typ != msgRun {
+		return u, 0, fmt.Errorf("dist: run frame is type %d", typ)
+	}
+	u.Spec = int(r.U32())
+	u.Unit = int(r.U32())
+	seed = int64(r.U64())
+	if err := r.Close(); err != nil {
+		return u, 0, fmt.Errorf("dist: run: %w", err)
+	}
+	return u, seed, nil
+}
+
+// encodeResult builds one outcome: the unit's coordinates, its remote
+// execution time in microseconds, and either the JSON record or an
+// error string.
+func encodeResult(u exp.UnitRef, elapsedMicros int64, data []byte, errText string) []byte {
+	w := wire.NewWriter(32 + len(data) + len(errText))
+	w.U8(msgResult)
+	w.U32(uint32(u.Spec))
+	w.U32(uint32(u.Unit))
+	w.U64(uint64(elapsedMicros))
+	if errText != "" {
+		w.U8(1)
+		w.LenString(errText)
+	} else {
+		w.U8(0)
+		w.LenBytes(data)
+	}
+	return w.Bytes()
+}
+
+func decodeResult(payload []byte) (u exp.UnitRef, elapsedMicros int64, data []byte, errText string, err error) {
+	r := wire.NewReader(payload)
+	if typ := r.U8(); r.Err() == nil && typ != msgResult {
+		return u, 0, nil, "", fmt.Errorf("dist: result frame is type %d", typ)
+	}
+	u.Spec = int(r.U32())
+	u.Unit = int(r.U32())
+	elapsedMicros = int64(r.U64())
+	if r.U8() != 0 {
+		errText = r.LenString()
+	} else {
+		data = append([]byte(nil), r.LenBytes()...)
+	}
+	if err := r.Close(); err != nil {
+		return u, 0, nil, "", fmt.Errorf("dist: result: %w", err)
+	}
+	return u, elapsedMicros, data, errText, nil
+}

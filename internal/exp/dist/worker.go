@@ -1,0 +1,197 @@
+package dist
+
+import (
+	"encoding/json"
+	"fmt"
+	"net"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"github.com/nectar-repro/nectar/internal/exp"
+	"github.com/nectar-repro/nectar/internal/tcpnet"
+)
+
+// BuildFunc reconstructs an exp.Plan from the coordinator's opaque plan
+// blob. nectar-bench passes report.BuildPlan over its JSON plan request;
+// tests pass whatever builder matches their fixture plans. Declare is
+// deterministic, so coordinator and worker derive identical spec grids
+// from identical blobs — the handshake's spec-table comparison enforces
+// exactly that.
+type BuildFunc func(blob []byte) (*exp.Plan, error)
+
+// WorkerConfig parameterizes Serve.
+type WorkerConfig struct {
+	// Jobs is this worker's own parallelism budget (0 = GOMAXPROCS). It
+	// sizes the coordinator's dispatch window here and is split between
+	// concurrent units and their engine workers locally — the
+	// coordinator's budget never travels (see exp.SplitBudget).
+	Jobs int
+	// Logf, when non-nil, receives session progress lines.
+	Logf func(format string, args ...any)
+}
+
+// Serve accepts coordinator sessions on ln until the listener closes,
+// building the plan each session's hello describes with build. Sessions
+// are served one at a time: a worker belongs to one sweep, and rejecting
+// concurrent coordinators keeps its jobs budget meaningful. Within a
+// session, units run concurrently up to the jobs budget with an
+// engine-worker share that adapts to how many units the coordinator has
+// in flight — worker counts never change results, only wall-clock.
+func Serve(ln net.Listener, build BuildFunc, cfg WorkerConfig) error {
+	if build == nil {
+		return fmt.Errorf("dist: nil BuildFunc")
+	}
+	jobs := cfg.Jobs
+	if jobs <= 0 {
+		jobs = runtime.GOMAXPROCS(0)
+	}
+	logf := cfg.Logf
+	if logf == nil {
+		logf = func(string, ...any) {}
+	}
+	for {
+		conn, err := ln.Accept()
+		if err != nil {
+			// Listener closed: orderly shutdown.
+			return nil
+		}
+		serveSession(conn, build, jobs, logf)
+	}
+}
+
+// serveSession runs one coordinator session to completion: handshake,
+// then dispatched units until the connection closes.
+func serveSession(conn net.Conn, build BuildFunc, jobs int, logf func(string, ...any)) {
+	defer conn.Close()
+	hello, err := tcpnet.ReadFrame(conn, MaxFrame)
+	if err != nil {
+		logf("dist worker: reading hello: %v", err)
+		return
+	}
+	blob, rows, err := decodeHello(hello)
+	var plan *exp.Plan
+	if err == nil {
+		plan, err = build(blob)
+	}
+	if err == nil {
+		err = matchSpecs(plan, rows)
+	}
+	if err != nil {
+		logf("dist worker: refusing session: %v", err)
+		_ = tcpnet.WriteFrame(conn, encodeHelloAck(err.Error(), 0))
+		return
+	}
+	if err := tcpnet.WriteFrame(conn, encodeHelloAck("", jobs)); err != nil {
+		return
+	}
+	logf("dist worker: session accepted, %d specs, jobs=%d", len(plan.Specs), jobs)
+
+	var (
+		wmu      sync.Mutex // serializes result frames
+		inflight atomic.Int64
+		wg       sync.WaitGroup
+	)
+	for {
+		payload, err := tcpnet.ReadFrame(conn, MaxFrame)
+		if err != nil {
+			// Coordinator done (or dead): drain in-flight units — their
+			// writes fail harmlessly — and go back to accepting.
+			break
+		}
+		u, seed, err := decodeRun(payload)
+		if err != nil {
+			logf("dist worker: %v", err)
+			break
+		}
+		wg.Add(1)
+		inflight.Add(1)
+		go func() {
+			defer wg.Done()
+			defer inflight.Add(-1)
+			data, elapsed, runErr := runUnit(plan, u, seed, jobs, &inflight)
+			errText := ""
+			if runErr != nil {
+				errText = runErr.Error()
+			}
+			wmu.Lock()
+			err := tcpnet.WriteFrame(conn, encodeResult(u, elapsed.Microseconds(), data, errText))
+			wmu.Unlock()
+			if err != nil {
+				logf("dist worker: result write: %v", err)
+			}
+		}()
+	}
+	wg.Wait()
+	logf("dist worker: session closed")
+}
+
+// matchSpecs verifies the worker's reconstructed plan against the
+// coordinator's spec table: same specs, same order, same fingerprints,
+// same unit counts. Any drift refuses the session before a unit runs.
+func matchSpecs(plan *exp.Plan, rows []specInfo) error {
+	if len(plan.Specs) != len(rows) {
+		return fmt.Errorf("dist: plan has %d specs, coordinator sent %d", len(plan.Specs), len(rows))
+	}
+	for i, r := range rows {
+		sp := plan.Specs[i]
+		if sp.Key != r.key {
+			return fmt.Errorf("dist: spec %d is %q here, %q at the coordinator", i, sp.Key, r.key)
+		}
+		if fp := exp.FingerprintHash(sp.Runner.Fingerprint()); fp != r.fpHash {
+			return fmt.Errorf("dist: spec %q fingerprint %s here, %s at the coordinator", sp.Key, fp, r.fpHash)
+		}
+		if n := sp.Runner.Units(); n != r.units {
+			return fmt.Errorf("dist: spec %q has %d units here, %d at the coordinator", sp.Key, n, r.units)
+		}
+	}
+	return nil
+}
+
+// runUnit executes one dispatched unit: validates its seed against the
+// local plan, gives it an engine-worker share of the worker's own jobs
+// budget adapted to the current in-flight count, and converts panics to
+// errors so one poisoned trial cannot take the whole worker down.
+func runUnit(plan *exp.Plan, u exp.UnitRef, seed int64, jobs int, inflight *atomic.Int64) (data []byte, elapsed time.Duration, err error) {
+	if u.Spec < 0 || u.Spec >= len(plan.Specs) {
+		return nil, 0, fmt.Errorf("dist: unknown spec index %d", u.Spec)
+	}
+	sp := plan.Specs[u.Spec]
+	if u.Unit < 0 || u.Unit >= sp.Runner.Units() {
+		return nil, 0, fmt.Errorf("dist: %s: unknown unit %d", sp.Key, u.Unit)
+	}
+	if got := sp.Runner.UnitSeed(u.Unit); got != seed {
+		return nil, 0, fmt.Errorf("dist: %s: unit %d seed %d here, coordinator sent %d", sp.Key, u.Unit, got, seed)
+	}
+	// The engine-worker share comes from this worker's own budget: with k
+	// units in flight each gets jobs/k engine workers (floor 1). Shares
+	// only affect wall-clock — the run contract — so the adaptivity never
+	// touches results.
+	engineWorkers := jobs / int(max64(inflight.Load(), 1))
+	if engineWorkers < 1 {
+		engineWorkers = 1
+	}
+	defer func() {
+		if r := recover(); r != nil {
+			data, err = nil, fmt.Errorf("dist: %s: unit %d panicked: %v", sp.Key, u.Unit, r)
+		}
+	}()
+	//nectar:allow-wallclock remote-unit timing telemetry for coordinator latency histograms; never feeds trial records or aggregates
+	t0 := time.Now()
+	rec, err := sp.Runner.Run(u.Unit, engineWorkers)
+	//nectar:allow-wallclock remote-unit timing telemetry for coordinator latency histograms; never feeds trial records or aggregates
+	elapsed = time.Since(t0)
+	if err != nil {
+		return nil, elapsed, err
+	}
+	data, err = json.Marshal(rec)
+	return data, elapsed, err
+}
+
+func max64(a, b int64) int64 {
+	if a > b {
+		return a
+	}
+	return b
+}

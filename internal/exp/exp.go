@@ -100,18 +100,31 @@ func (p *Plan) TotalUnits() int {
 	return total
 }
 
-// fingerprintHash folds a runner fingerprint into the short stable hash
-// stored in checkpoint records.
-func fingerprintHash(fp string) string {
+// FingerprintHash folds a runner fingerprint into the short stable hash
+// stored in checkpoint records. Distributed workers (internal/exp/dist)
+// compute it over their reconstructed plan during the handshake, so a
+// worker whose spec grid drifted from the coordinator's is rejected
+// before any unit runs.
+func FingerprintHash(fp string) string {
 	sum := sha256.Sum256([]byte(fp))
 	return hex.EncodeToString(sum[:8])
 }
 
-// SplitBudget divides a total parallelism budget between unit-level
-// workers and each unit's engine workers: units win while there are
-// enough of them to fill the budget (trial-level parallelism has no
-// synchronization barriers), and leftover budget goes to the engine
-// (large single topologies with few trials). jobs ≤ 0 is treated as 1.
+// SplitBudget divides one process's parallelism budget between
+// unit-level workers and each unit's engine workers: units win while
+// there are enough of them to fill the budget (trial-level parallelism
+// has no synchronization barriers), and leftover budget goes to the
+// engine (large single topologies with few trials). jobs ≤ 0 is treated
+// as 1.
+//
+// The budget is strictly per-process. In a distributed run the
+// coordinator's -jobs never travels to workers: each nectar-bench
+// -worker splits its own -jobs budget with this same rule (the
+// engine-worker share adapts to how many units the coordinator has in
+// flight there — see internal/exp/dist), so a coordinator cannot
+// oversubscribe or starve a remote machine whose core count it knows
+// nothing about. Execute enforces this: combining Options.Backend with
+// the UnitWorkers/EngineWorkers override is rejected.
 func SplitBudget(jobs, units int) (unitWorkers, engineWorkers int) {
 	if jobs < 1 {
 		jobs = 1

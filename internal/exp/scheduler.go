@@ -16,17 +16,61 @@ import (
 // can be resumed.
 var ErrInterrupted = errors.New("exp: interrupted")
 
+// UnitRef identifies one schedulable unit of a plan: Spec indexes
+// plan.Specs, Unit the unit within that spec.
+type UnitRef struct {
+	Spec int
+	Unit int
+}
+
+// UnitOutcome is one executed unit delivered by a Backend: the
+// executor-marshalled JSON record (nil when Err is set) and the remote
+// execution time.
+type UnitOutcome struct {
+	Ref     UnitRef
+	Data    json.RawMessage
+	Elapsed time.Duration
+	Err     error
+}
+
+// Backend executes the pending units of a plan outside the local worker
+// pool — internal/exp/dist fans them out to a fleet of worker processes
+// over TCP. Run must call emit at least once per pending unit; emitting
+// the same unit more than once is legal (work stealing, a reassigned
+// lease racing a slow worker) and deduplicated by the scheduler, which
+// commits only the first outcome per unit — later copies touch neither
+// records nor the checkpoint. emit is safe for concurrent use; it
+// returns true when dispatch should stop (first unit failure, an
+// interrupt observed by the scheduler), after which Run should wind
+// down and return.
+//
+// Engine-level parallelism is the executor's own concern: each remote
+// worker splits its own budget with SplitBudget — the coordinator's
+// budget never travels (see the SplitBudget contract).
+type Backend interface {
+	Run(plan *Plan, pending []UnitRef, interrupt <-chan struct{}, emit func(UnitOutcome) bool) error
+}
+
 // Options parameterize one Execute call.
 type Options struct {
 	// Jobs is the total parallelism budget, split between unit-level
 	// workers and each unit's engine workers by SplitBudget
-	// (0 = GOMAXPROCS, negative is invalid).
+	// (0 = GOMAXPROCS, negative is invalid). With a Backend, Jobs is
+	// ignored: remote workers own their own budgets.
 	Jobs int
 	// UnitWorkers / EngineWorkers, when both positive, override the
 	// SplitBudget rule (the harness uses this to honor the legacy
 	// EngineParallel knob: all budget to the engine). Worker counts never
-	// change results, only wall-clock.
+	// change results, only wall-clock. Incompatible with Backend: the
+	// budget split is per-process, and a remote worker's split comes from
+	// that worker's own budget.
 	UnitWorkers, EngineWorkers int
+	// Backend, when non-nil, executes the pending units instead of the
+	// local pool (distributed dispatch, internal/exp/dist). Resume,
+	// checkpointing, dedupe, and aggregation are unchanged: every
+	// outcome flows through the same commit path as a local unit, so
+	// aggregates stay bit-identical to a local run.
+	Backend Backend
 	// Collector, when non-nil, streams completed units to its JSONL
 	// checkpoint and serves previously completed units back (resume).
 	Collector *Collector
@@ -41,7 +85,9 @@ type Options struct {
 	// (serialized under the scheduler lock, like OnUnit). Units
 	// themselves are not traced — trial-internal engine events would
 	// interleave nondeterministically across workers; per-engine tracing
-	// belongs to single runs (nectar-sim -trace).
+	// belongs to single runs (nectar-sim -trace). Under a Backend the
+	// scheduler emits no unit events: the coordinator's dispatch ledger
+	// (unit_dispatch / unit_result / worker_down) is the trace of record.
 	Tracer obs.Tracer
 	// Registry, when non-nil, receives the scheduler's own telemetry:
 	// nectar_exp_units_run_total / _resumed_total / _failed_total
@@ -94,6 +140,8 @@ type Results struct {
 	// UnitsRun / UnitsResumed count executed vs checkpoint-served units.
 	UnitsRun, UnitsResumed int
 	// Jobs, UnitWorkers, EngineWorkers echo the resolved budget split.
+	// Under a Backend both worker counts are 0: the split happened on
+	// the remote workers, from their own budgets.
 	Jobs, UnitWorkers, EngineWorkers int
 
 	byKey map[string]*SpecResult
@@ -102,12 +150,6 @@ type Results struct {
 // Get returns the result for a plan key (nil if absent).
 func (r *Results) Get(key string) *SpecResult {
 	return r.byKey[key]
-}
-
-// unit is one schedulable work item.
-type unit struct {
-	spec int // index into plan.Specs
-	idx  int // unit index within the spec
 }
 
 // specState tracks one spec's progress during Execute.
@@ -120,20 +162,136 @@ type specState struct {
 	unitDur time.Duration
 }
 
-// Execute runs every unit of the plan through one bounded worker pool and
-// finalizes each spec's aggregate from its records in unit order. The
-// first unit error stops dispatch (in-flight units drain and checkpoint);
-// fully completed specs still finalize, so callers can flush what
-// succeeded. Results are bit-identical for any Jobs value, any
+// execRun is the mutable state of one Execute call, shared between the
+// dispatch loop (local pool or Backend) and the commit path.
+type execRun struct {
+	plan   *Plan
+	opts   Options
+	states []*specState
+	res    *Results
+	total  int
+
+	mu       sync.Mutex
+	firstErr error
+	done     int
+
+	// Scheduler self-telemetry (DESIGN.md §12); all nil without a
+	// Registry.
+	mUnitsRun, mUnitsResumed, mUnitsFailed *obs.Counter
+	mUnitSeconds                           *obs.Histogram
+	mQueueDepth, mWorkersBusy              *obs.Gauge
+}
+
+// emitEvent forwards one UnitEvent; the caller must hold e.mu (OnUnit is
+// documented as serialized and Done counts must arrive monotone).
+func (e *execRun) emitEvent(ev UnitEvent) {
+	if e.opts.OnUnit != nil {
+		e.opts.OnUnit(ev)
+	}
+}
+
+// commit records one executed unit's outcome: decode (the JSON
+// normalization every record passes through), dedupe, checkpoint,
+// bookkeeping, progress. It returns true when dispatch should stop
+// (a unit failed). local marks outcomes from the in-process pool, which
+// additionally emits the scheduler's unit_done trace event.
+func (e *execRun) commit(u UnitRef, data json.RawMessage, elapsed time.Duration, runErr error, local bool) bool {
+	if u.Spec < 0 || u.Spec >= len(e.plan.Specs) {
+		return e.fail(fmt.Errorf("exp: outcome for unknown spec index %d", u.Spec))
+	}
+	sp := e.plan.Specs[u.Spec]
+	st := e.states[u.Spec]
+	if u.Unit < 0 || u.Unit >= len(st.done) {
+		return e.fail(fmt.Errorf("exp: outcome for unknown unit %s/%d", sp.Key, u.Unit))
+	}
+	var decoded any
+	err := runErr
+	if err == nil {
+		// Normalize through JSON: the aggregate must not depend on
+		// whether a record came from memory, from a remote worker, or
+		// from a checkpoint.
+		decoded, err = sp.Runner.Decode(data)
+	}
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if st.done[u.Unit] {
+		// Duplicate outcome: a stolen or lease-reassigned unit finishing
+		// more than once. The first commit won; drop this copy without
+		// touching records, checkpoint, or counters — the dedupe
+		// invariant behind bit-identical distributed aggregates.
+		return e.firstErr != nil
+	}
+	if err == nil && e.opts.Collector != nil {
+		// Append under e.mu, after the dedupe check: exactly one
+		// checkpoint line per (key, fp, unit, seed) even when duplicate
+		// outcomes arrive concurrently.
+		err = e.opts.Collector.Append(sp.Key, st.fp, u.Unit, sp.Runner.UnitSeed(u.Unit), data)
+	}
+	st.unitDur += elapsed
+	e.res.UnitTime += elapsed
+	e.res.UnitsRun++
+	if e.mUnitsRun != nil {
+		e.mUnitsRun.Inc()
+		e.mUnitSeconds.Observe(elapsed.Seconds())
+		e.mQueueDepth.Dec()
+	}
+	if err != nil {
+		err = fmt.Errorf("%s: unit %d: %w", sp.Key, u.Unit, err)
+		if st.err == nil {
+			st.err = err
+		}
+		if e.firstErr == nil {
+			e.firstErr = err
+		}
+		if e.mUnitsFailed != nil {
+			e.mUnitsFailed.Inc()
+		}
+	} else {
+		st.records[u.Unit] = decoded
+		st.done[u.Unit] = true
+	}
+	e.done++
+	e.emitEvent(UnitEvent{Key: sp.Key, Unit: u.Unit, Done: e.done, Total: e.total, Elapsed: elapsed, Err: err})
+	if local && e.opts.Tracer != nil {
+		ev := obs.Event{Type: obs.EvUnitDone, Key: sp.Key, Unit: u.Unit, N: elapsed.Microseconds()}
+		if err != nil {
+			ev.Attrs = []obs.Attr{{K: "failed", V: 1}}
+		}
+		e.opts.Tracer.Emit(ev)
+	}
+	return e.firstErr != nil
+}
+
+// fail records a dispatch-level error (first one wins) and reports that
+// dispatch should stop.
+func (e *execRun) fail(err error) bool {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.firstErr == nil {
+		e.firstErr = err
+	}
+	return true
+}
+
+// Execute runs every unit of the plan — through one bounded local worker
+// pool, or through Options.Backend's remote fleet — and finalizes each
+// spec's aggregate from its records in unit order. The first unit error
+// stops dispatch (in-flight units drain and checkpoint); fully completed
+// specs still finalize, so callers can flush what succeeded. Results are
+// bit-identical for any Jobs value, any backend worker fleet, any
 // interleaving, and any resume point: units are pure functions of
-// (spec, index), and every record — fresh or resumed — is normalized
-// through one JSON round trip before aggregation.
+// (spec, index), every record — fresh, remote, or resumed — is
+// normalized through one JSON round trip before aggregation, and
+// duplicate outcomes are deduplicated before they can touch a record.
 func Execute(plan *Plan, opts Options) (*Results, error) {
 	if plan == nil || len(plan.Specs) == 0 {
 		return nil, fmt.Errorf("exp: empty plan")
 	}
 	if opts.Jobs < 0 {
 		return nil, fmt.Errorf("exp: negative Jobs %d", opts.Jobs)
+	}
+	if opts.Backend != nil && (opts.UnitWorkers > 0 || opts.EngineWorkers > 0) {
+		return nil, fmt.Errorf("exp: UnitWorkers/EngineWorkers are per-process knobs; a Backend's workers split their own budgets (SplitBudget)")
 	}
 	jobs := opts.Jobs
 	if jobs == 0 {
@@ -146,7 +304,7 @@ func Execute(plan *Plan, opts Options) (*Results, error) {
 	// sizing the pool: the budget split should reflect the units actually
 	// left to run.
 	states := make([]*specState, len(plan.Specs))
-	var pending []unit
+	var pending []UnitRef
 	total := 0
 	for si, sp := range plan.Specs {
 		n := sp.Runner.Units()
@@ -154,7 +312,7 @@ func Execute(plan *Plan, opts Options) (*Results, error) {
 			return nil, fmt.Errorf("exp: spec %q has %d units", sp.Key, n)
 		}
 		st := &specState{
-			fp:      fingerprintHash(sp.Runner.Fingerprint()),
+			fp:      FingerprintHash(sp.Runner.Fingerprint()),
 			records: make([]any, n),
 			done:    make([]bool, n),
 		}
@@ -173,174 +331,69 @@ func Execute(plan *Plan, opts Options) (*Results, error) {
 					// re-run the unit rather than poisoning the aggregate.
 				}
 			}
-			pending = append(pending, unit{spec: si, idx: i})
+			pending = append(pending, UnitRef{Spec: si, Unit: i})
 		}
 	}
 	unitWorkers, engineWorkers := SplitBudget(jobs, len(pending))
 	if opts.UnitWorkers > 0 && opts.EngineWorkers > 0 {
 		unitWorkers, engineWorkers = opts.UnitWorkers, opts.EngineWorkers
 	}
+	if opts.Backend != nil {
+		// The split happens on each remote worker, from its own budget.
+		unitWorkers, engineWorkers = 0, 0
+	}
 
-	// Scheduler self-telemetry (DESIGN.md §12). All instruments are nil-safe
-	// no-ops when no Registry was passed.
-	var (
-		mUnitsRun, mUnitsResumed, mUnitsFailed *obs.Counter
-		mUnitSeconds                           *obs.Histogram
-		mQueueDepth, mWorkersBusy              *obs.Gauge
-	)
+	e := &execRun{
+		plan:   plan,
+		opts:   opts,
+		states: states,
+		total:  total,
+		res: &Results{
+			Jobs:          jobs,
+			UnitWorkers:   unitWorkers,
+			EngineWorkers: engineWorkers,
+			// Fixed capacity: byKey takes pointers into Specs as it grows.
+			Specs: make([]SpecResult, 0, len(plan.Specs)),
+			byKey: make(map[string]*SpecResult, len(plan.Specs)),
+		},
+	}
 	if opts.Registry != nil {
-		mUnitsRun = opts.Registry.Counter("nectar_exp_units_run_total", "Trial units executed (excludes checkpoint-resumed units).")
-		mUnitsResumed = opts.Registry.Counter("nectar_exp_units_resumed_total", "Trial units served from the checkpoint.")
-		mUnitsFailed = opts.Registry.Counter("nectar_exp_units_failed_total", "Trial units that returned an error.")
-		mUnitSeconds = opts.Registry.Histogram("nectar_exp_unit_seconds", "Per-unit execution latency.", obs.DefBuckets)
-		mQueueDepth = opts.Registry.Gauge("nectar_exp_queue_depth", "Units still awaiting execution.")
-		mWorkersBusy = opts.Registry.Gauge("nectar_exp_workers_busy", "Unit workers currently executing a trial.")
-		mQueueDepth.Set(int64(len(pending)))
+		e.mUnitsRun = opts.Registry.Counter("nectar_exp_units_run_total", "Trial units executed (excludes checkpoint-resumed units).")
+		e.mUnitsResumed = opts.Registry.Counter("nectar_exp_units_resumed_total", "Trial units served from the checkpoint.")
+		e.mUnitsFailed = opts.Registry.Counter("nectar_exp_units_failed_total", "Trial units that returned an error.")
+		e.mUnitSeconds = opts.Registry.Histogram("nectar_exp_unit_seconds", "Per-unit execution latency.", obs.DefBuckets)
+		e.mQueueDepth = opts.Registry.Gauge("nectar_exp_queue_depth", "Units still awaiting execution.")
+		e.mWorkersBusy = opts.Registry.Gauge("nectar_exp_workers_busy", "Unit workers currently executing a trial.")
+		e.mQueueDepth.Set(int64(len(pending)))
 	}
 
-	res := &Results{
-		Jobs:          jobs,
-		UnitWorkers:   unitWorkers,
-		EngineWorkers: engineWorkers,
-		// Fixed capacity: byKey takes pointers into Specs as it grows.
-		Specs: make([]SpecResult, 0, len(plan.Specs)),
-		byKey: make(map[string]*SpecResult, len(plan.Specs)),
-	}
-
-	var (
-		mu       sync.Mutex
-		wg       sync.WaitGroup
-		firstErr error
-		done     int
-	)
-	emit := func(ev UnitEvent) {
-		if opts.OnUnit != nil {
-			opts.OnUnit(ev)
-		}
-	}
 	// Report resumed units up front so progress counts are monotone.
+	e.mu.Lock()
 	for si, sp := range plan.Specs {
 		st := states[si]
 		for i, ok := range st.done {
 			if ok {
-				done++
-				emit(UnitEvent{Key: sp.Key, Unit: i, Done: done, Total: total, Resumed: true})
+				e.done++
+				e.emitEvent(UnitEvent{Key: sp.Key, Unit: i, Done: e.done, Total: total, Resumed: true})
 			}
 		}
 	}
-	res.UnitsResumed = done
-	if mUnitsResumed != nil {
-		mUnitsResumed.Add(int64(done))
+	e.res.UnitsResumed = e.done
+	e.mu.Unlock()
+	if e.mUnitsResumed != nil {
+		e.mUnitsResumed.Add(int64(e.res.UnitsResumed))
 	}
 
-	work := make(chan unit)
-	wg.Add(unitWorkers)
-	for w := 0; w < unitWorkers; w++ {
-		go func() {
-			defer wg.Done()
-			for u := range work {
-				sp := plan.Specs[u.spec]
-				st := states[u.spec]
-				if opts.Tracer != nil {
-					// Serialized under mu like OnUnit, so trace order is a
-					// valid interleaving (though not a reproducible one —
-					// unit events are operational telemetry, unlike the
-					// engine's single-goroutine event stream).
-					mu.Lock()
-					opts.Tracer.Emit(obs.Event{Type: obs.EvUnitStart, Key: sp.Key, Unit: u.idx})
-					mu.Unlock()
-				}
-				if mWorkersBusy != nil {
-					mWorkersBusy.Inc()
-				}
-				//nectar:allow-wallclock per-unit timing telemetry for the -v progress line; never feeds trial records or aggregates
-				t0 := time.Now()
-				rec, err := sp.Runner.Run(u.idx, engineWorkers)
-				//nectar:allow-wallclock per-unit timing telemetry for the -v progress line; never feeds trial records or aggregates
-				elapsed := time.Since(t0)
-				if mWorkersBusy != nil {
-					mWorkersBusy.Dec()
-					mUnitsRun.Inc()
-					mUnitSeconds.Observe(elapsed.Seconds())
-					mQueueDepth.Dec()
-				}
-				var decoded any
-				var data json.RawMessage
-				if err == nil {
-					// Normalize through JSON: the aggregate must not
-					// depend on whether a record came from memory or from
-					// a checkpoint.
-					if data, err = json.Marshal(rec); err == nil {
-						decoded, err = sp.Runner.Decode(data)
-					}
-				}
-				if err == nil && opts.Collector != nil {
-					err = opts.Collector.Append(sp.Key, st.fp, u.idx, sp.Runner.UnitSeed(u.idx), data)
-				}
-				mu.Lock()
-				st.unitDur += elapsed
-				res.UnitTime += elapsed
-				res.UnitsRun++
-				if err != nil {
-					err = fmt.Errorf("%s: unit %d: %w", sp.Key, u.idx, err)
-					if st.err == nil {
-						st.err = err
-					}
-					if firstErr == nil {
-						firstErr = err
-					}
-					if mUnitsFailed != nil {
-						mUnitsFailed.Inc()
-					}
-				} else {
-					st.records[u.idx] = decoded
-					st.done[u.idx] = true
-				}
-				done++
-				// Emitted under mu: OnUnit is documented as serialized,
-				// and Done counts must arrive monotone.
-				emit(UnitEvent{Key: sp.Key, Unit: u.idx, Done: done, Total: total, Elapsed: elapsed, Err: err})
-				if opts.Tracer != nil {
-					ev := obs.Event{Type: obs.EvUnitDone, Key: sp.Key, Unit: u.idx, N: elapsed.Microseconds()}
-					if err != nil {
-						ev.Attrs = []obs.Attr{{K: "failed", V: 1}}
-					}
-					opts.Tracer.Emit(ev)
-				}
-				mu.Unlock()
-			}
-		}()
+	if opts.Backend != nil {
+		e.runBackend(pending)
+	} else {
+		e.runPool(pending, unitWorkers, engineWorkers)
 	}
-
-dispatch:
-	for _, u := range pending {
-		mu.Lock()
-		failed := firstErr != nil
-		mu.Unlock()
-		if failed {
-			break
-		}
-		if opts.Interrupt != nil {
-			select {
-			case <-opts.Interrupt:
-				mu.Lock()
-				if firstErr == nil {
-					firstErr = ErrInterrupted
-				}
-				mu.Unlock()
-				break dispatch
-			case work <- u:
-			}
-		} else {
-			work <- u
-		}
-	}
-	close(work)
-	wg.Wait()
 	//nectar:allow-wallclock wall/parallelism telemetry in Result.Wall; never feeds trial records or aggregates
-	res.Wall = time.Since(start)
+	e.res.Wall = time.Since(start)
 
 	// Finalize every fully completed spec; mark the rest.
+	firstErr := e.firstErr
 	for si, sp := range plan.Specs {
 		st := states[si]
 		sr := SpecResult{Key: sp.Key, Units: len(st.done), Resumed: st.resumed, UnitTime: st.unitDur}
@@ -361,10 +414,86 @@ dispatch:
 				sr.Aggregate = agg
 			}
 		}
-		res.Specs = append(res.Specs, sr)
-		res.byKey[sp.Key] = &res.Specs[len(res.Specs)-1]
+		e.res.Specs = append(e.res.Specs, sr)
+		e.res.byKey[sp.Key] = &e.res.Specs[len(e.res.Specs)-1]
 	}
-	return res, firstErr
+	return e.res, firstErr
+}
+
+// runPool executes pending units on the local bounded worker pool.
+func (e *execRun) runPool(pending []UnitRef, unitWorkers, engineWorkers int) {
+	work := make(chan UnitRef)
+	var wg sync.WaitGroup
+	wg.Add(unitWorkers)
+	for w := 0; w < unitWorkers; w++ {
+		go func() {
+			defer wg.Done()
+			for u := range work {
+				sp := e.plan.Specs[u.Spec]
+				if e.opts.Tracer != nil {
+					// Serialized under mu like OnUnit, so trace order is a
+					// valid interleaving (though not a reproducible one —
+					// unit events are operational telemetry, unlike the
+					// engine's single-goroutine event stream).
+					e.mu.Lock()
+					e.opts.Tracer.Emit(obs.Event{Type: obs.EvUnitStart, Key: sp.Key, Unit: u.Unit})
+					e.mu.Unlock()
+				}
+				if e.mWorkersBusy != nil {
+					e.mWorkersBusy.Inc()
+				}
+				//nectar:allow-wallclock per-unit timing telemetry for the -v progress line; never feeds trial records or aggregates
+				t0 := time.Now()
+				rec, err := sp.Runner.Run(u.Unit, engineWorkers)
+				//nectar:allow-wallclock per-unit timing telemetry for the -v progress line; never feeds trial records or aggregates
+				elapsed := time.Since(t0)
+				if e.mWorkersBusy != nil {
+					e.mWorkersBusy.Dec()
+				}
+				var data json.RawMessage
+				if err == nil {
+					data, err = json.Marshal(rec)
+				}
+				e.commit(u, data, elapsed, err, true)
+			}
+		}()
+	}
+
+dispatch:
+	for _, u := range pending {
+		e.mu.Lock()
+		failed := e.firstErr != nil
+		e.mu.Unlock()
+		if failed {
+			break
+		}
+		if e.opts.Interrupt != nil {
+			select {
+			case <-e.opts.Interrupt:
+				e.fail(ErrInterrupted)
+				break dispatch
+			case work <- u:
+			}
+		} else {
+			work <- u
+		}
+	}
+	close(work)
+	wg.Wait()
+}
+
+// runBackend hands the pending units to the distributed backend; every
+// outcome flows through the same commit path as a local unit.
+func (e *execRun) runBackend(pending []UnitRef) {
+	if len(pending) == 0 {
+		return
+	}
+	err := e.opts.Backend.Run(e.plan, pending, e.opts.Interrupt, func(o UnitOutcome) bool {
+		return e.commit(o.Ref, o.Data, o.Elapsed, o.Err, false)
+	})
+	if err != nil {
+		e.fail(err)
+	}
 }
 
 func allDone(done []bool) bool {

@@ -1,0 +1,114 @@
+package report
+
+import (
+	"net"
+	"reflect"
+	"sync"
+	"testing"
+
+	"github.com/nectar-repro/nectar/internal/exp"
+	"github.com/nectar-repro/nectar/internal/exp/dist"
+)
+
+// trackListener records accepted connections so the test can kill a
+// live worker session mid-run.
+type trackListener struct {
+	net.Listener
+	mu    sync.Mutex
+	conns []net.Conn
+}
+
+func (l *trackListener) Accept() (net.Conn, error) {
+	c, err := l.Listener.Accept()
+	if c != nil {
+		l.mu.Lock()
+		l.conns = append(l.conns, c)
+		l.mu.Unlock()
+	}
+	return c, err
+}
+
+func (l *trackListener) killSessions() {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	for _, c := range l.conns {
+		c.Close()
+	}
+}
+
+// TestDistributedCSVsMatchLocal is the acceptance pin for distributed
+// sweeps: a mixed static/dynamic/red-team plan run through one
+// coordinator and three workers — one killed mid-run — renders CSVs
+// byte-identical to a serial local run. Workers rebuild the plan from
+// the PlanRequest blob with BuildPlanFromBlob, exactly as nectar-bench
+// -worker does.
+func TestDistributedCSVsMatchLocal(t *testing.T) {
+	ids := []string{"fig3", "churn", "redteam"}
+	opts := Options{Quick: true, Seed: 42, Scheme: "hmac"}
+
+	local, err := RunExperiments(ids, opts, RunConfig{Jobs: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := csvByID(t, local)
+
+	var addrs []string
+	var victim *trackListener
+	for i := 0; i < 3; i++ {
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		tl := &trackListener{Listener: ln}
+		done := make(chan struct{})
+		go func() {
+			defer close(done)
+			_ = dist.Serve(tl, BuildPlanFromBlob, dist.WorkerConfig{Jobs: 2})
+		}()
+		defer func() { ln.Close(); <-done }()
+		addrs = append(addrs, ln.Addr().String())
+		if i == 0 {
+			victim = tl
+		}
+	}
+
+	blob, err := EncodePlanRequest(ids, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	coord := &dist.Coordinator{Workers: addrs, Blob: blob}
+	var killOnce sync.Once
+	cfg := RunConfig{
+		Backend: coord,
+		// Kill one worker as soon as a couple of units have landed —
+		// deterministically mid-run, whatever this machine's speed.
+		OnUnit: func(ev exp.UnitEvent) {
+			if ev.Done >= 2 {
+				killOnce.Do(victim.killSessions)
+			}
+		},
+	}
+	fleet, err := RunExperiments(ids, opts, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := csvByID(t, fleet); !reflect.DeepEqual(got, want) {
+		for id := range want {
+			if got[id] != want[id] {
+				t.Errorf("%s: distributed CSV differs from local run", id)
+			}
+		}
+	}
+}
+
+func csvByID(t *testing.T, rep *RunReport) map[string]string {
+	t.Helper()
+	out := make(map[string]string)
+	for _, er := range rep.Experiments {
+		if er.Err != nil {
+			t.Fatalf("%s: %v", er.ID, er.Err)
+		}
+		out[er.ID] = er.Output.CSV()
+	}
+	return out
+}

@@ -1,6 +1,7 @@
 package report
 
 import (
+	"encoding/json"
 	"fmt"
 	"sort"
 	"time"
@@ -144,8 +145,14 @@ type Experiment struct {
 // RunConfig parameterizes a scheduled multi-experiment run.
 type RunConfig struct {
 	// Jobs is the global parallelism budget shared by every declared
-	// spec (0 = GOMAXPROCS).
+	// spec (0 = GOMAXPROCS). Ignored with a Backend: remote workers own
+	// their own budgets.
 	Jobs int
+	// Backend, when non-nil, executes trial units on a worker fleet
+	// (internal/exp/dist) instead of the local pool. Checkpointing,
+	// resume, and aggregation are unchanged — results stay bit-identical
+	// to a local run.
+	Backend exp.Backend
 	// Stream, when non-empty, is the JSONL checkpoint path trial records
 	// stream to; Resume loads it first and skips completed units.
 	Stream string
@@ -194,6 +201,15 @@ type RunReport struct {
 // dispatch, but experiments whose specs all completed still render, so
 // callers can flush finished outputs before reporting the error.
 func RunExperiments(ids []string, opts Options, cfg RunConfig) (*RunReport, error) {
+	exps, err := resolveExperiments(ids)
+	if err != nil {
+		return nil, err
+	}
+	return runExperimentSet(exps, opts, cfg)
+}
+
+// resolveExperiments maps requested IDs to registered experiments.
+func resolveExperiments(ids []string) ([]Experiment, error) {
 	exps := make([]Experiment, 0, len(ids))
 	for _, id := range ids {
 		e, ok := ExperimentByID(id)
@@ -202,12 +218,15 @@ func RunExperiments(ids []string, opts Options, cfg RunConfig) (*RunReport, erro
 		}
 		exps = append(exps, e)
 	}
-	return runExperimentSet(exps, opts, cfg)
+	return exps, nil
 }
 
-// runExperimentSet is RunExperiments over already-resolved experiments
-// (Fig8N builds one on the fly for arbitrary n).
-func runExperimentSet(exps []Experiment, opts Options, cfg RunConfig) (*RunReport, error) {
+// declarePlan runs the Declare phase of already-resolved experiments
+// into one plan. Declare is deterministic in opts, so identical
+// (experiment IDs, opts) produce identical plans in every process —
+// the property distributed workers rely on to rebuild the
+// coordinator's plan from a PlanRequest blob.
+func declarePlan(exps []Experiment, opts Options) (*exp.Plan, error) {
 	plan := &exp.Plan{}
 	for _, e := range exps {
 		b := &Batch{prefix: e.ID + "/", plan: plan}
@@ -217,6 +236,66 @@ func runExperimentSet(exps []Experiment, opts Options, cfg RunConfig) (*RunRepor
 		if b.err != nil {
 			return nil, fmt.Errorf("report: declare %s: %w", e.ID, b.err)
 		}
+	}
+	return plan, nil
+}
+
+// BuildPlan resolves and declares the requested experiments without
+// running anything — the plan construction both distributed ends share.
+func BuildPlan(ids []string, opts Options) (*exp.Plan, error) {
+	exps, err := resolveExperiments(ids)
+	if err != nil {
+		return nil, err
+	}
+	return declarePlan(exps, opts)
+}
+
+// PlanRequest is the opaque plan blob a distributed coordinator sends
+// in its handshake: the experiment IDs plus every Options field that
+// shapes the declared grid. Progress callbacks are process-local and
+// never travel. Both ends run the same deterministic Declare over this
+// request; the dist handshake's fingerprint comparison verifies they
+// agreed.
+type PlanRequest struct {
+	Experiments []string `json:"experiments"`
+	Trials      int      `json:"trials,omitempty"`
+	Seed        int64    `json:"seed"`
+	Quick       bool     `json:"quick,omitempty"`
+	Scheme      string   `json:"scheme,omitempty"`
+}
+
+// Options converts the request back to report options.
+func (pr PlanRequest) Options() Options {
+	return Options{Trials: pr.Trials, Seed: pr.Seed, Quick: pr.Quick, Scheme: pr.Scheme}
+}
+
+// EncodePlanRequest builds the coordinator-side blob.
+func EncodePlanRequest(ids []string, opts Options) ([]byte, error) {
+	return json.Marshal(PlanRequest{
+		Experiments: ids,
+		Trials:      opts.Trials,
+		Seed:        opts.Seed,
+		Quick:       opts.Quick,
+		Scheme:      opts.Scheme,
+	})
+}
+
+// BuildPlanFromBlob reconstructs a plan from a PlanRequest blob — the
+// dist.BuildFunc nectar-bench workers serve with.
+func BuildPlanFromBlob(blob []byte) (*exp.Plan, error) {
+	var pr PlanRequest
+	if err := json.Unmarshal(blob, &pr); err != nil {
+		return nil, fmt.Errorf("report: plan request: %w", err)
+	}
+	return BuildPlan(pr.Experiments, pr.Options())
+}
+
+// runExperimentSet is RunExperiments over already-resolved experiments
+// (Fig8N builds one on the fly for arbitrary n).
+func runExperimentSet(exps []Experiment, opts Options, cfg RunConfig) (*RunReport, error) {
+	plan, err := declarePlan(exps, opts)
+	if err != nil {
+		return nil, err
 	}
 
 	var collector *exp.Collector
@@ -230,6 +309,7 @@ func runExperimentSet(exps []Experiment, opts Options, cfg RunConfig) (*RunRepor
 	}
 	res, execErr := exp.Execute(plan, exp.Options{
 		Jobs:      cfg.Jobs,
+		Backend:   cfg.Backend,
 		Collector: collector,
 		OnUnit:    cfg.OnUnit,
 		Interrupt: cfg.Interrupt,

@@ -13,15 +13,26 @@
 # The large-n scaling benchmarks (DESIGN.md §14) are recorded separately —
 # full detections at n=10³/10⁴ are too heavy for the default trajectory:
 #   SCALE=1 scripts/bench.sh         # writes BENCH_scale.json, 1 iteration
+#
+# The distributed-sweep benchmarks (DESIGN.md §15) — serial local vs
+# coordinator + loopback worker fleets — are also a separate file:
+#   DIST=1 scripts/bench.sh          # writes BENCH_dist.json
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
+PKGS=". ./internal/nectar ./internal/sig"
 if [[ -n "${SCALE:-}" ]]; then
   BENCHTIME="${BENCHTIME:-1x}"
   PATTERN='^(BenchmarkLargeN$|BenchmarkKappaIncremental$)'
   OUT="${OUT:-BENCH_scale.json}"
   TIMEOUT=90m # the connected n=10⁴ flood alone is minutes of Θ(n·m) work
   export NECTAR_SCALE=1 # unlock the heavy n=10⁴ cases
+elif [[ -n "${DIST:-}" ]]; then
+  BENCHTIME="${BENCHTIME:-3x}"
+  PATTERN='^BenchmarkDist'
+  OUT="${OUT:-BENCH_dist.json}"
+  TIMEOUT=10m
+  PKGS="./internal/exp/dist"
 else
   BENCHTIME="${BENCHTIME:-3x}"
   PATTERN='^(BenchmarkFig[34567]|BenchmarkDeliver$|BenchmarkEmitRelay$|BenchmarkVerifyChain$)'
@@ -31,9 +42,10 @@ fi
 RAW="$(mktemp)"
 trap 'rm -f "$RAW"' EXIT
 
+# shellcheck disable=SC2086
 go test -run='^$' -bench "$PATTERN" -benchmem -benchtime "$BENCHTIME" \
   -count 1 -timeout "$TIMEOUT" \
-  . ./internal/nectar ./internal/sig | tee "$RAW"
+  $PKGS | tee "$RAW"
 
 go run ./cmd/benchdiff parse -note "scripts/bench.sh -benchtime $BENCHTIME" \
   < "$RAW" > "$OUT"

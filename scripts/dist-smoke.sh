@@ -1,0 +1,76 @@
+#!/usr/bin/env bash
+# dist-smoke.sh — end-to-end smoke of distributed sweep execution
+# (DESIGN.md §15): launch 3 nectar-bench workers on localhost, run the
+# quick mixed experiment set through a coordinator, kill one worker
+# mid-run, and require the final CSVs to be byte-identical to a serial
+# -jobs 1 local run. Also asserts the coordinator's metrics recorded the
+# worker death and the run's completion.
+#
+# Usage: scripts/dist-smoke.sh [outdir]   (default: dist-smoke-out)
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+OUT=${1:-dist-smoke-out}
+mkdir -p "$OUT"
+
+# Mixed plan: one static figure, one dynamic (churn) sweep, one red-team
+# search — every TrialRunner kind crosses the wire.
+EXPERIMENTS="fig3 churn redteam"
+BASE=$((30000 + RANDOM % 20000))
+
+go build -o "$OUT/nectar-bench" ./cmd/nectar-bench
+
+pids=()
+cleanup() {
+  for pid in "${pids[@]}"; do kill "$pid" 2>/dev/null || true; done
+  wait 2>/dev/null || true
+}
+trap cleanup EXIT
+
+echo "--- serial local reference (-jobs 1)"
+# shellcheck disable=SC2086
+time "$OUT/nectar-bench" -quick -no-ascii -jobs 1 -out "$OUT/local" $EXPERIMENTS \
+  > "$OUT/local.log" 2>&1
+
+echo "--- 3 workers + coordinator, one worker killed mid-run"
+addrs=""
+for i in 0 1 2; do
+  "$OUT/nectar-bench" -worker "127.0.0.1:$((BASE + i))" -jobs 2 \
+    > "$OUT/worker$i.log" 2>&1 &
+  pids+=($!)
+  addrs="$addrs${addrs:+,}127.0.0.1:$((BASE + i))"
+done
+# Let the workers bind before the coordinator dials (it retries anyway).
+sleep 0.3
+
+# shellcheck disable=SC2086
+"$OUT/nectar-bench" -quick -no-ascii -workers "$addrs" \
+  -metrics-out "$OUT/metrics.txt" -out "$OUT/dist" $EXPERIMENTS \
+  > "$OUT/coord.log" 2>&1 &
+coord=$!
+pids+=($coord)
+
+# Kill worker 0 once the sweep is underway. The coordinator must requeue
+# its in-flight units on the survivors and still finish cleanly.
+sleep 1
+kill "${pids[0]}" 2>/dev/null || true
+echo "killed worker 0 (pid ${pids[0]})"
+
+if ! wait "$coord"; then
+  echo "coordinator failed; log:"
+  cat "$OUT/coord.log"
+  exit 1
+fi
+
+echo "--- CSVs must be byte-identical to the serial run"
+diff -r "$OUT/local" "$OUT/dist"
+
+echo "--- coordinator metrics must record the worker death"
+grep -E '^nectar_dist_worker_down_total [1-9]' "$OUT/metrics.txt" || {
+  echo "no worker death recorded in metrics:"
+  grep '^nectar_dist' "$OUT/metrics.txt" || true
+  exit 1
+}
+grep '^nectar_dist' "$OUT/metrics.txt" | sed 's/^/  /'
+
+echo "dist-smoke: OK (CSVs bit-identical across a mid-run worker death)"
